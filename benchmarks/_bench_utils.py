@@ -1,0 +1,15 @@
+"""Helpers shared by the benchmark files."""
+
+
+def run_once(benchmark, fn):
+    """Run an experiment exactly once under pytest-benchmark timing.
+
+    The experiments are themselves repetitions over randomized runs;
+    re-running them for timing statistics would only burn minutes.
+    """
+    return benchmark.pedantic(fn, rounds=1, iterations=1, warmup_rounds=0)
+
+
+def finite(values):
+    """Numeric values of a table column, dropping '-' placeholders."""
+    return [v for v in values if isinstance(v, (int, float)) and v is not None]

@@ -1,0 +1,48 @@
+"""Extra ablation — LNR cell bias vs the edge-error target ε.
+
+Empirical check of Theorem 2 / Corollaries 1-2: the LNR cell-measure
+error shrinks as ε does, while the per-cell query cost grows only
+logarithmically.
+"""
+
+import numpy as np
+from _bench_utils import run_once
+
+from repro.core import LnrCellOracle, ObservationHistory
+from repro.core.config import LnrAggConfig
+from repro.geometry import true_voronoi_cell
+from repro.lbs import LnrLbsInterface
+from repro.sampling import UniformSampler
+
+
+def test_edge_error_ablation(benchmark, bench_world):
+    locs = bench_world.db.locations()
+    tids = list(locs)[:6]
+    box = bench_world.region
+
+    def measure_errors(eps: float):
+        api = LnrLbsInterface(bench_world.db, k=3)
+        hist = ObservationHistory(api)
+        oracle = LnrCellOracle(
+            hist, UniformSampler(box), LnrAggConfig(h=1, edge_error=eps)
+        )
+        errs, cost0 = [], api.queries_used
+        for tid in tids:
+            out = oracle.compute(tid, locs[tid], h=1)
+            others = [p for i, p in locs.items() if i != tid]
+            truth = true_voronoi_cell(locs[tid], others, box).area()
+            errs.append(abs(out.measure * box.area - truth) / truth)
+        return float(np.mean(errs)), api.queries_used - cost0
+
+    def compute():
+        return {eps: measure_errors(eps) for eps in (4e-2, 1e-2, 1e-3)}
+
+    results = run_once(benchmark, compute)
+    for eps, (err, cost) in sorted(results.items(), reverse=True):
+        print(f"eps={eps:8.0e}  mean cell rel-err={err:.5f}  queries={cost}")
+    errs = [results[eps][0] for eps in (4e-2, 1e-2, 1e-3)]
+    # Bias shrinks (weakly) with ε.
+    assert errs[2] <= errs[0] + 1e-3
+    costs = [results[eps][1] for eps in (4e-2, 1e-2, 1e-3)]
+    # Cost grows, but sub-linearly in 1/ε (logarithmic per Corollary 1).
+    assert costs[2] < costs[0] * 8

@@ -1,0 +1,22 @@
+"""Figure 11 benchmark — Voronoi cell-size skew of branded POIs."""
+
+from _bench_utils import run_once
+
+from repro.datasets import PoiConfig
+from repro.experiments import fig11_voronoi_map
+from repro.experiments.harness import poi_world
+
+
+def test_fig11(benchmark):
+    world = poi_world(
+        seed=7,
+        config=PoiConfig(n_restaurants=600, n_schools=20, n_banks=10, n_cafes=10),
+        n_cities=20,
+        base_sigma_fraction=0.012,
+        rural_fraction=0.08,
+    )
+    table = run_once(benchmark, lambda: fig11_voronoi_map.run(world))
+    table.show()
+    ratio = dict(zip(table.column("statistic"), table.column("area")))["max/min ratio"]
+    # Paper shape: cell sizes span orders of magnitude.
+    assert ratio > 50.0

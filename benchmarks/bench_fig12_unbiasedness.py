@@ -1,0 +1,24 @@
+"""Figure 12 benchmark — convergence traces of the three estimators."""
+
+from _bench_utils import run_once
+
+from repro.experiments import fig12_unbiasedness
+
+
+def test_fig12(benchmark, bench_world):
+    truth, results = run_once(
+        benchmark,
+        lambda: fig12_unbiasedness.traces(bench_world, max_queries=1500, seed=1),
+    )
+    table = fig12_unbiasedness.run(bench_world, max_queries=1500, seed=1)
+    table.show()
+    lr_err = abs(results["LR-LBS-AGG"].estimate - truth) / truth
+    nno_err = abs(results["LR-LBS-NNO"].estimate - truth) / truth
+    lnr_err = abs(results["LNR-LBS-AGG"].estimate - truth) / truth
+    # Paper shape: LR-AGG settles near the truth within the budget.
+    assert lr_err < 0.35
+    # All three produce usable traces.
+    assert results["LR-LBS-AGG"].samples > 10
+    assert results["LR-LBS-NNO"].samples > 10
+    assert results["LNR-LBS-AGG"].samples >= 1
+    assert lnr_err < 2.0 and nno_err < 2.0

@@ -1,0 +1,30 @@
+"""Figure 13 benchmark — uniform vs census-weighted sampling."""
+
+from _bench_utils import finite, run_once
+
+from repro.datasets import PoiConfig
+from repro.experiments import fig13_weighted_sampling
+from repro.experiments.harness import poi_world
+
+
+def test_fig13(benchmark):
+    # A clustered world: that is where weighted sampling earns its keep.
+    world = poi_world(
+        seed=19,
+        config=PoiConfig(n_restaurants=100, n_schools=120, n_banks=10, n_cafes=10),
+        n_cities=12,
+        base_sigma_fraction=0.02,
+        rural_fraction=0.12,
+    )
+    table = run_once(
+        benchmark,
+        lambda: fig13_weighted_sampling.run(
+            world, n_runs=3, max_queries=2500,
+            targets=(0.5, 0.3, 0.2), include_lnr=False,
+        ),
+    )
+    table.show()
+    uniform = finite(table.column("LR-LBS-AGG"))
+    weighted = finite(table.column("LR-LBS-AGG-US"))
+    # Paper shape: weighted sampling is cheaper overall.
+    assert sum(weighted) <= sum(uniform) * 1.1

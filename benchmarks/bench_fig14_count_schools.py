@@ -1,0 +1,26 @@
+"""Figure 14 benchmark — COUNT(schools) cost vs error, three algorithms."""
+
+from _bench_utils import finite, run_once
+
+from repro.core import AggregateQuery
+from repro.datasets import is_category
+from repro.experiments.cost_vs_error import cost_vs_error_table
+
+
+def test_fig14(benchmark, bench_world):
+    query = AggregateQuery.count(lambda a, _l: a.get("category") == "school")
+    truth = bench_world.db.ground_truth_count(is_category("school"))
+    table = run_once(
+        benchmark,
+        lambda: cost_vs_error_table(
+            "Figure 14 (bench) — COUNT(schools)",
+            bench_world, query, truth,
+            targets=(0.5, 0.3, 0.2), n_runs=3, max_queries=2500,
+            lnr_max_queries=8000,
+        ),
+    )
+    table.show()
+    lr = finite(table.column("LR-LBS-AGG"))
+    nno = finite(table.column("LR-LBS-NNO"))
+    # Paper shape: LR-LBS-AGG dominates the NNO baseline overall.
+    assert sum(lr) <= sum(nno) * 1.15

@@ -1,0 +1,19 @@
+"""Figure 17 benchmark — AVG(rating) in the metro sub-region."""
+
+from _bench_utils import finite, run_once
+
+from repro.experiments import fig17_avg_rating_austin
+
+
+def test_fig17(benchmark, bench_world):
+    table = run_once(
+        benchmark,
+        lambda: fig17_avg_rating_austin.run(
+            bench_world, n_runs=2, max_queries=1500, include_lnr=False,
+        ),
+    )
+    table.show()
+    lr = finite(table.column("LR-LBS-AGG"))
+    nno = finite(table.column("LR-LBS-NNO"))
+    # AVG is a ratio estimate: both converge fast, AGG at least as fast.
+    assert sum(lr) <= sum(nno) * 1.25

@@ -1,0 +1,20 @@
+"""Figure 18 benchmark — cost at fixed error vs database fraction."""
+
+from _bench_utils import finite, run_once
+
+from repro.experiments import fig18_db_size
+
+
+def test_fig18(benchmark, bench_world):
+    table = run_once(
+        benchmark,
+        lambda: fig18_db_size.run(
+            bench_world, fractions=(0.5, 1.0), rel_error=0.3,
+            n_runs=3, max_queries=2500, include_lnr=False,
+        ),
+    )
+    table.show()
+    lr = finite(table.column("LR-LBS-AGG"))
+    # Paper shape: cost does not blow up with database size (allow 3x
+    # slack — the trend is near-flat, not strictly monotone).
+    assert max(lr) <= 3.0 * max(min(lr), 1.0)

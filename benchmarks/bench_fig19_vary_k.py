@@ -1,0 +1,26 @@
+"""Figure 19 benchmark — cost at fixed error vs h, fixed and adaptive."""
+
+from _bench_utils import finite, run_once
+
+from repro.experiments import fig19_vary_k
+
+
+def test_fig19(benchmark, bench_world):
+    table = run_once(
+        benchmark,
+        lambda: fig19_vary_k.run(
+            bench_world, hs=(1, 2, 3), k=3, rel_error=0.3,
+            n_runs=3, max_queries=2500, include_lnr=False,
+        ),
+    )
+    table.show()
+    rows = dict(zip(table.column("h"), table.column("LR-LBS-AGG")))
+    costs = finite(rows.values())
+    assert len(costs) == 4  # h = 1, 2, 3 and adaptive all measured
+    # Paper shape: adaptive is competitive with the best fixed h (the
+    # paper reports ~10 % savings at full scale; at bench scale the
+    # selector's warm-up overhead eats part of that, hence the slack —
+    # see EXPERIMENTS.md).
+    assert rows["adaptive"] <= 2.5 * min(finite([rows[1], rows[2], rows[3]]))
+    # ... and it must beat the *worst* fixed choice.
+    assert rows["adaptive"] <= 1.2 * max(finite([rows[1], rows[2], rows[3]]))

@@ -1,0 +1,22 @@
+"""Figure 20 benchmark — the §3.2 error-reduction ladder."""
+
+from _bench_utils import finite, run_once
+
+from repro.experiments import fig20_ablation
+
+
+def test_fig20(benchmark, bench_world):
+    table = run_once(
+        benchmark,
+        lambda: fig20_ablation.run(
+            bench_world, targets=(0.5, 0.3, 0.2), n_runs=3, max_queries=2500, k=3,
+        ),
+    )
+    table.show()
+    bare = sum(finite(table.column("LR-LBS-AGG-0")))
+    with_history = sum(finite(table.column("LR-LBS-AGG-2")))
+    full = sum(finite(table.column("LR-LBS-AGG")))
+    # Paper shape: history is the big win; the full stack beats the bare
+    # baseline (small-scale noise gets 15 % slack).
+    assert with_history <= bare * 1.05
+    assert full <= bare * 1.15

@@ -1,0 +1,27 @@
+"""Figure 21 benchmark — localization accuracy, plain vs obfuscated."""
+
+import numpy as np
+from _bench_utils import run_once
+
+from repro.experiments import fig21_localization
+
+
+def test_fig21(benchmark, bench_world):
+    sigma = 2.0
+
+    def compute():
+        places = fig21_localization.localization_errors(
+            bench_world, n_targets=12, obfuscation_sigma=0.0, seed=3
+        )
+        wechat = fig21_localization.localization_errors(
+            bench_world, n_targets=12, obfuscation_sigma=sigma, seed=3
+        )
+        return places, wechat
+
+    places, wechat = run_once(benchmark, compute)
+    table = fig21_localization.run(bench_world, n_targets=12, obfuscation_sigma=sigma)
+    table.show()
+    # Paper shape: un-obfuscated localization is near-exact for most
+    # targets; obfuscation sets a floor near its jitter scale.
+    assert float(np.median(places)) < 0.2
+    assert float(np.median(wechat)) > float(np.median(places))

@@ -1,0 +1,31 @@
+"""Table 1 benchmark — the simulated online demonstrations."""
+
+from _bench_utils import run_once
+
+from repro.datasets import PoiConfig, UserConfig
+from repro.experiments import table1_online
+from repro.experiments.harness import poi_world, user_world
+
+
+def test_table1(benchmark):
+    poi = poi_world(
+        seed=7,
+        config=PoiConfig(n_restaurants=150, n_schools=30, n_banks=10, n_cafes=10),
+        n_cities=10,
+    )
+    wechat = user_world(seed=11, config=UserConfig(n_users=120, male_fraction=0.671))
+    weibo = user_world(seed=13, config=UserConfig(n_users=120, male_fraction=0.504))
+
+    table, truths = run_once(
+        benchmark,
+        lambda: table1_online.run(
+            poi, wechat, weibo, budget_places=1500, budget_social=4000,
+        ),
+    )
+    table.show()
+    est, truth = truths["starbucks"]
+    assert abs(est - truth) / truth < 0.6  # small-budget slack
+    est, truth = truths["wechat_ratio"]
+    assert abs(est - truth) < 0.25
+    est, truth = truths["weibo_ratio"]
+    assert abs(est - truth) < 0.25

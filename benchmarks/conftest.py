@@ -1,0 +1,36 @@
+"""Shared fixtures for the per-figure benchmarks.
+
+Benchmarks regenerate every figure/table of the paper at a reduced scale
+(small worlds, few runs, coarse targets) so the whole suite finishes in
+minutes.  Each benchmark asserts the *shape* of the paper's result —
+who wins, in which direction — not absolute numbers (see EXPERIMENTS.md).
+"""
+
+import numpy as np
+import pytest
+
+from repro.datasets import PoiConfig, UserConfig
+from repro.experiments.harness import World, poi_world, user_world
+from repro.geometry import Rect
+
+BENCH_BOX = Rect(0.0, 0.0, 200.0, 150.0)
+
+
+@pytest.fixture(scope="session")
+def bench_world() -> World:
+    """A small POI world shared by the cost-figure benchmarks."""
+    return poi_world(
+        seed=7,
+        region=BENCH_BOX,
+        config=PoiConfig(n_restaurants=120, n_schools=80, n_banks=20, n_cafes=20),
+        n_cities=10,
+    )
+
+
+@pytest.fixture(scope="session")
+def bench_user_world() -> World:
+    return user_world(
+        seed=11,
+        region=BENCH_BOX,
+        config=UserConfig(n_users=150, male_fraction=0.671),
+    )

@@ -1,0 +1,71 @@
+"""External-knowledge weighted sampling (paper §5.2, Fig 13).
+
+POI density follows population; so does the optimal query distribution.
+Sampling query points proportionally to a census raster flattens the
+spread of inverse selection probabilities and cuts the query cost at
+any target error — without ever biasing the estimate, even when the
+raster is noisy.
+
+Run:  python examples/census_weighted_sampling.py
+"""
+
+import numpy as np
+
+from repro import (
+    AggregateQuery,
+    GridWeightedSampler,
+    LrAggConfig,
+    LrLbsAgg,
+    LrLbsInterface,
+    PoiConfig,
+    PopulationGrid,
+    UniformSampler,
+    generate_poi_database,
+    is_category,
+)
+from repro.datasets import CityModel
+from repro.geometry import Rect
+
+
+def run(sampler, db, seeds, budget=2500):
+    errs = []
+    truth = db.ground_truth_count(is_category("school"))
+    for seed in seeds:
+        api = LrLbsInterface(db, k=5)
+        agg = LrLbsAgg(
+            api, sampler,
+            AggregateQuery.count(lambda a, _l: a.get("category") == "school"),
+            LrAggConfig(), seed=seed,
+        )
+        res = agg.run(max_queries=budget)
+        errs.append(res.relative_error(truth))
+    return np.array(errs)
+
+
+def main() -> None:
+    region = Rect(0, 0, 400, 300)
+    rng = np.random.default_rng(19)
+    cities = CityModel.generate(region, n_cities=12, rng=rng,
+                                base_sigma_fraction=0.02, rural_fraction=0.12)
+    db = generate_poi_database(
+        region, rng,
+        PoiConfig(n_restaurants=100, n_schools=140, n_banks=10, n_cafes=10),
+        cities,
+    )
+    census = PopulationGrid.from_city_model(
+        cities, nx=24, ny=18, noise=0.2, rng=rng  # noisy external knowledge
+    )
+
+    seeds = range(5)
+    uniform_errs = run(UniformSampler(region), db, seeds)
+    weighted_errs = run(GridWeightedSampler(census), db, seeds)
+
+    print("COUNT(schools), 2500-query budget, 5 runs each:")
+    print(f"  uniform sampling : rel-err mean {uniform_errs.mean():.3f}  runs {np.round(uniform_errs, 3)}")
+    print(f"  census-weighted  : rel-err mean {weighted_errs.mean():.3f}  runs {np.round(weighted_errs, 3)}")
+    print("weighted sampling concentrates queries where tuples (and tiny")
+    print("Voronoi cells) are — same unbiasedness, lower variance.")
+
+
+if __name__ == "__main__":
+    main()

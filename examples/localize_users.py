@@ -1,0 +1,60 @@
+"""Infer exact tuple positions from ranked answers (paper §4.3, Fig 21).
+
+A rank-only interface still leaks locations: three bisector directions
+at a Voronoi vertex pin down the ray toward the tuple, and two vertices
+triangulate it.  Against an obfuscating service the method converges to
+the *jittered* position, so the residual error equals the obfuscation
+radius — the paper's WeChat finding.
+
+Run:  python examples/localize_users.py
+"""
+
+import numpy as np
+
+from repro import (
+    LnrAggConfig,
+    LnrLbsInterface,
+    ObfuscationModel,
+    ObservationHistory,
+    UniformSampler,
+    generate_user_database,
+)
+from repro.core import LnrCellOracle, TupleLocalizer
+from repro.datasets import UserConfig
+from repro.geometry import Rect, distance
+
+
+def localize_some(db, region, obfuscation, n=10):
+    api = LnrLbsInterface(db, k=5, obfuscation=obfuscation)
+    history = ObservationHistory(api)
+    config = LnrAggConfig(h=1, edge_error=2e-3)
+    oracle = LnrCellOracle(history, UniformSampler(region), config)
+    localizer = TupleLocalizer(history, oracle, config)
+
+    errors = []
+    for tid in sorted(db.locations())[:n]:
+        true_loc = db.get(tid).location
+        seed = api.effective_location(tid)  # "standing near" the target
+        result = localizer.locate(tid, seed)
+        errors.append(distance(result.location, true_loc))
+    return np.array(errors), api.queries_used
+
+
+def main() -> None:
+    region = Rect(0, 0, 400, 300)
+    rng = np.random.default_rng(21)
+    db = generate_user_database(region, rng, UserConfig(n_users=200))
+
+    plain, cost1 = localize_some(db, region, obfuscation=None)
+    jitter = ObfuscationModel(sigma=2.0, seed=3)
+    obfus, cost2 = localize_some(db, region, obfuscation=jitter)
+
+    print("localization error (km) — 400 x 300 km plane, 10 targets each")
+    print(f"  honest service   : median {np.median(plain):7.4f}  max {plain.max():7.4f}  ({cost1} queries)")
+    print(f"  obfuscated (σ=2) : median {np.median(obfus):7.4f}  max {obfus.max():7.4f}  ({cost2} queries)")
+    print("obfuscation sets an error floor near its jitter radius —")
+    print("position hiding works only as well as the noise injected.")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,62 @@
+"""Count branded POIs through a pass-through filter (paper Table 1).
+
+The paper's flagship demo estimates the number of Starbucks in the US
+through Google Places with 5000 queries, landing within 5 % of the
+company's published store count.  This example reproduces the setup on
+the synthetic substrate: the selection condition ``brand = starbucks``
+is pushed into the service (like a Places keyword filter), and the
+unconditioned COUNT of the filtered view is estimated.
+
+Run:  python examples/starbucks_count.py
+"""
+
+import numpy as np
+
+from repro import (
+    AggregateQuery,
+    LrAggConfig,
+    LrLbsAgg,
+    LrLbsInterface,
+    PoiConfig,
+    UniformSampler,
+    generate_poi_database,
+    is_brand,
+)
+from repro.datasets import CityModel
+from repro.geometry import Rect
+
+
+def main() -> None:
+    region = Rect(0, 0, 1000, 700)  # a USA-shaped plane, in km
+    rng = np.random.default_rng(2015)
+    cities = CityModel.generate(region, n_cities=30, rng=rng,
+                                base_sigma_fraction=0.02, rural_fraction=0.15)
+    db = generate_poi_database(
+        region, rng,
+        PoiConfig(n_restaurants=1200, n_schools=100, n_banks=50, n_cafes=50),
+        cities,
+    )
+    truth = db.ground_truth_count(is_brand("starbucks"))
+
+    # Pass-through condition: the service itself filters by brand, so the
+    # estimator sees a smaller hidden database with the same interface.
+    api = LrLbsInterface(db, k=10)
+    filtered = api.filtered(is_brand("starbucks"))
+
+    agg = LrLbsAgg(
+        filtered,
+        UniformSampler(region),
+        AggregateQuery.count(),
+        LrAggConfig(adaptive_h=True),
+        seed=5,
+    )
+    result = agg.run(max_queries=5000)
+
+    print(f"COUNT(starbucks) estimate: {result.estimate:7.1f}")
+    print(f"published ground truth   : {truth:7d}")
+    print(f"relative error           : {result.relative_error(truth):7.3f}")
+    print(f"queries spent            : {result.queries:7d} (budget 5000)")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,10 @@
+"""Setup shim for environments without PEP-660 editable-install support.
+
+``pip install -e .`` works where pip/setuptools/wheel are current; this
+file additionally enables ``python setup.py develop`` on older stacks
+(e.g. offline boxes without the ``wheel`` package).
+"""
+
+from setuptools import setup
+
+setup()

@@ -1,0 +1,112 @@
+"""repro — reproduction of "Aggregate Estimations over Location Based
+Services" (Liu, Rahman, Thirumuruganathan, Zhang, Das; PVLDB 8(10), 2015).
+
+The library estimates COUNT/SUM/AVG aggregates over a hidden spatial
+database reachable only through a restrictive kNN interface, for both
+interface families the paper studies:
+
+* **LR-LBS** (locations returned) — :class:`repro.core.LrLbsAgg`,
+  completely unbiased via exact top-h Voronoi-cell computation;
+* **LNR-LBS** (rank-only answers) — :class:`repro.core.LnrLbsAgg`, bias
+  controllable to arbitrary precision via binary-searched cell edges,
+  plus tuple-position inference (:class:`repro.core.TupleLocalizer`).
+
+Quick start::
+
+    import numpy as np
+    from repro import (AggregateQuery, LrLbsAgg, LrLbsInterface,
+                       UniformSampler, generate_poi_database, US_BOX)
+
+    db = generate_poi_database(US_BOX, np.random.default_rng(7))
+    api = LrLbsInterface(db, k=5)
+    agg = LrLbsAgg(api, UniformSampler(US_BOX), AggregateQuery.count())
+    print(agg.run(max_queries=2000).estimate, "vs", len(db))
+
+See DESIGN.md for the system inventory and EXPERIMENTS.md for the
+paper-vs-measured record of every figure and table.
+"""
+
+from .core import (
+    AggregateKind,
+    AggregateQuery,
+    LnrAggConfig,
+    LnrCellOracle,
+    LnrLbsAgg,
+    LocalizationResult,
+    LrAggConfig,
+    LrLbsAgg,
+    LrLbsNno,
+    NnoConfig,
+    ObservationHistory,
+    TopHCellOracle,
+    TupleLocalizer,
+)
+from .datasets import (
+    AUSTIN_BOX,
+    CHINA_BOX,
+    US_BOX,
+    CityModel,
+    PoiConfig,
+    PopulationGrid,
+    UserConfig,
+    generate_poi_database,
+    generate_user_database,
+    is_brand,
+    is_category,
+)
+from .geometry import Point, Rect
+from .lbs import (
+    BudgetExhausted,
+    KnnInterface,
+    LbsTuple,
+    LnrLbsInterface,
+    LrLbsInterface,
+    ObfuscationModel,
+    QueryBudget,
+    SpatialDatabase,
+)
+from .sampling import GridWeightedSampler, UniformSampler
+from .stats import EstimationResult
+
+__version__ = "1.0.0"
+
+__all__ = [
+    "__version__",
+    "Point",
+    "Rect",
+    "AggregateKind",
+    "AggregateQuery",
+    "LrAggConfig",
+    "LnrAggConfig",
+    "LrLbsAgg",
+    "LnrLbsAgg",
+    "LrLbsNno",
+    "NnoConfig",
+    "TopHCellOracle",
+    "LnrCellOracle",
+    "TupleLocalizer",
+    "LocalizationResult",
+    "ObservationHistory",
+    "LbsTuple",
+    "SpatialDatabase",
+    "KnnInterface",
+    "LrLbsInterface",
+    "LnrLbsInterface",
+    "QueryBudget",
+    "BudgetExhausted",
+    "ObfuscationModel",
+    "CityModel",
+    "PopulationGrid",
+    "PoiConfig",
+    "UserConfig",
+    "generate_poi_database",
+    "generate_user_database",
+    "is_category",
+    "is_brand",
+    "US_BOX",
+    "AUSTIN_BOX",
+    "CHINA_BOX",
+    "UniformSampler",
+    "GridWeightedSampler",
+    "EstimationResult",
+]

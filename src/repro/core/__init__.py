@@ -1,0 +1,48 @@
+"""The paper's contribution: LR-LBS-AGG, LNR-LBS-AGG, and the NNO baseline."""
+
+from .aggregates import AggregateKind, AggregateQuery
+from .bounds import LowerBoundTester, McOutcome, MonteCarloFinish
+from .config import LnrAggConfig, LrAggConfig
+from .edge_search import (
+    LineEstimate,
+    TransitionSegment,
+    binary_transition,
+    estimate_boundary_line,
+    ray_exit,
+)
+from .history import DiskLedger, ObservationHistory
+from .lnr_agg import LnrLbsAgg
+from .lnr_cell import LnrCellOracle, LnrCellOutcome
+from .localize import LocalizationResult, TupleLocalizer
+from .lr_agg import LrLbsAgg
+from .nno import LrLbsNno, NnoConfig
+from .variance import AdaptiveHSelector
+from .voronoi_oracle import CellOutcome, TopHCellOracle
+
+__all__ = [
+    "AggregateKind",
+    "AggregateQuery",
+    "LrAggConfig",
+    "LnrAggConfig",
+    "ObservationHistory",
+    "DiskLedger",
+    "TopHCellOracle",
+    "CellOutcome",
+    "AdaptiveHSelector",
+    "LowerBoundTester",
+    "MonteCarloFinish",
+    "McOutcome",
+    "LrLbsAgg",
+    "LrLbsNno",
+    "NnoConfig",
+    "binary_transition",
+    "estimate_boundary_line",
+    "ray_exit",
+    "TransitionSegment",
+    "LineEstimate",
+    "LnrCellOracle",
+    "LnrCellOutcome",
+    "TupleLocalizer",
+    "LocalizationResult",
+    "LnrLbsAgg",
+]

@@ -1,0 +1,104 @@
+"""Aggregate query specification (paper §2.3, §5.1).
+
+``SELECT AGGR(t) FROM D WHERE cond`` with AGGR ∈ {COUNT, SUM, AVG} and a
+selection condition evaluable on a single tuple.  Two condition flavours:
+
+* *pass-through* — supported by the service itself (e.g. Google Places
+  ``keyword=Starbucks``): apply :meth:`KnnInterface.filtered` and estimate
+  an unconditioned aggregate against the filtered view;
+* *post-process* — evaluated client-side on each sampled tuple: matching
+  tuples contribute ``value / p(t)``, non-matching contribute 0, which
+  keeps the estimate unbiased (§5.1).
+
+Location-dependent conditions receive the tuple location; for LNR
+services the estimator first infers it (§4.3, :mod:`repro.core.localize`).
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass
+from typing import Callable, Mapping, Optional
+
+from ..geometry import Point
+
+__all__ = ["AggregateKind", "AggregateQuery"]
+
+Condition = Callable[[Mapping, Optional[Point]], bool]
+
+
+class AggregateKind(enum.Enum):
+    COUNT = "count"
+    SUM = "sum"
+    AVG = "avg"
+
+
+@dataclass(frozen=True)
+class AggregateQuery:
+    """An aggregate to estimate.
+
+    Parameters
+    ----------
+    kind:
+        COUNT, SUM or AVG.
+    attr:
+        Attribute aggregated by SUM/AVG (ignored for COUNT).
+    condition:
+        Optional post-process predicate ``cond(attrs, location) -> bool``.
+    needs_location:
+        Set when ``condition`` reads the location — tells LNR estimators
+        to run tuple-position inference before evaluating it.
+    """
+
+    kind: AggregateKind
+    attr: Optional[str] = None
+    condition: Optional[Condition] = None
+    needs_location: bool = False
+
+    def __post_init__(self) -> None:
+        if self.kind in (AggregateKind.SUM, AggregateKind.AVG) and not self.attr:
+            raise ValueError(f"{self.kind.value} requires an attribute")
+
+    # ------------------------------------------------------------------
+    @staticmethod
+    def count(condition: Optional[Condition] = None, needs_location: bool = False) -> "AggregateQuery":
+        return AggregateQuery(AggregateKind.COUNT, None, condition, needs_location)
+
+    @staticmethod
+    def sum(attr: str, condition: Optional[Condition] = None, needs_location: bool = False) -> "AggregateQuery":
+        return AggregateQuery(AggregateKind.SUM, attr, condition, needs_location)
+
+    @staticmethod
+    def avg(attr: str, condition: Optional[Condition] = None, needs_location: bool = False) -> "AggregateQuery":
+        return AggregateQuery(AggregateKind.AVG, attr, condition, needs_location)
+
+    # ------------------------------------------------------------------
+    def matches(self, attrs: Mapping, location: Optional[Point]) -> bool:
+        if self.condition is None:
+            return True
+        return bool(self.condition(attrs, location))
+
+    def numerator(self, attrs: Mapping, location: Optional[Point]) -> float:
+        """Per-tuple numerator ``Q(t)`` of the estimator (Eq. 1/2).
+
+        COUNT → 1, SUM/AVG → the attribute value; 0 when the selection
+        condition rejects the tuple or the attribute is missing.
+        """
+        if not self.matches(attrs, location):
+            return 0.0
+        if self.kind is AggregateKind.COUNT:
+            return 1.0
+        value = attrs.get(self.attr)
+        return float(value) if value is not None else 0.0
+
+    def denominator(self, attrs: Mapping, location: Optional[Point]) -> float:
+        """Per-tuple denominator (only meaningful for AVG = SUM/COUNT)."""
+        if not self.matches(attrs, location):
+            return 0.0
+        if self.kind is AggregateKind.AVG and attrs.get(self.attr) is None:
+            return 0.0
+        return 1.0
+
+    @property
+    def is_ratio(self) -> bool:
+        return self.kind is AggregateKind.AVG

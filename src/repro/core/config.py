@@ -1,0 +1,125 @@
+"""Estimator configuration knobs.
+
+Every optimization of paper §3.2 / §4 is independently switchable so the
+Fig-20 ablation can rebuild the exact ladder LR-LBS-AGG-0 … LR-LBS-AGG.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, replace
+from typing import Optional
+
+__all__ = ["LrAggConfig", "LnrAggConfig"]
+
+
+@dataclass(frozen=True)
+class LrAggConfig:
+    """Configuration of :class:`repro.core.lr_agg.LrLbsAgg`.
+
+    Attributes
+    ----------
+    h:
+        Which top-h Voronoi cells to use (1 = classic Voronoi; must be
+        ≤ interface k).  Ignored when ``adaptive_h``.
+    adaptive_h:
+        §3.2.3 per-tuple choice of h driven by history upper bounds.
+    lambda0:
+        Measure threshold of the adaptive rule.  ``None`` = auto: twice
+        the running mean of observed cell measures.
+    use_fast_init:
+        §3.2.1 fake-corner initialization.
+    fast_init_factor:
+        Fake box half-width as a multiple of the distance to the k-th
+        answer of the triggering query.
+    use_history:
+        §3.2.2 reuse of all previously seen tuple locations.
+    use_mc_bounds:
+        §3.2.4 Monte-Carlo finish with upper/lower cell bounds.
+    mc_tightness:
+        Stop exact refinement once
+        ``(upper - lower) / upper <= mc_tightness``.
+    max_refine_rounds:
+        Safety valve on the Theorem-1 loop.
+    """
+
+    h: int = 1
+    adaptive_h: bool = False
+    lambda0: Optional[float] = None
+    use_fast_init: bool = True
+    fast_init_factor: float = 4.0
+    use_history: bool = True
+    use_mc_bounds: bool = True
+    mc_tightness: float = 0.15
+    max_refine_rounds: int = 200
+
+    def __post_init__(self) -> None:
+        if self.h < 1:
+            raise ValueError("h must be >= 1")
+        if not 0.0 <= self.mc_tightness < 1.0:
+            raise ValueError("mc_tightness must be in [0, 1)")
+        if self.fast_init_factor <= 0.0:
+            raise ValueError("fast_init_factor must be positive")
+
+    # Ablation ladder of Fig. 20 -----------------------------------------
+    @staticmethod
+    def ladder(h: int = 1) -> dict[str, "LrAggConfig"]:
+        """The Fig-20 variants, least to most optimized."""
+        base = LrAggConfig(
+            h=h, adaptive_h=False, use_fast_init=False,
+            use_history=False, use_mc_bounds=False,
+        )
+        return {
+            "LR-LBS-AGG-0": base,
+            "LR-LBS-AGG-1": replace(base, use_fast_init=True),
+            "LR-LBS-AGG-2": replace(base, use_fast_init=True, use_history=True),
+            "LR-LBS-AGG-3": replace(
+                base, use_fast_init=True, use_history=True, adaptive_h=True
+            ),
+            "LR-LBS-AGG": replace(
+                base, use_fast_init=True, use_history=True, adaptive_h=True,
+                use_mc_bounds=True,
+            ),
+        }
+
+
+@dataclass(frozen=True)
+class LnrAggConfig:
+    """Configuration of :class:`repro.core.lnr_agg.LnrLbsAgg`.
+
+    ``edge_error`` is the target maximum edge error ε of Appendix A,
+    expressed relative to the longer side of the bounding region.  The
+    two binary-search parameters are derived per the paper's Eq. 9:
+
+        δ' = ε / 2,      δ = tan(arcsin(ε / b)) · ε / 2
+
+    (``b`` = bounding-box perimeter), which keeps the *angular* error of
+    the two-point edge estimate within ε — δ must be much smaller than δ'
+    or the line through the two transition midpoints can tilt badly
+    (Theorem 3).  Estimator bias shrinks with ε (Theorem 2) at
+    O(log 1/ε) extra queries per edge (Corollary 1).
+    """
+
+    h: int = 1
+    adaptive_h: bool = False
+    edge_error: float = 5e-3
+    #: Pull vertices toward the interior by this multiple of ε before
+    #: the Theorem-1 membership test (estimated edges are only ε-accurate).
+    vertex_pull: float = 1.0
+    max_refine_rounds: int = 60
+
+    def __post_init__(self) -> None:
+        if self.h < 1:
+            raise ValueError("h must be >= 1")
+        if not 0.0 < self.edge_error < 0.5:
+            raise ValueError("edge_error must be in (0, 0.5)")
+
+    def derived_deltas(self, region_width: float, region_height: float) -> tuple[float, float]:
+        """Absolute (δ, δ') for a concrete bounding region (Eq. 9)."""
+        import math
+
+        scale = max(region_width, region_height)
+        eps = self.edge_error * scale
+        b = 2.0 * (region_width + region_height)
+        delta_prime = eps / 2.0
+        delta = math.tan(math.asin(min(eps / b, 0.999))) * eps / 2.0
+        return max(delta, 1e-12 * scale), delta_prime

@@ -1,0 +1,227 @@
+"""Appendix-A binary search: recovering Voronoi edges from ranks alone.
+
+LNR services return no coordinates, so cell boundaries must be *felt out*:
+walk a ray from an interior anchor until the membership predicate flips,
+bisect the flip down to a ``δ``-segment, then repeat along two auxiliary
+rays tilted by ``±arcsin(δ'/r)`` to get a second point on the same edge
+(Algorithm 7).  The line through the two transition midpoints estimates
+the Voronoi edge to the precision bounds of Theorem 3; when the auxiliary
+rays fail to reproduce the same opposing tuple, the fallback is the
+perpendicular through the first midpoint — also covered by the theorem.
+
+All predicates are evaluated through the caller-supplied ``pred`` (which
+routes through the query cache, so re-touched points are free), keeping
+the advertised ``3·log(b/δ)`` cost bound per edge.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+from typing import Callable, Optional
+
+from ..geometry import (
+    Point,
+    Rect,
+    distance,
+    midpoint,
+    normalize,
+    perpendicular,
+    rotate,
+)
+
+__all__ = [
+    "TransitionSegment",
+    "LineEstimate",
+    "binary_transition",
+    "ray_exit",
+    "estimate_boundary_line",
+]
+
+Pred = Callable[[Point], bool]
+Matcher = Callable[[Point], object]
+
+
+@dataclass(frozen=True)
+class TransitionSegment:
+    """A ``δ``-bracket of a predicate flip: ``inside`` satisfies the
+    predicate, ``outside`` does not, and they are ≤ δ apart."""
+
+    inside: Point
+    outside: Point
+
+    @property
+    def mid(self) -> Point:
+        return midpoint(self.inside, self.outside)
+
+    def length(self) -> float:
+        return distance(self.inside, self.outside)
+
+
+@dataclass(frozen=True)
+class LineEstimate:
+    """An estimated boundary line.
+
+    ``two_point`` tells whether both transition segments were found (the
+    accurate case) or the perpendicular fallback fired.
+    """
+
+    point: Point
+    direction: Point
+    inside_hint: Point
+    two_point: bool
+    token: object = None  #: identity of the tuple on the far side, if known
+
+
+def binary_transition(pred: Pred, inside: Point, outside: Point, delta: float) -> TransitionSegment:
+    """Bisect ``[inside, outside]`` down to a ``δ``-segment.
+
+    Assumes ``pred(inside)`` is True and ``pred(outside)`` is False (the
+    caller has already paid to know both).  Costs ``log2(|io|/δ)`` probes.
+    """
+    lo, hi = inside, outside
+    while distance(lo, hi) > delta:
+        mid = midpoint(lo, hi)
+        if pred(mid):
+            lo = mid
+        else:
+            hi = mid
+    return TransitionSegment(lo, hi)
+
+
+def ray_exit(origin: Point, direction: Point, rect: Rect) -> Point:
+    """Where the ray leaves ``rect`` (origin assumed inside)."""
+    best = math.inf
+    if direction.x > 1e-15:
+        best = min(best, (rect.x1 - origin.x) / direction.x)
+    elif direction.x < -1e-15:
+        best = min(best, (rect.x0 - origin.x) / direction.x)
+    if direction.y > 1e-15:
+        best = min(best, (rect.y1 - origin.y) / direction.y)
+    elif direction.y < -1e-15:
+        best = min(best, (rect.y0 - origin.y) / direction.y)
+    if not math.isfinite(best) or best < 0.0:
+        raise ValueError("ray does not leave the rectangle (origin outside?)")
+    return Point(origin.x + best * direction.x, origin.y + best * direction.y)
+
+
+def estimate_boundary_line(
+    pred: Pred,
+    anchor: Point,
+    far: Point,
+    delta: float,
+    delta_prime: float,
+    rect: Rect,
+    matcher: Optional[Matcher] = None,
+) -> Optional[LineEstimate]:
+    """Full Algorithm-7 edge estimation along ``[anchor, far]``.
+
+    ``pred(anchor)`` must be True.  Returns ``None`` when ``pred(far)``
+    is still True — no boundary before ``far`` (for rays to the bounding
+    box this means the cell is bounded by the box on that side).
+
+    ``matcher`` extracts the identity of the far-side tuple at a point;
+    the auxiliary-ray segment is only accepted when its identity matches
+    the primary one (the paper's "returns t on one end and t' on the
+    other" condition).
+    """
+    if pred(far):
+        return None
+    seg1 = binary_transition(pred, anchor, far, delta)
+    token = matcher(seg1.outside) if matcher is not None else None
+    base_dir = normalize(far - anchor)
+    r = max(distance(anchor, seg1.outside), delta)
+    # Keep the auxiliary-ray tilt bounded: with r ≲ δ' the rays would
+    # swing wide and cross a *different* edge, producing a badly wrong
+    # line (Theorem 3 assumes arcsin(δ'/r) small).  Shrinking δ' to r/4
+    # preserves accuracy — the angular error of the two-point line is
+    # ~atan(δ/δ'_eff) and δ is ~ε²/b, far below any admissible δ'_eff.
+    delta_prime_eff = min(delta_prime, r / 4.0)
+    alpha = math.asin(delta_prime_eff / r) if delta_prime_eff > 0.0 else 0.0
+
+    if alpha > 0.0:
+        for sign in (1.0, -1.0):
+            aux_dir = rotate(base_dir, sign * alpha)
+            aux_far = _aux_far_point(anchor, aux_dir, r, delta, rect)
+            if aux_far is None or pred(aux_far):
+                continue
+            seg2 = binary_transition(pred, anchor, aux_far, delta)
+            if matcher is not None and matcher(seg2.outside) != token:
+                continue
+            mid1, mid2 = seg1.mid, seg2.mid
+            if distance(mid1, mid2) <= max(delta * 1e-3, 1e-12):
+                continue
+            direction = normalize(mid2 - mid1)
+            # Validation probes: near a cell corner the two transition
+            # points can land on *different* edges (even with matching
+            # tokens), and the chord through them cuts the corner.  A
+            # genuine edge separates the predicate everywhere *between*
+            # the two midpoints; a corner chord bulges into the cell there.
+            if _line_validates(pred, mid1, direction, seg1.inside, delta,
+                               distance(mid1, mid2), rect):
+                return LineEstimate(
+                    point=mid1,
+                    direction=direction,
+                    inside_hint=seg1.inside,
+                    two_point=True,
+                    token=token,
+                )
+    # Fallback: the edge is (estimated as) perpendicular to the walk.
+    return LineEstimate(
+        point=seg1.mid,
+        direction=perpendicular(base_dir),
+        inside_hint=seg1.inside,
+        two_point=False,
+        token=token,
+    )
+
+
+def _line_validates(
+    pred: Pred,
+    point: Point,
+    direction: Point,
+    inside_hint: Point,
+    delta: float,
+    separation: float,
+    rect: Rect,
+) -> bool:
+    """Check that the candidate edge really separates the predicate.
+
+    Probes at 35 % and 65 % of the way from the first transition midpoint
+    to the second (``separation`` apart along ``direction``), offset ``γ``
+    across the line: the inside-side probe must satisfy the predicate,
+    the outside-side one must not.  Between the midpoints a genuine edge
+    stays within ~δ of the line, while a corner chord bulges into the
+    cell by a distance of the chord's sagitta — flunking the outer probe.
+    γ is a few δ: above the positional noise, below any real bulge.
+    """
+    normal = perpendicular(direction)
+    to_inside = inside_hint - point
+    if normal.x * to_inside.x + normal.y * to_inside.y > 0.0:
+        normal = Point(-normal.x, -normal.y)  # make +normal point outside
+    gamma = 6.0 * delta
+    for frac in (0.35, 0.65):
+        s = frac * separation
+        base = Point(point.x + s * direction.x, point.y + s * direction.y)
+        inner = Point(base.x - gamma * normal.x, base.y - gamma * normal.y)
+        outer = Point(base.x + gamma * normal.x, base.y + gamma * normal.y)
+        if not (rect.contains(inner) and rect.contains(outer)):
+            continue  # cannot judge beyond the region; skip this probe
+        if not pred(inner) or pred(outer):
+            return False
+    return True
+
+
+def _aux_far_point(anchor: Point, direction: Point, r: float, delta: float, rect: Rect) -> Optional[Point]:
+    """End point for an auxiliary ray: a bit past the primary crossing
+    distance, clipped to the bounding rectangle."""
+    reach = r * 1.5 + 4.0 * delta
+    try:
+        exit_pt = ray_exit(anchor, direction, rect)
+    except ValueError:
+        return None
+    exit_d = distance(anchor, exit_pt)
+    if exit_d <= 0.0:
+        return None
+    reach = min(reach, exit_d)
+    return Point(anchor.x + reach * direction.x, anchor.y + reach * direction.y)

@@ -1,0 +1,138 @@
+"""Observation history shared across samples (paper §3.2.2).
+
+Static LBS answers never change, so everything a query reveals stays
+true: tuple locations (LR only), full answers at exact points, and —
+crucially for the §3.2.4 lower bound — *known disks*: a query at ``p``
+whose k-th (i.e. last) answer lies at distance ρ certifies that every
+tuple within ρ of ``p`` was returned, hence is known.  When fewer than k
+tuples come back because of a ``max_radius`` service limit, the certified
+radius is ``max_radius`` itself.
+
+:class:`ObservationHistory` also routes queries through a cache keyed on
+the exact location so repeated Theorem-1 vertex tests are free, which is
+legitimate "leveraging history" and is counted the way the paper counts
+queries (only network calls cost budget).
+"""
+
+from __future__ import annotations
+
+import math
+from collections import defaultdict
+from typing import Iterable, Optional
+
+from ..geometry import Disk, Point, distance
+from ..lbs import KnnInterface, QueryAnswer
+
+__all__ = ["DiskLedger", "ObservationHistory"]
+
+
+class DiskLedger:
+    """Known (fully observed) disks with a coarse spatial grid for lookup."""
+
+    def __init__(self, cell_size: float):
+        if cell_size <= 0.0:
+            raise ValueError("cell_size must be positive")
+        self.cell_size = cell_size
+        self._buckets: dict[tuple[int, int], list[Disk]] = defaultdict(list)
+        self.max_radius = 0.0
+        self.count = 0
+
+    def _key(self, p: Point) -> tuple[int, int]:
+        return (int(math.floor(p.x / self.cell_size)), int(math.floor(p.y / self.cell_size)))
+
+    def add(self, disk: Disk) -> None:
+        if disk.radius <= 0.0:
+            return
+        self._buckets[self._key(disk.center)].append(disk)
+        self.max_radius = max(self.max_radius, disk.radius)
+        self.count += 1
+
+    def near(self, center: Point, radius: float) -> list[Disk]:
+        """All stored disks that might intersect ``Disk(center, radius)``."""
+        reach = radius + self.max_radius
+        i0 = int(math.floor((center.x - reach) / self.cell_size))
+        i1 = int(math.floor((center.x + reach) / self.cell_size))
+        j0 = int(math.floor((center.y - reach) / self.cell_size))
+        j1 = int(math.floor((center.y + reach) / self.cell_size))
+        out: list[Disk] = []
+        for i in range(i0, i1 + 1):
+            for j in range(j0, j1 + 1):
+                for d in self._buckets.get((i, j), ()):
+                    if distance(d.center, center) <= radius + d.radius:
+                        out.append(d)
+        return out
+
+
+class ObservationHistory:
+    """Everything learned from the interface so far."""
+
+    def __init__(self, interface: KnnInterface, enabled: bool = True):
+        self.interface = interface
+        #: When False the history is wiped after every sample (the
+        #: LR-LBS-AGG-0/1 ablation variants).
+        self.enabled = enabled
+        self.locations: dict[int, Point] = {}
+        self.attrs: dict[int, dict] = {}
+        region = interface.region
+        self.disks = DiskLedger(cell_size=max(region.width, region.height) / 64.0)
+        self._cache: dict[tuple[float, float], QueryAnswer] = {}
+
+    # ------------------------------------------------------------------
+    @property
+    def queries_used(self) -> int:
+        return self.interface.queries_used
+
+    def known_ids(self) -> set[int]:
+        return set(self.attrs)
+
+    def known_locations(self) -> dict[int, Point]:
+        return dict(self.locations)
+
+    # ------------------------------------------------------------------
+    def query(self, point: Point) -> QueryAnswer:
+        """Issue (or replay) a query and absorb everything it reveals."""
+        key = (point.x, point.y)
+        hit = self._cache.get(key)
+        if hit is not None:
+            return hit
+        answer = self.interface.query(point)
+        self.record(answer)
+        return answer
+
+    def record(self, answer: QueryAnswer) -> None:
+        """Absorb an answer obtained elsewhere."""
+        self._cache[(answer.query.x, answer.query.y)] = answer
+        for r in answer.results:
+            self.attrs.setdefault(r.tid, dict(r.attrs))
+            if r.location is not None:
+                self.locations[r.tid] = r.location
+        radius = self._certified_radius(answer)
+        if radius is not None and radius > 0.0:
+            self.disks.add(Disk(answer.query, radius))
+
+    def _certified_radius(self, answer: QueryAnswer) -> Optional[float]:
+        """Radius around the query point within which *all* tuples are
+        among the returned (None when nothing can be certified)."""
+        k = self.interface.k
+        max_radius = self.interface.max_radius
+        if len(answer.results) < k:
+            # Short answer: every tuple within the service radius was
+            # returned (only possible under a max_radius limit).
+            return max_radius
+        last = answer.results[-1]
+        if last.distance is not None:
+            return last.distance
+        return None  # LNR: distances unknown, nothing certified
+
+    # ------------------------------------------------------------------
+    def cached_answers(self) -> Iterable[QueryAnswer]:
+        return self._cache.values()
+
+    def reset_sample(self) -> None:
+        """Forget everything (used between samples when history is off)."""
+        if not self.enabled:
+            self.locations.clear()
+            self.attrs.clear()
+            self._cache.clear()
+            region = self.interface.region
+            self.disks = DiskLedger(cell_size=max(region.width, region.height) / 64.0)

@@ -1,0 +1,336 @@
+"""LNR Voronoi-cell discovery from ranked answers (paper §4.1-4.2).
+
+Workflow for a tuple ``t`` returned (at rank ≤ h) by a query at ``q0``:
+
+1. **Initial edges** — binary-search along the four cardinal rays from
+   ``q0`` (Algorithm 6 steps 3-4); each transition yields an estimated
+   bisector line oriented toward the inside, accurate to the Appendix-A
+   precision ε (δ and δ' derived from ε per Eq. 9).
+2. **Theorem-1 loop** — build the cell from the estimated bisectors as an
+   arrangement level region (handles the concave top-k case), probe its
+   vertices and piece centroids (pulled inward by ~ε, since estimated
+   edges wobble), and binary-search toward any failing probe to uncover
+   the missing edge.
+3. **Concavity sweep** (k > 1, §4.2) — by Lemma 1 every *inward* vertex
+   is formed by two ``(t, ·)`` bisectors, so the loop additionally
+   enumerates the bisector of ``t`` and every tuple co-listed with it:
+   two probed points that disagree on "is ``t'`` ranked above ``t``"
+   bracket that bisector, and one binary search pins it down.
+4. **Verification pass** — uniform membership spot-checks inside the
+   final region; a failure exposes an over-coverage pocket and re-enters
+   the loop.  This bounds the residual area error stochastically on top
+   of the deterministic ε guarantee of the edges.
+
+The resulting cell is correct up to ε; the estimator bias this induces is
+bounded by Theorem 2 and shrinks arbitrarily as ε → 0 at O(log 1/ε)
+query cost per edge (Corollary 1).
+"""
+
+from __future__ import annotations
+
+import itertools
+from dataclasses import dataclass, field
+from typing import Optional
+
+import numpy as np
+
+from ..geometry import (
+    ConvexPolygon,
+    HalfPlane,
+    LevelRegion,
+    Point,
+    build_level_region,
+    distance,
+    normalize,
+)
+from ..lbs import QueryAnswer
+from ..sampling import PointSampler
+from .config import LnrAggConfig
+from .edge_search import estimate_boundary_line, ray_exit
+from .history import ObservationHistory
+
+__all__ = ["LnrCellOutcome", "LnrCellOracle"]
+
+_CARDINALS = (Point(1.0, 0.0), Point(-1.0, 0.0), Point(0.0, 1.0), Point(0.0, -1.0))
+
+#: Edge-search launches allowed per refinement round (cost valve).
+_MAX_SEARCHES_PER_ROUND = 8
+
+#: Membership spot-checks in the final verification pass.
+_VERIFY_SAMPLES = 8
+
+
+@dataclass
+class LnrCellOutcome:
+    """An estimated top-h cell of an LNR tuple."""
+
+    tid: int
+    h: int
+    region: LevelRegion
+    measure: float
+    inv_prob: float
+    #: constraint key -> displacing tuple id (int keys only), teaching
+    #: localization which neighbour sits behind each edge.
+    edge_neighbours: dict = field(default_factory=dict)
+
+
+@dataclass
+class _Edge:
+    halfplane: HalfPlane
+    two_point: bool
+
+
+class LnrCellOracle:
+    """Discovers top-h cells through a rank-only interface."""
+
+    def __init__(self, history: ObservationHistory, sampler: PointSampler, config: LnrAggConfig):
+        self.history = history
+        self.sampler = sampler
+        self.config = config
+        region = sampler.region
+        self._rect = region
+        self._base = ConvexPolygon.from_rect(region)
+        self._delta, self._delta_prime = config.derived_deltas(region.width, region.height)
+        self._eps = config.edge_error * max(region.width, region.height)
+        self._rng = np.random.default_rng(0x5EED)
+
+    # ------------------------------------------------------------------
+    def compute(self, t_id: int, q0: Point, h: int) -> LnrCellOutcome:
+        cfg = self.config
+        probes: list[tuple[Point, QueryAnswer]] = []
+
+        def probe(x: Point) -> QueryAnswer:
+            ans = self.history.query(x)
+            probes.append((x, ans))
+            return ans
+
+        def member(x: Point) -> bool:
+            return any(res.tid == t_id for res in probe(x).results[:h])
+
+        def tops(x: Point) -> frozenset:
+            return frozenset(res.tid for res in probe(x).results[:h])
+
+        if not member(q0):
+            raise ValueError(f"tuple {t_id} not in the top-{h} answer at the seed point")
+
+        edges: dict[object, _Edge] = {}
+        revisions: dict[object, int] = {}
+        placeholder = itertools.count()
+
+        def add_edge(est, anchor: Point) -> bool:
+            outside_ids = est.token if isinstance(est.token, frozenset) else frozenset()
+            u = _displacing_id(t_id, tops(est.inside_hint), outside_ids)
+            key = u if u is not None else ("edge", next(placeholder))
+            old = edges.get(key)
+            if old is not None and old.two_point and not est.two_point:
+                return False  # never downgrade a two-point estimate
+            if revisions.get(key, 0) >= 8:
+                return False  # stop re-estimation ping-pong on one edge
+            revisions[key] = revisions.get(key, 0) + 1
+            hp = HalfPlane.from_point_direction(
+                est.point, est.direction, inside=anchor, label=key
+            )
+            edges[key] = _Edge(hp, est.two_point)
+            return True
+
+        def search_toward(target: Point) -> bool:
+            est = estimate_boundary_line(
+                member, q0, target, self._delta, self._delta_prime,
+                self._rect, matcher=tops,
+            )
+            if est is None:
+                return False
+            return add_edge(est, q0)
+
+        # 1. Initial edges along the four cardinal rays.
+        for direction in _CARDINALS:
+            far = ray_exit(q0, direction, self._rect)
+            est = estimate_boundary_line(
+                member, q0, far, self._delta, self._delta_prime, self._rect, matcher=tops
+            )
+            if est is not None:
+                add_edge(est, q0)
+
+        # 2/3. Theorem-1 loop with the concavity sweep.
+        attempts: dict[tuple[int, int], int] = {}
+        region = self._region(edges, h, q0)
+        for _round in range(cfg.max_refine_rounds):
+            progress = False
+            all_pass = True
+            searches = 0
+            for target in self._probe_points(region, q0):
+                key = self._vkey(target)
+                if member(target):
+                    continue
+                if attempts.get(key, 0) >= 2 or searches >= _MAX_SEARCHES_PER_ROUND:
+                    continue  # accept ε-level disagreement / rate-limit
+                attempts[key] = attempts.get(key, 0) + 1
+                all_pass = False
+                searches += 1
+                if search_toward(target):
+                    progress = True
+            if h > 1 and self._concavity_sweep(t_id, h, edges, probes, probe):
+                progress = True
+                all_pass = False
+            if all_pass and not progress:
+                # 4. Verification pass: spot-check the interior (richer
+                # top-h cells have more pieces where pockets can hide).
+                region = self._region(edges, h, q0)
+                bad = self._verify(region, member, _VERIFY_SAMPLES * h)
+                if bad is None:
+                    break
+                if not search_toward(bad):
+                    break
+            region = self._region(edges, h, q0)
+
+        region = self._region(edges, h, q0)
+        measure = self.sampler.measure_region(region.polygons())
+        if measure <= 0.0:
+            raise ArithmeticError("estimated LNR cell has zero measure")
+        neighbours = {k: k for k in edges if isinstance(k, int)}
+        return LnrCellOutcome(t_id, h, region, measure, 1.0 / measure, neighbours)
+
+    # ------------------------------------------------------------------
+    def _probe_points(self, region: LevelRegion, q0: Point):
+        """Membership test points: piece vertices pulled toward their
+        piece centroid, plus the centroids themselves.
+
+        Pulling matters twice over: estimated edges wobble by ~ε, and
+        exact cell vertices are ties between tuples — a query right on
+        one is undefined behaviour the paper's general-position assumption
+        rules out.
+        """
+        seen: set[tuple[int, int]] = set()
+        for piece in region.polygons():
+            c = piece.centroid()
+            if piece.contains(c):
+                key = self._vkey(c)
+                if key not in seen:
+                    seen.add(key)
+                    yield c
+            for v in piece.vertices:
+                pulled = self._pull(v, c)
+                key = self._vkey(pulled)
+                if key not in seen:
+                    seen.add(key)
+                    yield pulled
+
+    def _verify(self, region: LevelRegion, member, samples: int = _VERIFY_SAMPLES) -> Optional[Point]:
+        """Uniform spot-checks; returns a failing point or None."""
+        polys = [p for p in region.polygons() if not p.is_empty()]
+        if not polys:
+            return None
+        areas = [p.area() for p in polys]
+        total = sum(areas)
+        for _ in range(samples):
+            u = self._rng.random() * total
+            acc = 0.0
+            chosen = polys[-1]
+            for poly, w in zip(polys, areas):
+                acc += w
+                if u <= acc:
+                    chosen = poly
+                    break
+            x = chosen.sample(self._rng)
+            if not member(x):
+                return x
+        return None
+
+    # ------------------------------------------------------------------
+    def _region(self, edges: dict, h: int, seed: Point) -> LevelRegion:
+        planes = [e.halfplane for e in edges.values()]
+        try:
+            return build_level_region(planes, h - 1, self._base, seed)
+        except ValueError:
+            # Estimated edges can momentarily exclude the seed; drop the
+            # most violated constraints until the seed fits again.
+            scored = sorted(planes, key=lambda hp: hp.value(seed) / hp.scale())
+            while scored and scored[-1].value(seed) > 0.0:
+                scored.pop()
+                try:
+                    return build_level_region(scored, h - 1, self._base, seed)
+                except ValueError:
+                    continue
+            return build_level_region([], h - 1, self._base, seed)
+
+    def _pull(self, v: Point, toward: Point) -> Point:
+        d = distance(v, toward)
+        if d <= 0.0:
+            return v
+        pull = min(self.config.vertex_pull * self._eps, 0.5 * d)
+        step = normalize(toward - v)
+        return Point(v.x + pull * step.x, v.y + pull * step.y)
+
+    def _vkey(self, v: Point) -> tuple[int, int]:
+        q = 1e-6 * max(self._rect.width, self._rect.height)
+        return (round(v.x / q), round(v.y / q))
+
+    # ------------------------------------------------------------------
+    def _concavity_sweep(self, t_id: int, h: int, edges: dict, probes, probe) -> bool:
+        """§4.2: enumerate the (t, t') bisector for every co-listed t'.
+
+        Returns True when a new bisector was added.
+        """
+        colisted: set[int] = set()
+        inside_points: list[tuple[Point, QueryAnswer]] = []
+        for x, ans in probes:
+            rank = ans.rank_of(t_id)
+            if rank is not None and rank <= h:
+                inside_points.append((x, ans))
+                colisted.update(tid for tid in ans.tids() if tid != t_id)
+
+        added = False
+        for u in sorted(colisted):
+            if u in edges:
+                continue
+            # Two inside points disagreeing on "u ranked above t" bracket
+            # the (t, u) bisector.
+            above = [x for x, ans in inside_points if ans.ranked_before(u, t_id)]
+            below = [x for x, ans in inside_points if not ans.ranked_before(u, t_id)]
+            if not above or not below:
+                continue
+            # Maximize the bracket length: short brackets force the
+            # perpendicular fallback (see edge_search) and lose accuracy.
+            anchor, far = max(
+                ((b, a) for b in below[:20] for a in above[:20]),
+                key=lambda pair: distance(pair[0], pair[1]),
+            )
+
+            def t_side(x: Point, _u=u) -> bool:
+                return not probe(x).ranked_before(_u, t_id)
+
+            def presence(x: Point, _u=u) -> tuple[bool, bool]:
+                ans = probe(x)
+                return (ans.contains(t_id), ans.contains(_u))
+
+            est = estimate_boundary_line(
+                t_side, anchor, far, self._delta, self._delta_prime, self._rect,
+                matcher=presence,
+            )
+            if est is None:
+                continue
+            # Accept only genuine (t, u) flips.  Two legitimate patterns:
+            # an internal rank swap (both present on both sides) or a cell
+            # boundary crossing (t k-th inside, u k-th outside).  Both
+            # require t present on the inside and u present on the
+            # outside; anything else is a presence boundary of u against
+            # some third tuple, and labelling it (t, u) poisons the cell.
+            token_ok = isinstance(est.token, tuple) and est.token[1]
+            if not token_ok or not presence(est.inside_hint)[0]:
+                continue
+            edges[u] = _Edge(
+                HalfPlane.from_point_direction(est.point, est.direction, inside=anchor, label=u),
+                est.two_point,
+            )
+            added = True
+        return added
+
+
+def _displacing_id(t_id: int, inside_ids: frozenset, outside_ids: frozenset) -> Optional[int]:
+    """The tuple that replaces ``t`` across an edge, when identifiable."""
+    gained = [u for u in outside_ids - inside_ids if u != t_id]
+    if len(gained) == 1:
+        return gained[0]
+    if gained:
+        return min(gained)
+    return None

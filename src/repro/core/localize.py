@@ -1,0 +1,210 @@
+"""Tuple position inference over LNR interfaces (paper §4.3).
+
+Even a rank-only service leaks exact tuple positions.  At any vertex
+``o`` of the top-1 Voronoi cell of ``t`` three bisectors meet: the two
+cell edges ``d1 = bis(t, t2)`` and ``d3 = bis(t, t3)``, plus
+``d2 = bis(t2, t3)`` which also passes through ``o`` (all three tuples
+are equidistant from ``o``).  Because a bisector through ``o`` halves the
+angle between the rays to its two tuples, the direction from ``o`` to
+``t`` is determined by the three edge directions alone:
+
+    let θ_a, θ_b = angles of the two cell-edge directions at o
+        γ        = interior angle (θ_b - θ_a, CCW)
+        β        = angle of the line d2 (mod π)
+    then the ray to t leaves o at   θ_a + β_a,
+        where β_a = (θ_a + γ - β) mod π   (lies in (0, γ)).
+
+(Derivation: reflecting the ray-to-t across each edge gives the rays to
+t2/t3, and d2 is their internal bisector; DESIGN.md walks the algebra.)
+
+``d2`` itself is recovered with one angular binary search on a small
+circle around ``o`` — the transition between the ``t2``-zone and the
+``t3``-zone.  Two vertices give two rays; their intersection is ``t``.
+
+Against obfuscating services (WeChat) the method converges to the
+*effective* position, so the residual error equals the obfuscation
+radius — exactly the Fig-21 phenomenology.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+from typing import Optional
+
+from ..geometry import Point, cross, distance, normalize
+from .config import LnrAggConfig
+from .history import ObservationHistory
+from .lnr_cell import LnrCellOracle, LnrCellOutcome
+
+__all__ = ["LocalizationResult", "TupleLocalizer"]
+
+_TWO_PI = 2.0 * math.pi
+
+
+@dataclass
+class LocalizationResult:
+    tid: int
+    location: Point
+    #: Number of vertex-ray constructions that agreed.
+    rays_used: int
+    fallback: bool
+
+
+class TupleLocalizer:
+    """Infers tuple locations through a rank-only interface."""
+
+    def __init__(self, history: ObservationHistory, cell_oracle: LnrCellOracle,
+                 config: Optional[LnrAggConfig] = None):
+        self.history = history
+        self.oracle = cell_oracle
+        self.config = config if config is not None else cell_oracle.config
+        region = cell_oracle.sampler.region
+        self._scale = max(region.width, region.height)
+
+    # ------------------------------------------------------------------
+    def locate(self, t_id: int, q0: Point, cell: Optional[LnrCellOutcome] = None) -> LocalizationResult:
+        """Infer the position of tuple ``t_id`` (seen in the answer at
+        ``q0``).  ``cell`` may pass in an already-computed top-1 cell."""
+        if cell is None:
+            cell = self.oracle.compute(t_id, q0, h=1)
+        poly = cell.region.pieces.get(frozenset())
+        if poly is None or len(poly.vertices) < 3:
+            return LocalizationResult(t_id, q0, 0, fallback=True)
+
+        rays: list[tuple[Point, Point]] = []
+        n = len(poly.vertices)
+        for i in range(n):
+            if len(rays) >= 4:
+                break
+            ray = self._vertex_ray(cell, poly, i, t_id)
+            if ray is not None:
+                rays.append(ray)
+        if len(rays) < 2:
+            # Too few usable vertices (cell hugging the bounding box, or
+            # failed d2 walks): the centroid bounds the error by the cell
+            # radius — the long tail of the paper's Fig. 21.
+            centroid = poly.centroid()
+            return LocalizationResult(t_id, centroid, len(rays), fallback=True)
+
+        # Candidate positions: pairwise ray intersections that land inside
+        # the cell (t must lie in its own Voronoi cell).  With 3+ rays,
+        # prefer the candidate that agrees best with every ray — a single
+        # bad d2-search then gets outvoted.
+        tol = 1e-4 * self._scale
+        candidates: list[Point] = []
+        for i in range(len(rays)):
+            for j in range(i + 1, len(rays)):
+                hit = _ray_intersection(rays[i], rays[j])
+                if hit is not None and poly.contains(hit, tol=tol):
+                    candidates.append(hit)
+        if not candidates:
+            centroid = poly.centroid()
+            return LocalizationResult(t_id, centroid, len(rays), fallback=True)
+        best = min(candidates, key=lambda p: _ray_disagreement(p, rays))
+        return LocalizationResult(t_id, best, len(rays), fallback=False)
+
+    # ------------------------------------------------------------------
+    def _vertex_ray(self, cell: LnrCellOutcome, poly, i: int, t_id: int) -> Optional[tuple[Point, Point]]:
+        """The ray from vertex ``i`` toward ``t`` (None if unusable)."""
+        n = len(poly.vertices)
+        o = poly.vertices[i]
+        v_next = poly.vertices[(i + 1) % n]
+        v_prev = poly.vertices[(i - 1) % n]
+        lbl_next = self._edge_tid(cell, poly.edge_labels[i])
+        lbl_prev = self._edge_tid(cell, poly.edge_labels[(i - 1) % n])
+        if lbl_next is None or lbl_prev is None or lbl_next == lbl_prev:
+            return None  # bounding-box edge or unidentified neighbour
+
+        e_a = normalize(v_next - o)     # along the edge whose neighbour is lbl_next
+        e_b = normalize(v_prev - o)     # along the edge whose neighbour is lbl_prev
+        theta_a = math.atan2(e_a.y, e_a.x)
+        gamma = (math.atan2(e_b.y, e_b.x) - theta_a) % _TWO_PI
+        if not 1e-3 < gamma < math.pi - 1e-3:
+            return None  # degenerate or reflex interior angle
+
+        radius = 0.25 * min(distance(o, v_next), distance(o, v_prev))
+        radius = max(radius, 4.0 * self.oracle._delta)
+        beta = self._find_d2_angle(o, radius, theta_a, gamma, lbl_next, lbl_prev)
+        if beta is None:
+            return None
+        beta_a = (theta_a + gamma - beta) % math.pi
+        if not 1e-3 < beta_a < gamma - 1e-3:
+            return None
+        rho = theta_a + beta_a
+        return o, Point(math.cos(rho), math.sin(rho))
+
+    def _edge_tid(self, cell: LnrCellOutcome, label) -> Optional[int]:
+        if isinstance(label, int) and 0 <= label < len(cell.region.constraints):
+            user = cell.region.constraints[label].label
+            return user if isinstance(user, int) else None
+        return None
+
+    # ------------------------------------------------------------------
+    def _find_d2_angle(
+        self, o: Point, radius: float, theta_a: float, gamma: float,
+        id_a: int, id_b: int,
+    ) -> Optional[float]:
+        """Angle (mod π) of the bisector of the two neighbour tuples.
+
+        Walks the circle of ``radius`` around ``o`` in the *exterior*
+        sector: just outside edge a the top answer is ``id_a``, just
+        outside edge b it is ``id_b``; the transition between those zones
+        is ``d2``.
+        """
+        def top1(phi: float) -> Optional[int]:
+            p = Point(o.x + radius * math.cos(phi), o.y + radius * math.sin(phi))
+            ans = self.history.query(p)
+            top = ans.top()
+            return top.tid if top is not None else None
+
+        theta_b = theta_a + gamma
+        exterior = _TWO_PI - gamma  # from theta_b CCW to theta_a + 2π
+        phi_a = phi_b = None
+        for frac in (0.08, 0.2, 0.4):
+            if phi_a is None and top1(theta_a - frac * exterior) == id_a:
+                phi_a = theta_a - frac * exterior
+            if phi_b is None and top1(theta_b + frac * exterior) == id_b:
+                phi_b = theta_b + frac * exterior
+        if phi_a is None or phi_b is None:
+            return None
+
+        # Binary search the transition on the arc from phi_b (id_b zone,
+        # CCW) toward phi_a (≡ phi_a + 2π side).
+        lo = phi_b                    # id_b zone
+        hi = phi_a + _TWO_PI          # id_a zone
+        if hi <= lo:
+            return None
+        tol = max(self.oracle._delta / radius, 1e-6)
+        while hi - lo > tol:
+            mid = (lo + hi) / 2.0
+            tid = top1(mid)
+            if tid == id_b:
+                lo = mid
+            else:
+                hi = mid
+        return ((lo + hi) / 2.0) % math.pi
+
+
+def _ray_disagreement(p: Point, rays: list[tuple[Point, Point]]) -> float:
+    """Sum of perpendicular distances from ``p`` to every ray's line."""
+    total = 0.0
+    for origin, direction in rays:
+        diff = p - origin
+        total += abs(cross(diff, direction))
+    return total
+
+
+def _ray_intersection(r1: tuple[Point, Point], r2: tuple[Point, Point]) -> Optional[Point]:
+    """Intersection of two rays (origin, unit direction); None when
+    parallel or behind either origin."""
+    (o1, d1), (o2, d2) = r1, r2
+    denom = cross(d1, d2)
+    if abs(denom) < 1e-12:
+        return None
+    diff = o2 - o1
+    t1 = cross(diff, d2) / denom
+    t2 = cross(diff, d1) / denom
+    if t1 <= 0.0 or t2 <= 0.0:
+        return None
+    return Point(o1.x + t1 * d1.x, o1.y + t1 * d1.y)

@@ -1,0 +1,165 @@
+"""LR-LBS-AGG — unbiased aggregate estimation over LR-LBS (Algorithm 5).
+
+Each *sample* is one random query point ``q`` drawn from the configured
+density.  Every returned tuple ``ti`` (rank i) for which the chosen
+``h(ti) ≥ i`` contributes ``Q(ti) / p(ti)`` where ``p(ti)`` is the exact
+(or MC-estimated, §3.2.4) measure of its top-h Voronoi cell:
+
+    estimate per sample  =  Σ_{ti : i ≤ h(ti)}  Q(ti) · inv_prob(ti)
+
+(the paper's Eq. 2; the printed index condition ``h(ti) ≤ i`` is a typo —
+``q`` lies in ``V_h(ti)`` precisely when ``i ≤ h(ti)``, see DESIGN.md).
+
+The sample mean of these contributions is a completely unbiased COUNT or
+SUM estimate; AVG is the ratio of the SUM and COUNT streams over shared
+samples.  Selection conditions: pass-through conditions should be applied
+by handing a ``interface.filtered(...)`` view to this class; post-process
+conditions ride along in the :class:`~repro.core.aggregates.AggregateQuery`.
+
+Exact cells are cached across samples (their measure is a fixed quantity;
+re-deriving it would waste budget) — another face of "leveraging
+history"; MC inv-prob estimates are cached as well, which preserves
+unbiasedness because the cached randomness is independent of later sample
+indicators.
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+import numpy as np
+
+from ..geometry import Point
+from ..lbs import BudgetExhausted, KnnInterface
+from ..sampling import PointSampler
+from ..stats import EstimationResult, RatioStat, RunningStat, TracePoint
+from .aggregates import AggregateQuery
+from .config import LrAggConfig
+from .history import ObservationHistory
+from .variance import AdaptiveHSelector
+from .voronoi_oracle import TopHCellOracle
+
+__all__ = ["LrLbsAgg"]
+
+
+class LrLbsAgg:
+    """The paper's LR-LBS-AGG estimator."""
+
+    def __init__(
+        self,
+        interface: KnnInterface,
+        sampler: PointSampler,
+        query: AggregateQuery,
+        config: Optional[LrAggConfig] = None,
+        seed: int = 0,
+    ):
+        if not interface.returns_location:
+            raise ValueError("LrLbsAgg requires a location-returning interface")
+        self.interface = interface
+        self.sampler = sampler
+        self.query = query
+        self.config = config if config is not None else LrAggConfig()
+        self.rng = np.random.default_rng(seed)
+        self.history = ObservationHistory(interface, enabled=self.config.use_history)
+        self.oracle = TopHCellOracle(self.history, sampler, self.config, self.rng)
+        self.selector = AdaptiveHSelector(self.oracle, interface.k, self.config)
+        self._stat = RunningStat()
+        self._ratio = RatioStat()
+        self._trace: list[TracePoint] = []
+        self._cell_cache: dict[tuple[int, int], float] = {}
+        self._h_cache: dict[int, int] = {}
+
+    # ------------------------------------------------------------------
+    @property
+    def samples(self) -> int:
+        return self._ratio.n if self.query.is_ratio else self._stat.n
+
+    def estimate(self) -> float:
+        if self.query.is_ratio:
+            return self._ratio.estimate()
+        return self._stat.mean
+
+    # ------------------------------------------------------------------
+    def sample_once(self) -> tuple[float, float]:
+        """Draw one sample; returns its (numerator, denominator) pair."""
+        self.history.reset_sample()
+        # Snapshot past-only observations: the adaptive-h rule may not see
+        # the current answer (see the unbiasedness note in variance.py).
+        past_locations = dict(self.history.locations) if self.config.adaptive_h else None
+        q = self.sampler.sample(self.rng)
+        answer = self.history.query(q)
+        num = 0.0
+        den = 0.0
+        if answer.is_empty():
+            return num, den  # max-radius miss contributes 0 (§5.3)
+        init_radius = self._init_radius(answer)
+        for res in answer.results:
+            # h per tuple is frozen at first sight (cheap, and the Eq. 2
+            # argument only needs h to be independent of future samples).
+            h = self._h_cache.get(res.tid)
+            if h is None:
+                h = self.selector.choose(res.location, past_locations)
+                self._h_cache[res.tid] = h
+            if res.rank > h:
+                continue
+            inv_prob = self._inv_prob(res.tid, res.location, h, init_radius)
+            num += self.query.numerator(res.attrs, res.location) * inv_prob
+            den += self.query.denominator(res.attrs, res.location) * inv_prob
+        return num, den
+
+    def _inv_prob(self, tid: int, loc: Point, h: int, init_radius: Optional[float]) -> float:
+        key = (tid, h)
+        if self.config.use_history and key in self._cell_cache:
+            return self._cell_cache[key]
+        outcome = self.oracle.compute(tid, loc, h, init_radius)
+        if outcome.exact:
+            self.selector.observe_measure(outcome.measure)
+        if self.config.use_history:
+            self._cell_cache[key] = outcome.inv_prob
+        return outcome.inv_prob
+
+    def _init_radius(self, answer) -> Optional[float]:
+        last = answer.results[-1]
+        if last.distance is not None and last.distance > 0.0:
+            return self.config.fast_init_factor * last.distance
+        if self.interface.max_radius is not None:
+            return self.interface.max_radius
+        return None
+
+    # ------------------------------------------------------------------
+    def run(
+        self,
+        max_queries: Optional[int] = None,
+        n_samples: Optional[int] = None,
+    ) -> EstimationResult:
+        """Run until the query budget or sample count is exhausted.
+
+        ``max_queries`` counts *total* interface queries, including those
+        spent inside cell computations.  A sample interrupted by budget
+        exhaustion is discarded (its partial queries still count, as they
+        would against a real rate limit).
+        """
+        if max_queries is None and n_samples is None:
+            raise ValueError("provide max_queries and/or n_samples")
+        start = self.interface.queries_used
+        while True:
+            if n_samples is not None and self.samples >= n_samples:
+                break
+            if max_queries is not None and self.interface.queries_used - start >= max_queries:
+                break
+            try:
+                num, den = self.sample_once()
+            except BudgetExhausted:
+                break
+            self._stat.push(num)
+            self._ratio.push(num, den)
+            self._trace.append(
+                TracePoint(self.interface.queries_used - start, self.samples, self.estimate())
+            )
+        return EstimationResult(
+            estimate=self.estimate(),
+            queries=self.interface.queries_used - start,
+            samples=self.samples,
+            stat=self._ratio.numerator if self.query.is_ratio else self._stat,
+            trace=list(self._trace),
+        )

@@ -1,0 +1,170 @@
+"""LR-LBS-NNO — the nearest-neighbour-oracle baseline (paper's [10]).
+
+Reimplementation (from the paper's description) of the Dalvi et al.
+KDD'11 approach the paper compares against:
+
+* sample a random location, take the *top-1* tuple ``t`` (the remaining
+  k-1 answers are ignored — one of the criticized inefficiencies);
+* estimate the **area** of ``V(t)`` by Monte-Carlo: grow a probe box
+  around ``t`` until its boundary stops answering ``t``, then throw
+  uniform probes into the box and count the fraction landing in the cell;
+* weight ``Q(t)`` by the *approximate* inverse selection probability.
+
+Because ``E[1/ê] ≠ 1/E[ê]``, the plug-in inverse is biased, and the
+per-sample probe budget makes every sample expensive — exactly the two
+failure modes Figures 12/14-17 display.  Probe counts and box-growth
+parameters are configurable so experiments can use the most favourable
+settings, mirroring the paper's tuning courtesy.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Optional
+
+import numpy as np
+
+from ..geometry import Point
+from ..lbs import BudgetExhausted, KnnInterface
+from ..sampling import PointSampler
+from ..stats import EstimationResult, RatioStat, RunningStat, TracePoint
+from .aggregates import AggregateQuery
+
+__all__ = ["NnoConfig", "LrLbsNno"]
+
+
+@dataclass(frozen=True)
+class NnoConfig:
+    """Tuning of the NNO baseline."""
+
+    #: Uniform probes thrown into the final box per sample.
+    area_probes: int = 24
+    #: Boundary probes per box-growth round.
+    boundary_probes: int = 6
+    #: Maximum box-doubling rounds.
+    max_doublings: int = 8
+    #: Initial box half-width as a multiple of d(q, t).
+    initial_factor: float = 2.0
+
+
+class LrLbsNno:
+    """The baseline estimator (biased, top-1 only, probe-hungry)."""
+
+    def __init__(
+        self,
+        interface: KnnInterface,
+        sampler: PointSampler,
+        query: AggregateQuery,
+        config: Optional[NnoConfig] = None,
+        seed: int = 0,
+    ):
+        if not interface.returns_location:
+            raise ValueError("the NNO baseline needs tuple locations")
+        self.interface = interface
+        self.sampler = sampler
+        self.query = query
+        self.config = config if config is not None else NnoConfig()
+        self.rng = np.random.default_rng(seed)
+        self._stat = RunningStat()
+        self._ratio = RatioStat()
+        self._trace: list[TracePoint] = []
+
+    # ------------------------------------------------------------------
+    @property
+    def samples(self) -> int:
+        return self._ratio.n if self.query.is_ratio else self._stat.n
+
+    def estimate(self) -> float:
+        if self.query.is_ratio:
+            return self._ratio.estimate()
+        return self._stat.mean
+
+    # ------------------------------------------------------------------
+    def _returns_t(self, point: Point, tid: int) -> bool:
+        answer = self.interface.query(point)
+        top = answer.top()
+        return top is not None and top.tid == tid
+
+    def sample_once(self) -> tuple[float, float]:
+        cfg = self.config
+        region = self.sampler.region
+        q = self.sampler.sample(self.rng)
+        answer = self.interface.query(q)
+        top = answer.top()
+        if top is None:
+            return 0.0, 0.0
+        t_loc = top.location
+        d0 = max(top.distance or 0.0, 1e-6 * max(region.width, region.height))
+
+        # Grow the probe box until its boundary no longer answers t.
+        half = cfg.initial_factor * d0
+        for _ in range(cfg.max_doublings):
+            on_boundary = False
+            for i in range(cfg.boundary_probes):
+                theta = 2.0 * np.pi * (i + self.rng.random()) / cfg.boundary_probes
+                p = Point(
+                    t_loc.x + half * float(np.cos(theta)) * 1.4142,
+                    t_loc.y + half * float(np.sin(theta)) * 1.4142,
+                )
+                p = region.clamp(p)
+                if self._returns_t(p, top.tid):
+                    on_boundary = True
+                    break
+            if not on_boundary:
+                break
+            half *= 2.0
+
+    # Clip the box to the experiment region so probes stay meaningful.
+        x0 = max(t_loc.x - half, region.x0)
+        x1 = min(t_loc.x + half, region.x1)
+        y0 = max(t_loc.y - half, region.y0)
+        y1 = min(t_loc.y + half, region.y1)
+        box_area = max(x1 - x0, 0.0) * max(y1 - y0, 0.0)
+
+        hits = 0
+        for _ in range(cfg.area_probes):
+            p = Point(
+                x0 + self.rng.random() * (x1 - x0),
+                y0 + self.rng.random() * (y1 - y0),
+            )
+            if self._returns_t(p, top.tid):
+                hits += 1
+        # Plug-in inverse of the area estimate: the source of the bias.
+        frac = max(hits, 1) / cfg.area_probes
+        p_hat = frac * box_area / region.area
+        inv_prob = 1.0 / p_hat
+
+        num = self.query.numerator(top.attrs, top.location) * inv_prob
+        den = self.query.denominator(top.attrs, top.location) * inv_prob
+        return num, den
+
+    # ------------------------------------------------------------------
+    def run(
+        self,
+        max_queries: Optional[int] = None,
+        n_samples: Optional[int] = None,
+    ) -> EstimationResult:
+        if max_queries is None and n_samples is None:
+            raise ValueError("provide max_queries and/or n_samples")
+        start = self.interface.queries_used
+        while True:
+            if n_samples is not None and self.samples >= n_samples:
+                break
+            if max_queries is not None and self.interface.queries_used - start >= max_queries:
+                break
+            try:
+                num, den = self.sample_once()
+            except BudgetExhausted:
+                break
+            self._stat.push(num)
+            self._ratio.push(num, den)
+            self._trace.append(
+                TracePoint(self.interface.queries_used - start, self.samples, self.estimate())
+            )
+        return EstimationResult(
+            estimate=self.estimate(),
+            queries=self.interface.queries_used - start,
+            samples=self.samples,
+            stat=self._ratio.numerator if self.query.is_ratio else self._stat,
+            trace=list(self._trace),
+        )

@@ -1,0 +1,26 @@
+"""Synthetic geo datasets standing in for OSM / Google Maps / US Census."""
+
+from .census import PopulationGrid
+from .cities import City, CityModel
+from .pois import PoiConfig, generate_poi_database, is_brand, is_category
+from .regions import AUSTIN_BOX, CHINA_BOX, UNIT_BOX, US_BOX, subrect
+from .users import WECHAT_LIKE, WEIBO_LIKE, UserConfig, generate_user_database
+
+__all__ = [
+    "City",
+    "CityModel",
+    "PopulationGrid",
+    "PoiConfig",
+    "generate_poi_database",
+    "is_category",
+    "is_brand",
+    "UserConfig",
+    "generate_user_database",
+    "WECHAT_LIKE",
+    "WEIBO_LIKE",
+    "US_BOX",
+    "AUSTIN_BOX",
+    "CHINA_BOX",
+    "UNIT_BOX",
+    "subrect",
+]

@@ -1,0 +1,103 @@
+"""Census-like population raster (the paper's external knowledge, §5.2).
+
+The real system consults US-Census population density to bias the query
+distribution.  We build the analogous artifact from the city model — a
+rectangular grid of non-negative weights — optionally corrupted with
+multiplicative noise to emulate *inaccurate* external knowledge (the
+estimators must stay unbiased regardless; only variance changes).
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+import numpy as np
+
+from ..geometry import Point, Rect
+from .cities import CityModel
+
+__all__ = ["PopulationGrid"]
+
+
+class PopulationGrid:
+    """A piecewise-constant density over ``region`` on an ``nx`` x ``ny`` grid.
+
+    ``weights[i, j]`` is proportional to the probability mass of cell
+    ``(i, j)`` (column i along x, row j along y).  The induced *density*
+    is ``f(q) = weights[cell(q)] / (total_weight * cell_area)``, which
+    integrates to 1 over the region.
+    """
+
+    def __init__(self, region: Rect, weights: np.ndarray):
+        if weights.ndim != 2:
+            raise ValueError("weights must be 2-D (nx, ny)")
+        if np.any(weights < 0.0) or not np.all(np.isfinite(weights)):
+            raise ValueError("weights must be finite and non-negative")
+        total = float(weights.sum())
+        if total <= 0.0:
+            raise ValueError("weights must have positive total mass")
+        self.region = region
+        self.weights = weights.astype(float)
+        self.nx, self.ny = weights.shape
+        self.cell_w = region.width / self.nx
+        self.cell_h = region.height / self.ny
+        self.total = total
+        self._flat_probs = (self.weights / total).ravel()
+
+    # ------------------------------------------------------------------
+    @staticmethod
+    def from_city_model(
+        model: CityModel,
+        nx: int = 64,
+        ny: int = 40,
+        noise: float = 0.0,
+        rng: Optional[np.random.Generator] = None,
+    ) -> "PopulationGrid":
+        """Rasterize the city-model density at cell centres.
+
+        ``noise`` > 0 multiplies every cell by ``LogNormal(0, noise)`` —
+        the knob for "external knowledge is off by a lot".
+        """
+        region = model.region
+        weights = np.empty((nx, ny))
+        for i in range(nx):
+            for j in range(ny):
+                cx = region.x0 + (i + 0.5) * region.width / nx
+                cy = region.y0 + (j + 0.5) * region.height / ny
+                weights[i, j] = model.density(Point(cx, cy))
+        if noise > 0.0:
+            if rng is None:
+                rng = np.random.default_rng(0)
+            weights *= rng.lognormal(0.0, noise, size=weights.shape)
+        return PopulationGrid(region, weights)
+
+    @staticmethod
+    def uniform(region: Rect, nx: int = 1, ny: int = 1) -> "PopulationGrid":
+        return PopulationGrid(region, np.ones((nx, ny)))
+
+    # ------------------------------------------------------------------
+    def cell_of(self, p: Point) -> tuple[int, int]:
+        """Grid cell containing ``p`` (clamped to the region)."""
+        i = int((p.x - self.region.x0) / self.cell_w)
+        j = int((p.y - self.region.y0) / self.cell_h)
+        return min(max(i, 0), self.nx - 1), min(max(j, 0), self.ny - 1)
+
+    def cell_rect(self, i: int, j: int) -> Rect:
+        x0 = self.region.x0 + i * self.cell_w
+        y0 = self.region.y0 + j * self.cell_h
+        return Rect(x0, y0, x0 + self.cell_w, y0 + self.cell_h)
+
+    def cell_area(self) -> float:
+        return self.cell_w * self.cell_h
+
+    def density(self, p: Point) -> float:
+        """Probability density at ``p`` (integrates to 1 over the region)."""
+        i, j = self.cell_of(p)
+        return self.weights[i, j] / (self.total * self.cell_area())
+
+    def sample_point(self, rng: np.random.Generator) -> Point:
+        """Draw a point from the grid density."""
+        flat = int(rng.choice(self.nx * self.ny, p=self._flat_probs))
+        i, j = divmod(flat, self.ny)
+        cell = self.cell_rect(i, j)
+        return cell.sample(rng)

@@ -1,0 +1,35 @@
+"""Named experiment regions.
+
+The paper works in longitude/latitude; we work on a planar box in
+kilometres (the algorithms only need a metric plane — see DESIGN.md §3).
+``US_BOX`` approximates the continental US extent (~4500 x 2800 km),
+``AUSTIN_BOX`` a metropolitan sub-rectangle used by the Fig-17 AVG query,
+and ``CHINA_BOX`` the WeChat/Weibo experiments' region.
+"""
+
+from __future__ import annotations
+
+from ..geometry import Rect
+
+__all__ = ["US_BOX", "AUSTIN_BOX", "CHINA_BOX", "UNIT_BOX", "subrect"]
+
+US_BOX = Rect(0.0, 0.0, 4500.0, 2800.0)
+
+#: A metro-sized window placed in the south-central part of ``US_BOX``
+#: (stands in for Austin, TX in the AVG(rating) experiment).
+AUSTIN_BOX = Rect(2200.0, 600.0, 2360.0, 760.0)
+
+CHINA_BOX = Rect(0.0, 0.0, 5000.0, 3500.0)
+
+#: Small box for unit tests.
+UNIT_BOX = Rect(0.0, 0.0, 100.0, 100.0)
+
+
+def subrect(region: Rect, fx0: float, fy0: float, fx1: float, fy1: float) -> Rect:
+    """Fractional sub-rectangle of ``region`` (each f in [0, 1])."""
+    return Rect(
+        region.x0 + fx0 * region.width,
+        region.y0 + fy0 * region.height,
+        region.x0 + fx1 * region.width,
+        region.y0 + fy1 * region.height,
+    )

@@ -1,0 +1,58 @@
+"""Experiment modules regenerating every figure and table of §6.
+
+Each module exposes ``run(...) -> ExperimentTable`` (Table 1 also returns
+its ground truths).  ``python -m repro.experiments`` runs the whole
+battery and prints the tables; individual benchmarks under
+``benchmarks/`` wrap the same functions.
+"""
+
+from . import (
+    fig11_voronoi_map,
+    fig12_unbiasedness,
+    fig13_weighted_sampling,
+    fig14_count_schools,
+    fig15_count_restaurants,
+    fig16_sum_enrollment,
+    fig17_avg_rating_austin,
+    fig18_db_size,
+    fig19_vary_k,
+    fig20_ablation,
+    fig21_localization,
+    table1_online,
+)
+from .harness import (
+    DEFAULT_TARGETS,
+    SMALL_BOX,
+    ExperimentTable,
+    World,
+    cost_to_reach,
+    poi_world,
+    user_world,
+)
+
+#: Registry used by the CLI runner and the benchmark suite.
+ALL_EXPERIMENTS = {
+    "fig11": fig11_voronoi_map.run,
+    "fig12": fig12_unbiasedness.run,
+    "fig13": fig13_weighted_sampling.run,
+    "fig14": fig14_count_schools.run,
+    "fig15": fig15_count_restaurants.run,
+    "fig16": fig16_sum_enrollment.run,
+    "fig17": fig17_avg_rating_austin.run,
+    "fig18": fig18_db_size.run,
+    "fig19": fig19_vary_k.run,
+    "fig20": fig20_ablation.run,
+    "fig21": fig21_localization.run,
+    "table1": table1_online.run,
+}
+
+__all__ = [
+    "ALL_EXPERIMENTS",
+    "ExperimentTable",
+    "World",
+    "poi_world",
+    "user_world",
+    "cost_to_reach",
+    "DEFAULT_TARGETS",
+    "SMALL_BOX",
+]

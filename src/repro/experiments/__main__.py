@@ -1,0 +1,31 @@
+"""Run the experiment battery: ``python -m repro.experiments [names...]``.
+
+Without arguments every figure/table is regenerated at the default
+(laptop) scale; pass experiment names (``fig14 table1 ...``) to select.
+"""
+
+from __future__ import annotations
+
+import sys
+import time
+
+from . import ALL_EXPERIMENTS
+
+
+def main(argv: list[str]) -> int:
+    names = argv or list(ALL_EXPERIMENTS)
+    unknown = [n for n in names if n not in ALL_EXPERIMENTS]
+    if unknown:
+        print(f"unknown experiments: {unknown}; available: {list(ALL_EXPERIMENTS)}")
+        return 2
+    for name in names:
+        start = time.time()
+        out = ALL_EXPERIMENTS[name]()
+        table = out[0] if isinstance(out, tuple) else out
+        table.show()
+        print(f"[{name} done in {time.time() - start:.1f}s]\n")
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main(sys.argv[1:]))

@@ -1,0 +1,26 @@
+"""Figure 16 — query cost vs relative error for SUM(school enrollment)."""
+
+from __future__ import annotations
+
+from typing import Optional
+
+from ..core import AggregateQuery
+from ..datasets import is_category
+from .cost_vs_error import cost_vs_error_table
+from .harness import ExperimentTable, World, poi_world
+
+__all__ = ["run"]
+
+
+def run(world: Optional[World] = None, n_runs: int = 3, max_queries: int = 4000,
+        seed: int = 0) -> ExperimentTable:
+    if world is None:
+        world = poi_world()
+    query = AggregateQuery.sum(
+        "enrollment", lambda attrs, _loc: attrs.get("category") == "school"
+    )
+    truth = world.db.ground_truth_sum("enrollment", is_category("school"))
+    return cost_vs_error_table(
+        "Figure 16 — SUM(enrollment) over schools: query cost vs relative error",
+        world, query, truth, n_runs=n_runs, max_queries=max_queries, seed=seed,
+    )

@@ -1,0 +1,53 @@
+"""Figure 17 — AVG(restaurant rating) in an Austin-like sub-region.
+
+The aggregate carries a *location-dependent* selection condition (the
+metro box).  LR estimators read locations straight off the answers; the
+LNR estimator must invoke §4.3 position inference, making this the most
+expensive figure — exactly as in the paper.
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+from ..core import AggregateQuery
+from ..datasets import is_category, subrect
+from ..geometry import Rect
+from ..sampling import UniformSampler
+from .cost_vs_error import cost_vs_error_table
+from .harness import ExperimentTable, World, poi_world
+
+__all__ = ["run", "metro_box"]
+
+
+def metro_box(world: World) -> Rect:
+    """A metro-sized window with enough restaurants to average over."""
+    return subrect(world.region, 0.25, 0.25, 0.75, 0.75)
+
+
+def run(world: Optional[World] = None, n_runs: int = 2, max_queries: int = 4000,
+        include_lnr: bool = True, seed: int = 0) -> ExperimentTable:
+    if world is None:
+        world = poi_world()
+    box = metro_box(world)
+
+    def in_metro(attrs, loc) -> bool:
+        return (
+            attrs.get("category") == "restaurant"
+            and loc is not None
+            and box.contains(loc)
+        )
+
+    query = AggregateQuery.avg("rating", in_metro, needs_location=True)
+    truth = world.db.ground_truth_avg(
+        "rating",
+        lambda t: is_category("restaurant")(t) and box.contains(t.location),
+    )
+    return cost_vs_error_table(
+        "Figure 17 — AVG(rating), restaurants in the metro box",
+        world, query, truth,
+        targets=(0.3, 0.2, 0.15, 0.1, 0.05),
+        n_runs=n_runs, max_queries=max_queries,
+        sampler=UniformSampler(box),
+        include_lnr=include_lnr, seed=seed,
+    )

@@ -1,0 +1,76 @@
+"""Figure 19 — query cost at fixed error vs the h used (1..k, adaptive).
+
+With a top-k interface the estimator may exploit any top-h cells, h ≤ k.
+The paper compares fixed choices against the §3.2.3 adaptive rule and
+reports the adaptive strategy consistently saving ~10 % of queries over
+the best fixed variant.
+"""
+
+from __future__ import annotations
+
+from typing import Optional, Sequence
+
+from ..core import AggregateQuery, LnrAggConfig, LnrLbsAgg, LrAggConfig, LrLbsAgg
+from ..datasets import is_category
+from ..lbs import LnrLbsInterface, LrLbsInterface
+from ..sampling import UniformSampler
+from .harness import ExperimentTable, World, cost_to_reach, poi_world
+
+__all__ = ["run"]
+
+
+def run(
+    world: Optional[World] = None,
+    hs: Sequence[int] = (1, 2, 3, 4, 5),
+    k: int = 5,
+    rel_error: float = 0.15,
+    n_runs: int = 3,
+    max_queries: int = 5000,
+    include_lnr: bool = False,
+    seed: int = 0,
+) -> ExperimentTable:
+    if world is None:
+        world = poi_world()
+    query = AggregateQuery.count(lambda attrs, _loc: attrs.get("category") == "school")
+    truth = world.db.ground_truth_count(is_category("school"))
+    sampler = UniformSampler(world.region)
+
+    headers = ["h", "LR-LBS-AGG"]
+    if include_lnr:
+        headers.append("LNR-LBS-AGG")
+    table = ExperimentTable(
+        title=f"Figure 19 — query cost to reach rel. error {rel_error} vs h (k={k})",
+        headers=headers,
+        notes="'adaptive' uses the §3.2.3 per-tuple rule; it should beat fixed h.",
+    )
+
+    def lr_conf(h: Optional[int]):
+        if h is None:
+            return LrAggConfig(adaptive_h=True)
+        return LrAggConfig(h=h, adaptive_h=False)
+
+    def lnr_conf(h: Optional[int]):
+        if h is None:
+            return LnrAggConfig(adaptive_h=True)
+        return LnrAggConfig(h=h, adaptive_h=False)
+
+    for h in list(hs) + [None]:
+        def make_lr(s: int, _h=h):
+            return LrLbsAgg(
+                LrLbsInterface(world.db, k=k), sampler, query, lr_conf(_h), seed=s
+            )
+
+        row = [
+            "adaptive" if h is None else h,
+            cost_to_reach(make_lr, truth, (rel_error,), n_runs, max_queries, seed)[rel_error],
+        ]
+        if include_lnr:
+            def make_lnr(s: int, _h=h):
+                return LnrLbsAgg(
+                    LnrLbsInterface(world.db, k=k), sampler, query, lnr_conf(_h), seed=s
+                )
+            row.append(
+                cost_to_reach(make_lnr, truth, (rel_error,), n_runs, 6 * max_queries, seed)[rel_error]
+            )
+        table.add(*row)
+    return table

@@ -1,0 +1,57 @@
+"""Figure 20 — the error-reduction ladder LR-LBS-AGG-0 … LR-LBS-AGG.
+
+Optimizations are switched on one at a time in the paper's order:
+
+* AGG-0  — bare Theorem-1 loop
+* AGG-1  — + Fast-Init fake corners (§3.2.1)
+* AGG-2  — + leverage history (§3.2.2)
+* AGG-3  — + adaptive h (§3.2.3)
+* AGG    — + Monte-Carlo upper/lower bounds (§3.2.4)
+
+Each step should lower the query cost at every error level, with the
+first two (initialization + history) contributing the biggest drop.
+"""
+
+from __future__ import annotations
+
+from typing import Optional, Sequence
+
+from ..core import AggregateQuery, LrLbsAgg
+from ..core.config import LrAggConfig
+from ..datasets import is_category
+from ..lbs import LrLbsInterface
+from ..sampling import UniformSampler
+from .harness import ExperimentTable, World, cost_to_reach, poi_world
+
+__all__ = ["run"]
+
+
+def run(
+    world: Optional[World] = None,
+    targets: Sequence[float] = (0.4, 0.3, 0.2, 0.15, 0.1),
+    n_runs: int = 3,
+    max_queries: int = 5000,
+    k: int = 5,
+    seed: int = 0,
+) -> ExperimentTable:
+    if world is None:
+        world = poi_world()
+    query = AggregateQuery.count(lambda attrs, _loc: attrs.get("category") == "school")
+    truth = world.db.ground_truth_count(is_category("school"))
+    sampler = UniformSampler(world.region)
+
+    ladder = LrAggConfig.ladder()
+    columns = {}
+    for name, config in ladder.items():
+        def make(s: int, _config=config):
+            return LrLbsAgg(LrLbsInterface(world.db, k=k), sampler, query, _config, seed=s)
+        columns[name] = cost_to_reach(make, truth, targets, n_runs, max_queries, seed)
+
+    table = ExperimentTable(
+        title="Figure 20 — query savings of the error-reduction strategies",
+        headers=["rel. error"] + list(ladder),
+        notes="Each added §3.2 technique should cut the cost at every level.",
+    )
+    for t in targets:
+        table.add(t, *[columns[name][t] for name in ladder])
+    return table

@@ -1,0 +1,89 @@
+"""Figure 21 — localization accuracy against two LNR services.
+
+The paper localizes 200 POIs via Google Places (treated as LNR) and 200
+WeChat users (whose positions the service obfuscates), and histograms
+the distance between inferred and true positions: Places localizations
+mostly land within ~20 m; WeChat's obfuscation sets an error floor near
+its jitter radius, with a bounded tail.
+
+We run §4.3 inference against one interface without obfuscation and one
+with fixed per-tuple jitter, and report the same histogram.
+"""
+
+from __future__ import annotations
+
+from typing import Optional, Sequence
+
+import numpy as np
+
+from ..core import LnrCellOracle, ObservationHistory, TupleLocalizer
+from ..core.config import LnrAggConfig
+from ..geometry import distance
+from ..lbs import LnrLbsInterface, ObfuscationModel
+from ..sampling import UniformSampler
+from .harness import ExperimentTable, World, poi_world
+
+__all__ = ["run", "localization_errors"]
+
+
+def localization_errors(
+    world: World,
+    n_targets: int = 30,
+    obfuscation_sigma: float = 0.0,
+    edge_error: float = 2e-3,
+    k: int = 5,
+    seed: int = 3,
+) -> np.ndarray:
+    """Distances between inferred and *true* positions for sampled tuples."""
+    obf = (
+        ObfuscationModel(sigma=obfuscation_sigma, seed=seed)
+        if obfuscation_sigma > 0.0
+        else None
+    )
+    api = LnrLbsInterface(world.db, k=k, obfuscation=obf)
+    sampler = UniformSampler(world.region)
+    history = ObservationHistory(api, enabled=True)
+    config = LnrAggConfig(h=1, edge_error=edge_error)
+    oracle = LnrCellOracle(history, sampler, config)
+    localizer = TupleLocalizer(history, oracle, config)
+
+    rng = np.random.default_rng(seed)
+    tids = sorted(t.tid for t in world.db)
+    chosen = rng.choice(len(tids), size=min(n_targets, len(tids)), replace=False)
+    errors = []
+    for idx in chosen:
+        tid = tids[int(idx)]
+        true_loc = world.db.get(tid).location
+        # Seed the discovery from a query at the tuple's (effective)
+        # vicinity — in the paper the experimenter stands near the target.
+        seed_point = api.effective_location(tid)
+        result = localizer.locate(tid, seed_point)
+        errors.append(distance(result.location, true_loc))
+    return np.array(errors)
+
+
+def run(
+    world: Optional[World] = None,
+    n_targets: int = 25,
+    obfuscation_sigma: float = 2.0,
+    bins: Sequence[float] = (0.05, 0.1, 0.5, 1.0, 2.0, 4.0, 8.0, float("inf")),
+    seed: int = 3,
+) -> ExperimentTable:
+    if world is None:
+        world = poi_world()
+    places = localization_errors(world, n_targets, 0.0, seed=seed)
+    wechat = localization_errors(world, n_targets, obfuscation_sigma, seed=seed)
+
+    table = ExperimentTable(
+        title="Figure 21 — localization accuracy (percent of targets per error bin)",
+        headers=["error ≤", "Places-like (no obfuscation)", f"WeChat-like (σ={obfuscation_sigma})"],
+        notes="Obfuscation sets an error floor near its jitter radius.",
+    )
+    lo = 0.0
+    for hi in bins:
+        p_pct = 100.0 * float(np.mean((places > lo) & (places <= hi)))
+        w_pct = 100.0 * float(np.mean((wechat > lo) & (wechat <= hi)))
+        label = f"{hi:g}" if np.isfinite(hi) else f">{lo:g}"
+        table.add(label, round(p_pct, 1), round(w_pct, 1))
+        lo = hi
+    return table

@@ -1,0 +1,138 @@
+"""Table 1 — the "online" demonstrations, simulated.
+
+The paper runs four live studies; each maps to a synthetic service here
+(DESIGN.md §3 records the substitutions):
+
+* Google Places, COUNT(Starbucks in US) — pass-through condition on an
+  LR interface (paper: 12023 est. vs Starbucks' published count, < 5 %).
+* Google Places, COUNT(restaurants open on Sundays, Austin) — a
+  post-process condition the API cannot filter on.
+* WeChat, COUNT(users) and gender ratio — LNR interface, obfuscated.
+* Sina Weibo, ditto with k = 100-style wide answers and an 11 km
+  max-radius service limit.
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+from ..core import (
+    AggregateQuery,
+    LnrAggConfig,
+    LnrLbsAgg,
+    LrAggConfig,
+    LrLbsAgg,
+)
+from ..datasets import (
+    UserConfig,
+    is_brand,
+    is_category,
+    subrect,
+)
+from ..lbs import LnrLbsInterface, LrLbsInterface, ObfuscationModel
+from ..sampling import UniformSampler
+from .harness import ExperimentTable, World, poi_world, user_world
+
+__all__ = ["run", "GroundTruths"]
+
+
+class GroundTruths(dict):
+    """Ground truths keyed like the table rows (for shape checks)."""
+
+
+def run(
+    poi: Optional[World] = None,
+    wechat: Optional[World] = None,
+    weibo: Optional[World] = None,
+    budget_places: int = 2500,
+    budget_social: int = 6000,
+    seed: int = 0,
+) -> tuple[ExperimentTable, GroundTruths]:
+    if poi is None:
+        poi = poi_world(seed=7)
+    if wechat is None:
+        wechat = user_world(seed=11, config=UserConfig(n_users=300, male_fraction=0.671))
+    if weibo is None:
+        weibo = user_world(seed=13, config=UserConfig(n_users=300, male_fraction=0.504))
+
+    table = ExperimentTable(
+        title="Table 1 — online experiments (simulated services)",
+        headers=["LBS", "aggregate", "estimate", "truth", "query budget"],
+    )
+    truths = GroundTruths()
+
+    # -- Google Places: COUNT(Starbucks), pass-through condition --------
+    sampler = UniformSampler(poi.region)
+    api = LrLbsInterface(poi.db, k=10)
+    filtered = api.filtered(is_brand("starbucks"))
+    agg = LrLbsAgg(filtered, sampler, AggregateQuery.count(),
+                   LrAggConfig(adaptive_h=True), seed=seed)
+    res = agg.run(max_queries=budget_places)
+    truth = poi.db.ground_truth_count(is_brand("starbucks"))
+    table.add("Google Places (sim)", "COUNT(Starbucks)", round(res.estimate, 1), truth, budget_places)
+    truths["starbucks"] = (res.estimate, truth)
+
+    # -- Google Places: COUNT(restaurants open Sundays, metro box) ------
+    box = subrect(poi.region, 0.25, 0.25, 0.75, 0.75)
+
+    def open_sunday(attrs, loc):
+        return (
+            attrs.get("category") == "restaurant"
+            and bool(attrs.get("open_sundays"))
+            and loc is not None and box.contains(loc)
+        )
+
+    api2 = LrLbsInterface(poi.db, k=10)
+    agg2 = LrLbsAgg(api2, UniformSampler(box),
+                    AggregateQuery.count(open_sunday, needs_location=True),
+                    LrAggConfig(adaptive_h=True), seed=seed)
+    res2 = agg2.run(max_queries=budget_places)
+    truth2 = poi.db.ground_truth_count(
+        lambda t: is_category("restaurant")(t)
+        and bool(t.get("open_sundays")) and box.contains(t.location)
+    )
+    table.add("Google Places (sim)", "COUNT(rest. open Sun, metro)",
+              round(res2.estimate, 1), truth2, budget_places)
+    truths["open_sunday"] = (res2.estimate, truth2)
+
+    # -- WeChat: COUNT(users) and gender ratio (obfuscated LNR) ---------
+    obf = ObfuscationModel(sigma=1.0, seed=seed)
+    wechat_api = LnrLbsInterface(wechat.db, k=10, obfuscation=obf)
+    wechat_sampler = UniformSampler(wechat.region)
+    count_agg = LnrLbsAgg(wechat_api, wechat_sampler, AggregateQuery.count(),
+                          LnrAggConfig(h=1), seed=seed)
+    res3 = count_agg.run(max_queries=budget_social)
+    truth3 = len(wechat.db)
+    table.add("WeChat (sim)", "COUNT(users)", round(res3.estimate, 1), truth3, budget_social)
+    truths["wechat_count"] = (res3.estimate, truth3)
+
+    ratio_agg = LnrLbsAgg(LnrLbsInterface(wechat.db, k=10, obfuscation=obf),
+                          wechat_sampler, AggregateQuery.avg("is_male"),
+                          LnrAggConfig(h=1), seed=seed)
+    res4 = ratio_agg.run(max_queries=budget_social)
+    truth4 = wechat.db.ground_truth_avg("is_male")
+    table.add("WeChat (sim)", "male fraction", round(res4.estimate, 3),
+              round(truth4, 3), budget_social)
+    truths["wechat_ratio"] = (res4.estimate, truth4)
+
+    # -- Sina Weibo: same aggregates, max-radius limited -----------------
+    weibo_radius = 0.25 * max(weibo.region.width, weibo.region.height)
+    weibo_api = LnrLbsInterface(weibo.db, k=20, max_radius=weibo_radius)
+    weibo_sampler = UniformSampler(weibo.region)
+    count5 = LnrLbsAgg(weibo_api, weibo_sampler, AggregateQuery.count(),
+                       LnrAggConfig(h=1), seed=seed)
+    res5 = count5.run(max_queries=budget_social)
+    truth5 = len(weibo.db)
+    table.add("Sina Weibo (sim)", "COUNT(users)", round(res5.estimate, 1), truth5, budget_social)
+    truths["weibo_count"] = (res5.estimate, truth5)
+
+    ratio6 = LnrLbsAgg(LnrLbsInterface(weibo.db, k=20, max_radius=weibo_radius),
+                       weibo_sampler, AggregateQuery.avg("is_male"),
+                       LnrAggConfig(h=1), seed=seed)
+    res6 = ratio6.run(max_queries=budget_social)
+    truth6 = weibo.db.ground_truth_avg("is_male")
+    table.add("Sina Weibo (sim)", "male fraction", round(res6.estimate, 3),
+              round(truth6, 3), budget_social)
+    truths["weibo_ratio"] = (res6.estimate, truth6)
+
+    return table, truths

@@ -1,0 +1,83 @@
+"""Computational-geometry substrate for the LBS aggregate estimators.
+
+Public surface:
+
+* :class:`~repro.geometry.primitives.Point`,
+  :class:`~repro.geometry.primitives.Rect` — basic primitives.
+* :class:`~repro.geometry.halfplane.HalfPlane`,
+  :func:`~repro.geometry.halfplane.bisector_halfplane` — constraints.
+* :class:`~repro.geometry.polygon.ConvexPolygon` — labeled-edge convex
+  polygons with half-plane clipping.
+* :class:`~repro.geometry.circle.Disk`,
+  :func:`~repro.geometry.coverage.disk_covered_by_union` — the exact
+  known-disk coverage test behind the §3.2.4 lower bound.
+* :func:`~repro.geometry.circle_area.polygon_disk_area` — exact
+  polygon-disk intersection area (max-radius constraint, §5.3).
+* :func:`~repro.geometry.arrangement.build_level_region` — top-k Voronoi
+  cells as arrangement level sets (§2.2, §4.2).
+* :mod:`~repro.geometry.voronoi_ref` — full-knowledge reference diagram
+  (ground truth for tests and Fig. 11).
+"""
+
+from .arrangement import LevelRegion, build_level_region
+from .circle import AngularIntervals, Disk, arc_inside_disk
+from .circle_area import polygon_disk_area, segment_circle_intersections
+from .coverage import disk_covered_by_union
+from .halfplane import HalfPlane, bisector_halfplane
+from .polygon import BBOX_LABEL, ConvexPolygon, sample_triangle
+from .primitives import (
+    EPS,
+    Point,
+    Rect,
+    angle_between,
+    angle_of,
+    cross,
+    distance,
+    distance_sq,
+    dot,
+    interpolate,
+    midpoint,
+    normalize,
+    orientation,
+    perpendicular,
+    polygon_area,
+    polygon_centroid,
+    rotate,
+)
+from .voronoi_ref import full_voronoi_diagram, true_topk_cell, true_voronoi_cell
+
+__all__ = [
+    "EPS",
+    "Point",
+    "Rect",
+    "HalfPlane",
+    "bisector_halfplane",
+    "ConvexPolygon",
+    "BBOX_LABEL",
+    "sample_triangle",
+    "Disk",
+    "AngularIntervals",
+    "arc_inside_disk",
+    "disk_covered_by_union",
+    "polygon_disk_area",
+    "segment_circle_intersections",
+    "LevelRegion",
+    "build_level_region",
+    "true_voronoi_cell",
+    "true_topk_cell",
+    "full_voronoi_diagram",
+    "angle_between",
+    "angle_of",
+    "cross",
+    "distance",
+    "distance_sq",
+    "dot",
+    "interpolate",
+    "midpoint",
+    "normalize",
+    "orientation",
+    "perpendicular",
+    "polygon_area",
+    "polygon_centroid",
+    "rotate",
+]

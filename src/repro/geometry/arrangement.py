@@ -1,0 +1,241 @@
+"""Top-k Voronoi cells as level sets of half-plane arrangements.
+
+Paper §2.2 defines the *top-k Voronoi cell* ``V_k(t)`` as the set of query
+locations whose top-k answer contains ``t``.  Writing one constraint per
+other site ``u`` — the bisector half-plane "``t`` is at least as close as
+``u``" — a location belongs to ``V_k(t)`` iff it violates at most ``k - 1``
+constraints.  ``V_k(t)`` is therefore the ``(k-1)``-level of the bisector
+arrangement: generally *concave* for ``k > 1`` (paper Fig. 1) but always a
+union of convex pieces, one per subset ``S`` of violated constraints.
+
+:func:`build_level_region` materializes exactly the pieces that belong to
+the cell by a breadth-first search over subsets: crossing an edge
+contributed by constraint ``j`` toggles ``j``'s membership in ``S``.  The
+search starts from a seed point known to lie in the cell; top-k cells are
+star-shaped around their site, so the BFS reaches every piece.
+
+The same machinery serves two masters:
+
+* **LR-LBS** (§3): constraints are exact bisectors of known tuple
+  locations; the region is the tentative cell whose boundary vertices are
+  tested per Theorem 1.
+* **LNR-LBS** (§4.2): constraints are *estimated* bisector lines recovered
+  by binary search; the level construction handles the concave top-k case
+  that a naive convex intersection would get wrong.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Sequence
+
+from .halfplane import HalfPlane
+from .polygon import BBOX_LABEL, ConvexPolygon
+from .primitives import EPS, Point
+
+__all__ = ["LevelRegion", "build_level_region"]
+
+#: Rounding quantum (relative to coordinate scale) for vertex dedup.
+_VERTEX_GRID = 1e-7
+
+
+@dataclass
+class LevelRegion:
+    """The set of points violating at most ``level`` of ``constraints``.
+
+    ``pieces`` maps each violated-subset ``S`` (frozenset of constraint
+    indices) to its convex piece.  Pieces have pairwise disjoint interiors
+    and their union is the (connected, star-shaped) region.
+    """
+
+    constraints: tuple[HalfPlane, ...]
+    level: int
+    base: ConvexPolygon
+    pieces: dict[frozenset, ConvexPolygon] = field(default_factory=dict)
+
+    # ------------------------------------------------------------------
+    def area(self) -> float:
+        return sum(p.area() for p in self.pieces.values())
+
+    def is_empty(self) -> bool:
+        return not self.pieces
+
+    def num_pieces(self) -> int:
+        return len(self.pieces)
+
+    def contains(self, p: Point, tol: float = EPS) -> bool:
+        """Membership by direct constraint counting (O(n))."""
+        violated = 0
+        for hp in self.constraints:
+            if hp.value(p) > tol * hp.scale():
+                violated += 1
+                if violated > self.level:
+                    return False
+        return self.base.contains(p)
+
+    def violated_subset(self, p: Point, tol: float = EPS) -> frozenset:
+        return frozenset(
+            j for j, hp in enumerate(self.constraints)
+            if hp.value(p) > tol * hp.scale()
+        )
+
+    # ------------------------------------------------------------------
+    def boundary_edges(self) -> list[tuple[Point, Point, object]]:
+        """Outer-boundary edges as ``(start, end, label)``.
+
+        An edge of piece ``S`` is on the outer boundary iff it comes from
+        the bounding box, or from a constraint ``j not in S`` while ``S``
+        is already at the maximum level (crossing it would exceed the
+        budget of ``level`` violations).
+        """
+        out: list[tuple[Point, Point, object]] = []
+        for subset, poly in self.pieces.items():
+            at_top = len(subset) == self.level
+            for a, b, label in poly.edges():
+                if label == BBOX_LABEL or not isinstance(label, int):
+                    out.append((a, b, label))
+                elif label not in subset and at_top:
+                    out.append((a, b, self.constraints[label].label))
+        return out
+
+    def boundary_vertices(self) -> list[Point]:
+        """Deduplicated endpoints of outer-boundary edges.
+
+        These are exactly the vertices Theorem 1 requires the algorithms
+        to test with kNN queries.
+        """
+        scale = 1.0
+        for poly in self.pieces.values():
+            for v in poly.vertices:
+                scale = max(scale, abs(v.x), abs(v.y))
+        quantum = _VERTEX_GRID * scale
+        seen: dict[tuple[int, int], Point] = {}
+        for a, b, _label in self.boundary_edges():
+            for v in (a, b):
+                key = (round(v.x / quantum), round(v.y / quantum))
+                seen.setdefault(key, v)
+        return list(seen.values())
+
+    def all_vertices(self) -> list[Point]:
+        """Deduplicated vertices of every piece (boundary and interior)."""
+        quantum = _VERTEX_GRID
+        for poly in self.pieces.values():
+            for v in poly.vertices:
+                quantum = max(quantum, _VERTEX_GRID * max(abs(v.x), abs(v.y)))
+        seen: dict[tuple[int, int], Point] = {}
+        for poly in self.pieces.values():
+            for v in poly.vertices:
+                key = (round(v.x / quantum), round(v.y / quantum))
+                seen.setdefault(key, v)
+        return list(seen.values())
+
+    # ------------------------------------------------------------------
+    def sample(self, rng) -> Point:
+        """Uniform random point in the region (piece chosen by area)."""
+        items = [(s, p) for s, p in self.pieces.items() if not p.is_empty()]
+        if not items:
+            raise ValueError("cannot sample from an empty region")
+        areas = [p.area() for _s, p in items]
+        total = sum(areas)
+        u = rng.random() * total
+        acc = 0.0
+        for (_s, poly), w in zip(items, areas):
+            acc += w
+            if u <= acc:
+                return poly.sample(rng)
+        return items[-1][1].sample(rng)
+
+    def polygons(self) -> list[ConvexPolygon]:
+        return list(self.pieces.values())
+
+
+def build_level_region(
+    constraints: Sequence[HalfPlane],
+    level: int,
+    base: ConvexPolygon,
+    seed: Point,
+    max_pieces: int = 100_000,
+) -> LevelRegion:
+    """Construct the connected ``level``-region containing ``seed``.
+
+    Parameters
+    ----------
+    constraints:
+        Bisector half-planes; ``hp.label`` is preserved on boundary edges.
+    level:
+        Maximum number of violated constraints (``h - 1`` for a top-h
+        cell).
+    base:
+        Bounding polygon (usually the experiment's bounding box).
+    seed:
+        A point inside the region (the tuple location for LR, the sampled
+        query point for LNR).
+    """
+    cons = tuple(constraints)
+    region = LevelRegion(cons, level, base)
+    if base.is_empty():
+        return region
+
+    if level >= len(cons):
+        # Every subset allowed: the region is the whole base, one piece.
+        region.pieces[frozenset(range(len(cons)))] = base
+        return region
+
+    seed_subset = region.violated_subset(seed)
+    if len(seed_subset) > level:
+        raise ValueError(
+            f"seed violates {len(seed_subset)} constraints; level is {level}"
+        )
+
+    def piece_for(subset: frozenset) -> ConvexPolygon:
+        poly = base
+        for j, hp in enumerate(cons):
+            plane = hp.flipped() if j in subset else hp
+            poly = poly.clip(plane.relabel(j))
+            if poly.is_empty():
+                return ConvexPolygon.empty()
+        return poly
+
+    start = piece_for(seed_subset)
+    if start.is_empty():
+        start, seed_subset = _rescue_seed(region, seed, piece_for, level)
+        if start.is_empty():
+            return region
+
+    region.pieces[seed_subset] = start
+    queue = [seed_subset]
+    while queue:
+        subset = queue.pop()
+        poly = region.pieces[subset]
+        for label in poly.labels():
+            if not isinstance(label, int):
+                continue
+            neighbour = subset ^ {label}
+            if len(neighbour) > level or neighbour in region.pieces:
+                continue
+            npoly = piece_for(neighbour)
+            if npoly.is_empty():
+                continue
+            region.pieces[neighbour] = npoly
+            queue.append(neighbour)
+            if len(region.pieces) > max_pieces:
+                raise RuntimeError("level region exceeded max_pieces")
+    return region
+
+
+def _rescue_seed(region: LevelRegion, seed: Point, piece_for, level: int):
+    """Seed sits on a piece boundary (degenerate clip).  Try flipping each
+    near-active constraint to land in an adjacent non-empty piece."""
+    near = [
+        j for j, hp in enumerate(region.constraints)
+        if abs(hp.value(seed)) <= 1e-6 * hp.scale()
+    ]
+    base_subset = region.violated_subset(seed)
+    for j in near:
+        candidate = base_subset ^ {j}
+        if len(candidate) > level:
+            continue
+        poly = piece_for(candidate)
+        if not poly.is_empty():
+            return poly, candidate
+    return ConvexPolygon.empty(), base_subset

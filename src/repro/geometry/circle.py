@@ -1,0 +1,154 @@
+"""Circles, circle-circle intersections, and angular interval arithmetic.
+
+These are the building blocks of the *known-disk* reasoning of paper
+§3.2.4: every answered query certifies an empty (fully observed) disk, and
+deciding whether a new disk is covered by the union of certified disks is
+an exact arc-coverage computation on circle boundaries.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+from typing import Iterable, Optional
+
+from .primitives import EPS, Point, distance
+
+__all__ = ["Disk", "TWO_PI", "AngularIntervals", "arc_inside_disk"]
+
+TWO_PI = 2.0 * math.pi
+
+
+@dataclass(frozen=True)
+class Disk:
+    """A closed disk ``{p : |p - center| <= radius}``."""
+
+    center: Point
+    radius: float
+
+    def contains_point(self, p: Point, tol: float = 0.0) -> bool:
+        return distance(self.center, p) <= self.radius + tol
+
+    def contains_disk(self, other: "Disk", slack: float = 0.0) -> bool:
+        """True when ``other`` (shrunk by ``slack``) lies inside ``self``."""
+        return distance(self.center, other.center) + other.radius <= self.radius + slack
+
+    def intersects_disk(self, other: "Disk") -> bool:
+        return distance(self.center, other.center) <= self.radius + other.radius
+
+    def point_at(self, theta: float) -> Point:
+        return Point(
+            self.center.x + self.radius * math.cos(theta),
+            self.center.y + self.radius * math.sin(theta),
+        )
+
+
+def arc_inside_disk(circle: Disk, disk: Disk, shrink: float = 0.0) -> Optional[tuple[float, float]]:
+    """The angular interval of ``circle``'s boundary lying inside ``disk``.
+
+    Returns ``None`` when no boundary point is covered, the pair
+    ``(0, 2*pi)`` when the whole boundary is covered, otherwise
+    ``(lo, hi)`` (``hi`` may exceed ``2*pi``; it always holds
+    ``hi - lo < 2*pi``).
+
+    ``shrink`` reduces the covering disk's radius; a positive value makes
+    the test *conservative* (may under-report coverage, never over-report),
+    which is what the unbiased estimators need.
+    """
+    s = disk.radius - shrink
+    if s <= 0.0:
+        return None
+    r = circle.radius
+    L = distance(circle.center, disk.center)
+    if L < EPS:
+        # Concentric: covered fully or not at all.
+        return (0.0, TWO_PI) if r <= s else None
+    if L + r <= s:
+        return (0.0, TWO_PI)
+    if L >= r + s or r >= L + s:
+        # Disjoint, or the covering disk lies strictly inside the circle.
+        return None
+    # |c + r e^{i theta} - d|^2 <= s^2  <=>  cos(theta - phi) >= m
+    m = (r * r + L * L - s * s) / (2.0 * r * L)
+    m = min(1.0, max(-1.0, m))
+    alpha = math.acos(m)
+    if alpha <= 0.0:
+        return None
+    phi = math.atan2(disk.center.y - circle.center.y, disk.center.x - circle.center.x)
+    return (phi - alpha, phi + alpha)
+
+
+class AngularIntervals:
+    """A union of angular intervals on ``[0, 2*pi)``.
+
+    Intervals are added in any form (negative or > 2*pi endpoints are
+    wrapped).  Queries (:meth:`covers_full`, :meth:`uncovered`) operate on
+    the normalized disjoint union.
+    """
+
+    __slots__ = ("_raw",)
+
+    def __init__(self) -> None:
+        self._raw: list[tuple[float, float]] = []
+
+    def add(self, lo: float, hi: float) -> None:
+        """Add the arc from ``lo`` to ``hi`` (radians, ``hi >= lo``)."""
+        if hi <= lo:
+            return
+        if hi - lo >= TWO_PI:
+            self._raw.append((0.0, TWO_PI))
+            return
+        lo_n = lo % TWO_PI
+        hi_n = lo_n + (hi - lo)
+        if hi_n <= TWO_PI:
+            self._raw.append((lo_n, hi_n))
+        else:
+            self._raw.append((lo_n, TWO_PI))
+            self._raw.append((0.0, hi_n - TWO_PI))
+
+    def add_interval(self, interval: Optional[tuple[float, float]]) -> None:
+        if interval is not None:
+            self.add(interval[0], interval[1])
+
+    def merged(self) -> list[tuple[float, float]]:
+        """Disjoint sorted intervals within ``[0, 2*pi]``."""
+        if not self._raw:
+            return []
+        items = sorted(self._raw)
+        out = [items[0]]
+        for lo, hi in items[1:]:
+            plo, phi = out[-1]
+            if lo <= phi:
+                out[-1] = (plo, max(phi, hi))
+            else:
+                out.append((lo, hi))
+        return out
+
+    def covers_full(self, tol: float = 1e-9) -> bool:
+        """Whether the union covers the whole circle up to gaps < ``tol``."""
+        gaps = self.uncovered([(0.0, TWO_PI)])
+        return sum(hi - lo for lo, hi in gaps) <= tol
+
+    def uncovered(self, base: Iterable[tuple[float, float]]) -> list[tuple[float, float]]:
+        """Portions of ``base`` (disjoint sorted intervals in ``[0, 2*pi]``)
+        not covered by this union."""
+        covered = self.merged()
+        out: list[tuple[float, float]] = []
+        for blo, bhi in base:
+            cursor = blo
+            for clo, chi in covered:
+                if chi <= cursor:
+                    continue
+                if clo >= bhi:
+                    break
+                if clo > cursor:
+                    out.append((cursor, min(clo, bhi)))
+                cursor = max(cursor, chi)
+                if cursor >= bhi:
+                    break
+            if cursor < bhi:
+                out.append((cursor, bhi))
+        return [(lo, hi) for lo, hi in out if hi - lo > 0.0]
+
+    def total(self) -> float:
+        return sum(hi - lo for lo, hi in self.merged())

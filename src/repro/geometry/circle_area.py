@@ -1,0 +1,89 @@
+"""Exact area of ``convex polygon ∩ disk``.
+
+Needed for the *maximum coverage radius* interface constraint (paper
+§5.3): when the LBS only answers within ``dmax`` of the query point, the
+effective sampling region of a tuple is its Voronoi cell intersected with
+the disk of radius ``dmax`` around the tuple — whose measure must still be
+computed exactly to keep the estimator unbiased.
+
+The algorithm is the classic Green's-theorem decomposition: walk the
+polygon edges; each edge contributes either a triangle with the disk
+centre (where the edge runs inside the disk) or a circular-sector term
+(where it runs outside).  Everything is exact up to float rounding — no
+polygonal approximation of the circle is involved.
+"""
+
+from __future__ import annotations
+
+import math
+from typing import Sequence
+
+from .primitives import EPS, Point, cross
+
+__all__ = ["polygon_disk_area", "segment_circle_intersections"]
+
+
+def polygon_disk_area(vertices: Sequence[Point], center: Point, radius: float) -> float:
+    """Area of the intersection of a CCW convex polygon and a closed disk."""
+    n = len(vertices)
+    if n < 3 or radius <= 0.0:
+        return 0.0
+    total = 0.0
+    for i in range(n):
+        a = vertices[i] - center
+        b = vertices[(i + 1) % n] - center
+        total += _edge_contribution(a, b, radius)
+    return abs(total)
+
+
+def segment_circle_intersections(a: Point, b: Point, radius: float) -> list[float]:
+    """Parameters ``t`` in [0, 1] where segment ``a + t(b-a)`` crosses the
+    circle of the given ``radius`` centred at the origin (sorted)."""
+    d = b - a
+    aa = d.x * d.x + d.y * d.y
+    if aa < EPS * EPS:
+        return []
+    bb = 2.0 * (a.x * d.x + a.y * d.y)
+    cc = a.x * a.x + a.y * a.y - radius * radius
+    disc = bb * bb - 4.0 * aa * cc
+    if disc <= 0.0:
+        return []
+    sq = math.sqrt(disc)
+    t1 = (-bb - sq) / (2.0 * aa)
+    t2 = (-bb + sq) / (2.0 * aa)
+    return [t for t in (t1, t2) if 0.0 < t < 1.0]
+
+
+def _edge_contribution(a: Point, b: Point, r: float) -> float:
+    """Signed contribution of edge ``a -> b`` (coordinates relative to the
+    disk centre) to the intersection area."""
+    ra = math.hypot(a.x, a.y)
+    rb = math.hypot(b.x, b.y)
+    a_in = ra <= r
+    b_in = rb <= r
+    ts = segment_circle_intersections(a, b, r)
+
+    if a_in and b_in:
+        return cross(a, b) / 2.0
+    if a_in and not b_in:
+        p = _lerp(a, b, ts[0]) if ts else b
+        return cross(a, p) / 2.0 + _sector(p, b, r)
+    if not a_in and b_in:
+        p = _lerp(a, b, ts[-1]) if ts else a
+        return _sector(a, p, r) + cross(p, b) / 2.0
+    # Both endpoints outside.
+    if len(ts) == 2:
+        p = _lerp(a, b, ts[0])
+        q = _lerp(a, b, ts[1])
+        return _sector(a, p, r) + cross(p, q) / 2.0 + _sector(q, b, r)
+    return _sector(a, b, r)
+
+
+def _sector(p: Point, q: Point, r: float) -> float:
+    """Signed circular-sector area between directions ``p`` and ``q``."""
+    theta = math.atan2(cross(p, q), p.x * q.x + p.y * q.y)
+    return r * r * theta / 2.0
+
+
+def _lerp(a: Point, b: Point, t: float) -> Point:
+    return Point(a.x + t * (b.x - a.x), a.y + t * (b.y - a.y))

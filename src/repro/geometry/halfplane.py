@@ -1,0 +1,104 @@
+"""Half-planes and perpendicular bisectors.
+
+A half-plane is the set ``{q : a*q.x + b*q.y <= c}``.  The estimation
+algorithms build Voronoi cells exclusively by intersecting half-planes:
+
+* LR-LBS (paper §3): the bisector of the target tuple ``t`` and any other
+  known tuple ``u`` is a half-plane keeping the ``t`` side.
+* LNR-LBS (paper §4): edges discovered by binary search arrive as a point
+  on the edge plus the edge direction, from which
+  :meth:`HalfPlane.from_point_direction` builds the constraint.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+from typing import Optional
+
+from .primitives import EPS, Point, perpendicular
+
+__all__ = ["HalfPlane", "bisector_halfplane"]
+
+
+@dataclass(frozen=True)
+class HalfPlane:
+    """The closed region ``a*x + b*y <= c``.
+
+    ``label`` is an opaque tag used by callers to remember where the
+    constraint came from (e.g. the tuple id whose bisector it is, or
+    ``"fake:3"`` for Fast-Init corners); it does not affect geometry.
+    """
+
+    a: float
+    b: float
+    c: float
+    label: object = None
+
+    def value(self, p: Point) -> float:
+        """Signed slack: negative inside, positive outside."""
+        return self.a * p.x + self.b * p.y - self.c
+
+    def contains(self, p: Point, tol: float = EPS) -> bool:
+        return self.value(p) <= tol * self.scale()
+
+    def scale(self) -> float:
+        """Magnitude of the normal; used to make tolerances scale-free."""
+        return max(math.hypot(self.a, self.b), EPS)
+
+    def boundary_direction(self) -> Point:
+        """A unit vector along the boundary line."""
+        n = math.hypot(self.a, self.b)
+        if n < EPS:
+            raise ValueError("degenerate half-plane has no boundary")
+        return Point(-self.b / n, self.a / n)
+
+    def boundary_point(self) -> Point:
+        """Some point on the boundary line."""
+        n2 = self.a * self.a + self.b * self.b
+        if n2 < EPS * EPS:
+            raise ValueError("degenerate half-plane has no boundary")
+        return Point(self.a * self.c / n2, self.b * self.c / n2)
+
+    def flipped(self) -> "HalfPlane":
+        """The complementary (open) side, as a closed half-plane."""
+        return HalfPlane(-self.a, -self.b, -self.c, self.label)
+
+    def relabel(self, label: object) -> "HalfPlane":
+        return HalfPlane(self.a, self.b, self.c, label)
+
+    def intersect_line(self, other: "HalfPlane") -> Optional[Point]:
+        """Intersection point of the two boundary lines, or ``None`` if
+        (nearly) parallel."""
+        det = self.a * other.b - other.a * self.b
+        norm = self.scale() * other.scale()
+        if abs(det) < EPS * norm:
+            return None
+        x = (self.c * other.b - other.c * self.b) / det
+        y = (self.a * other.c - other.a * self.c) / det
+        return Point(x, y)
+
+    @staticmethod
+    def from_point_direction(point: Point, direction: Point, inside: Point,
+                             label: object = None) -> "HalfPlane":
+        """Half-plane whose boundary passes through ``point`` with the given
+        ``direction``, oriented so that ``inside`` satisfies the constraint."""
+        normal = perpendicular(direction)
+        c = normal.x * point.x + normal.y * point.y
+        hp = HalfPlane(normal.x, normal.y, c, label)
+        if hp.value(inside) > 0.0:
+            hp = hp.flipped()
+        return hp
+
+
+def bisector_halfplane(t: Point, u: Point, label: object = None) -> HalfPlane:
+    """Half-plane of points at least as close to ``t`` as to ``u``.
+
+    Derivation: ``|q-t|^2 <= |q-u|^2``  ⇔  ``2(u-t)·q <= |u|^2 - |t|^2``.
+    This is the constraint used throughout §3 of the paper: clipping the
+    tentative Voronoi cell of ``t`` by the bisector of every known tuple.
+    """
+    a = 2.0 * (u.x - t.x)
+    b = 2.0 * (u.y - t.y)
+    c = (u.x * u.x + u.y * u.y) - (t.x * t.x + t.y * t.y)
+    return HalfPlane(a, b, c, label)

@@ -1,0 +1,245 @@
+"""Planar geometric primitives shared by the whole library.
+
+Everything in :mod:`repro.geometry` works on plain ``(x, y)`` float pairs
+wrapped in the :class:`Point` named tuple.  Keeping the representation this
+small matters: the estimation algorithms clip polygons and intersect lines
+millions of times per experiment, and attribute access on a named tuple is
+the cheapest structured option in CPython.
+
+Numerical policy
+----------------
+All predicates accept coordinates of arbitrary magnitude; tolerances are
+*absolute* and derived from :data:`EPS`.  The library works in "kilometre
+scale" planes (coordinates roughly in ``[0, 1e4]``), for which ``EPS=1e-9``
+comfortably separates genuine geometric coincidences from float noise.
+"""
+
+from __future__ import annotations
+
+import math
+from typing import Iterable, NamedTuple
+
+__all__ = [
+    "EPS",
+    "Point",
+    "Rect",
+    "distance",
+    "distance_sq",
+    "midpoint",
+    "dot",
+    "cross",
+    "orientation",
+    "rotate",
+    "normalize",
+    "perpendicular",
+    "interpolate",
+    "angle_of",
+    "angle_between",
+    "polygon_area",
+    "polygon_centroid",
+]
+
+#: Absolute tolerance used by geometric predicates.
+EPS = 1e-9
+
+
+class Point(NamedTuple):
+    """A point (or free vector) in the plane."""
+
+    x: float
+    y: float
+
+    def __add__(self, other: "Point") -> "Point":  # type: ignore[override]
+        return Point(self.x + other.x, self.y + other.y)
+
+    def __sub__(self, other: "Point") -> "Point":
+        return Point(self.x - other.x, self.y - other.y)
+
+    def __mul__(self, scalar: float) -> "Point":  # type: ignore[override]
+        return Point(self.x * scalar, self.y * scalar)
+
+    __rmul__ = __mul__
+
+    def norm(self) -> float:
+        """Euclidean length of the vector from the origin."""
+        return math.hypot(self.x, self.y)
+
+
+class Rect(NamedTuple):
+    """An axis-aligned rectangle ``[x0, x1] x [y0, y1]``.
+
+    Used as the bounding region ``V0`` of every experiment: the plane is
+    bounded so Voronoi cells have finite area (Definition 1 of the paper).
+    """
+
+    x0: float
+    y0: float
+    x1: float
+    y1: float
+
+    @property
+    def width(self) -> float:
+        return self.x1 - self.x0
+
+    @property
+    def height(self) -> float:
+        return self.y1 - self.y0
+
+    @property
+    def area(self) -> float:
+        return self.width * self.height
+
+    @property
+    def perimeter(self) -> float:
+        return 2.0 * (self.width + self.height)
+
+    @property
+    def center(self) -> Point:
+        return Point((self.x0 + self.x1) / 2.0, (self.y0 + self.y1) / 2.0)
+
+    def corners(self) -> list[Point]:
+        """Counter-clockwise corners starting at ``(x0, y0)``."""
+        return [
+            Point(self.x0, self.y0),
+            Point(self.x1, self.y0),
+            Point(self.x1, self.y1),
+            Point(self.x0, self.y1),
+        ]
+
+    def contains(self, p: Point, tol: float = EPS) -> bool:
+        return (
+            self.x0 - tol <= p.x <= self.x1 + tol
+            and self.y0 - tol <= p.y <= self.y1 + tol
+        )
+
+    def clamp(self, p: Point) -> Point:
+        """Project ``p`` onto the rectangle."""
+        return Point(
+            min(max(p.x, self.x0), self.x1),
+            min(max(p.y, self.y0), self.y1),
+        )
+
+    def expanded(self, margin: float) -> "Rect":
+        """A copy grown by ``margin`` on every side."""
+        return Rect(self.x0 - margin, self.y0 - margin, self.x1 + margin, self.y1 + margin)
+
+    def sample(self, rng) -> Point:
+        """A uniform random point (``rng`` is a numpy ``Generator``)."""
+        return Point(
+            self.x0 + rng.random() * self.width,
+            self.y0 + rng.random() * self.height,
+        )
+
+
+def distance(a: Point, b: Point) -> float:
+    """Euclidean distance between two points."""
+    return math.hypot(a.x - b.x, a.y - b.y)
+
+
+def distance_sq(a: Point, b: Point) -> float:
+    """Squared Euclidean distance (avoids the sqrt for comparisons)."""
+    dx = a.x - b.x
+    dy = a.y - b.y
+    return dx * dx + dy * dy
+
+
+def midpoint(a: Point, b: Point) -> Point:
+    return Point((a.x + b.x) / 2.0, (a.y + b.y) / 2.0)
+
+
+def dot(a: Point, b: Point) -> float:
+    return a.x * b.x + a.y * b.y
+
+
+def cross(a: Point, b: Point) -> float:
+    """Z component of the 3-D cross product of two plane vectors."""
+    return a.x * b.y - a.y * b.x
+
+
+def orientation(a: Point, b: Point, c: Point) -> float:
+    """Twice the signed area of triangle ``abc`` (> 0 means counter-clockwise)."""
+    return (b.x - a.x) * (c.y - a.y) - (b.y - a.y) * (c.x - a.x)
+
+
+def rotate(v: Point, angle: float) -> Point:
+    """Rotate vector ``v`` counter-clockwise by ``angle`` radians."""
+    c = math.cos(angle)
+    s = math.sin(angle)
+    return Point(c * v.x - s * v.y, s * v.x + c * v.y)
+
+
+def normalize(v: Point) -> Point:
+    """Unit vector in the direction of ``v``.
+
+    Raises :class:`ValueError` on the zero vector: callers always derive
+    directions from distinct points, so a zero here is a logic error.
+    """
+    n = v.norm()
+    if n < EPS:
+        raise ValueError("cannot normalize a (near-)zero vector")
+    return Point(v.x / n, v.y / n)
+
+
+def perpendicular(v: Point) -> Point:
+    """``v`` rotated +90 degrees."""
+    return Point(-v.y, v.x)
+
+
+def interpolate(a: Point, b: Point, t: float) -> Point:
+    """Point ``a + t * (b - a)``; ``t`` in [0, 1] stays on the segment."""
+    return Point(a.x + t * (b.x - a.x), a.y + t * (b.y - a.y))
+
+
+def angle_of(v: Point) -> float:
+    """Polar angle of ``v`` in ``(-pi, pi]``."""
+    return math.atan2(v.y, v.x)
+
+
+def angle_between(u: Point, v: Point) -> float:
+    """Unsigned angle between two vectors, in ``[0, pi]``."""
+    nu = u.norm()
+    nv = v.norm()
+    if nu < EPS or nv < EPS:
+        raise ValueError("angle undefined for zero vectors")
+    c = dot(u, v) / (nu * nv)
+    c = min(1.0, max(-1.0, c))
+    return math.acos(c)
+
+
+def polygon_area(vertices: Iterable[Point]) -> float:
+    """Signed area of a simple polygon (positive when counter-clockwise)."""
+    vs = list(vertices)
+    n = len(vs)
+    if n < 3:
+        return 0.0
+    acc = 0.0
+    for i in range(n):
+        a = vs[i]
+        b = vs[(i + 1) % n]
+        acc += a.x * b.y - b.x * a.y
+    return acc / 2.0
+
+
+def polygon_centroid(vertices: Iterable[Point]) -> Point:
+    """Centroid of a simple polygon; falls back to the vertex mean when the
+    polygon is degenerate (zero area)."""
+    vs = list(vertices)
+    n = len(vs)
+    if n == 0:
+        raise ValueError("centroid of an empty polygon")
+    area2 = 0.0
+    cx = 0.0
+    cy = 0.0
+    for i in range(n):
+        a = vs[i]
+        b = vs[(i + 1) % n]
+        w = a.x * b.y - b.x * a.y
+        area2 += w
+        cx += (a.x + b.x) * w
+        cy += (a.y + b.y) * w
+    if abs(area2) < EPS:
+        return Point(
+            sum(v.x for v in vs) / n,
+            sum(v.y for v in vs) / n,
+        )
+    return Point(cx / (3.0 * area2), cy / (3.0 * area2))

@@ -1,0 +1,69 @@
+"""Reference (full-knowledge) Voronoi construction.
+
+Used as the *ground-truth oracle* in tests and in the Fig-11 experiment:
+given every tuple location, the top-1 cell of a site is the bounding box
+clipped by the bisector of every other site, and the top-k cell is the
+``(k-1)``-level region of the bisector arrangement.
+
+This is O(n) clips per cell — O(n^2) for the full diagram — which is fine
+for the dataset sizes in the experiments; the *algorithms under test* never
+call this module (they only see the kNN interface).
+"""
+
+from __future__ import annotations
+
+from typing import Hashable, Mapping, Sequence
+
+from .arrangement import LevelRegion, build_level_region
+from .halfplane import bisector_halfplane
+from .polygon import ConvexPolygon
+from .primitives import Point, Rect
+
+__all__ = ["true_voronoi_cell", "true_topk_cell", "full_voronoi_diagram"]
+
+
+def true_voronoi_cell(
+    site: Point,
+    others: Sequence[Point],
+    bbox: Rect,
+) -> ConvexPolygon:
+    """Exact top-1 Voronoi cell of ``site`` against ``others`` within
+    ``bbox``."""
+    poly = ConvexPolygon.from_rect(bbox)
+    for i, u in enumerate(others):
+        poly = poly.clip(bisector_halfplane(site, u, label=("site", i)))
+        if poly.is_empty():
+            break
+    return poly
+
+
+def true_topk_cell(
+    site: Point,
+    others: Sequence[Point],
+    k: int,
+    bbox: Rect,
+) -> LevelRegion:
+    """Exact top-k Voronoi cell of ``site`` (a possibly concave region)."""
+    constraints = [
+        bisector_halfplane(site, u, label=("site", i)) for i, u in enumerate(others)
+    ]
+    return build_level_region(
+        constraints, level=k - 1, base=ConvexPolygon.from_rect(bbox), seed=site
+    )
+
+
+def full_voronoi_diagram(
+    sites: Mapping[Hashable, Point],
+    bbox: Rect,
+) -> dict[Hashable, ConvexPolygon]:
+    """Top-1 cell for every site, keyed like ``sites``.
+
+    The cells partition ``bbox`` (up to measure-zero boundaries); tests
+    assert the areas sum to the box area.
+    """
+    ids = list(sites)
+    cells: dict[Hashable, ConvexPolygon] = {}
+    for sid in ids:
+        others = [sites[o] for o in ids if o != sid]
+        cells[sid] = true_voronoi_cell(sites[sid], others, bbox)
+    return cells

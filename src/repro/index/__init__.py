@@ -1,0 +1,6 @@
+"""Spatial index substrate (static KD-tree plus a brute-force oracle)."""
+
+from .brute import BruteForceIndex
+from .kdtree import KdTree
+
+__all__ = ["KdTree", "BruteForceIndex"]

@@ -1,0 +1,30 @@
+"""Brute-force reference index (test oracle for :class:`KdTree`)."""
+
+from __future__ import annotations
+
+import math
+from typing import Hashable, Sequence
+
+__all__ = ["BruteForceIndex"]
+
+
+class BruteForceIndex:
+    """O(n) scans with the same tie-breaking contract as :class:`KdTree`."""
+
+    def __init__(self, points: Sequence[tuple[float, float, Hashable]]):
+        self._points = [(float(x), float(y), item) for x, y, item in points]
+
+    def __len__(self) -> int:
+        return len(self._points)
+
+    def knn(self, x: float, y: float, k: int) -> list[tuple[float, Hashable]]:
+        ranked = sorted(
+            (math.hypot(px - x, py - y), item) for px, py, item in self._points
+        )
+        return ranked[:k]
+
+    def within_radius(self, x: float, y: float, radius: float) -> list[tuple[float, Hashable]]:
+        ranked = sorted(
+            (math.hypot(px - x, py - y), item) for px, py, item in self._points
+        )
+        return [(d, item) for d, item in ranked if d <= radius]

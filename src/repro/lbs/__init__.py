@@ -1,0 +1,27 @@
+"""Simulated location based services: hidden databases behind kNN APIs."""
+
+from .budget import BudgetExhausted, QueryBudget
+from .database import SpatialDatabase
+from .interface import (
+    KnnInterface,
+    LnrLbsInterface,
+    LrLbsInterface,
+    QueryAnswer,
+    ReturnedTuple,
+)
+from .ranking import ObfuscationModel, ProminenceRanking
+from .tuples import LbsTuple
+
+__all__ = [
+    "LbsTuple",
+    "SpatialDatabase",
+    "QueryBudget",
+    "BudgetExhausted",
+    "KnnInterface",
+    "LrLbsInterface",
+    "LnrLbsInterface",
+    "QueryAnswer",
+    "ReturnedTuple",
+    "ObfuscationModel",
+    "ProminenceRanking",
+]

@@ -1,0 +1,49 @@
+"""Query-budget accounting.
+
+Every LBS imposes a rate limit (paper §2.1: 10 000/day for Google Maps,
+150/hour for Sina Weibo), which makes query count *the* performance
+metric.  :class:`QueryBudget` is shared by all interfaces over the same
+service so pass-through filtered views draw from the same allowance.
+"""
+
+from __future__ import annotations
+
+__all__ = ["QueryBudget", "BudgetExhausted"]
+
+
+class BudgetExhausted(RuntimeError):
+    """Raised when an estimator tries to query past its allowance."""
+
+    def __init__(self, limit: int):
+        super().__init__(f"query budget of {limit} exhausted")
+        self.limit = limit
+
+
+class QueryBudget:
+    """A mutable counter with an optional hard limit."""
+
+    __slots__ = ("limit", "used")
+
+    def __init__(self, limit: int | None = None):
+        if limit is not None and limit < 0:
+            raise ValueError("budget limit must be non-negative")
+        self.limit = limit
+        self.used = 0
+
+    def spend(self, amount: int = 1) -> None:
+        if self.limit is not None and self.used + amount > self.limit:
+            raise BudgetExhausted(self.limit)
+        self.used += amount
+
+    @property
+    def remaining(self) -> int | None:
+        if self.limit is None:
+            return None
+        return self.limit - self.used
+
+    def exhausted(self) -> bool:
+        return self.limit is not None and self.used >= self.limit
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        limit = "inf" if self.limit is None else self.limit
+        return f"QueryBudget(used={self.used}, limit={limit})"

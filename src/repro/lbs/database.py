@@ -1,0 +1,128 @@
+"""The hidden spatial database behind a simulated LBS.
+
+Owns the ground-truth tuples and answers *exact* aggregate queries for
+experiment verification.  Estimation algorithms never touch this class
+directly — they only see :mod:`repro.lbs.interface`.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Iterable, Optional
+
+import numpy as np
+
+from ..geometry import Point, Rect
+from ..index import KdTree
+from .tuples import LbsTuple
+
+__all__ = ["SpatialDatabase"]
+
+Predicate = Callable[[LbsTuple], bool]
+
+
+class SpatialDatabase:
+    """An immutable collection of :class:`LbsTuple` in a bounding region."""
+
+    def __init__(self, tuples: Iterable[LbsTuple], region: Rect):
+        self.region = region
+        self._tuples: dict[int, LbsTuple] = {}
+        for t in tuples:
+            if t.tid in self._tuples:
+                raise ValueError(f"duplicate tuple id {t.tid}")
+            if not region.contains(t.location, tol=1e-6 * max(region.width, region.height, 1.0)):
+                raise ValueError(f"tuple {t.tid} at {t.location} outside region {region}")
+            self._tuples[t.tid] = t
+        self._index = KdTree(
+            [(t.location.x, t.location.y, t.tid) for t in self._tuples.values()]
+        )
+
+    # ------------------------------------------------------------------
+    # Introspection
+    # ------------------------------------------------------------------
+    def __len__(self) -> int:
+        return len(self._tuples)
+
+    def __iter__(self):
+        return iter(self._tuples.values())
+
+    def __contains__(self, tid: int) -> bool:
+        return tid in self._tuples
+
+    def get(self, tid: int) -> LbsTuple:
+        return self._tuples[tid]
+
+    def tuples(self) -> list[LbsTuple]:
+        return list(self._tuples.values())
+
+    def locations(self) -> dict[int, Point]:
+        return {tid: t.location for tid, t in self._tuples.items()}
+
+    # ------------------------------------------------------------------
+    # kNN plumbing (used by interfaces)
+    # ------------------------------------------------------------------
+    def knn(self, point: Point, k: int) -> list[tuple[float, LbsTuple]]:
+        """The k nearest tuples as ``(distance, tuple)``, ties by id."""
+        return [(d, self._tuples[tid]) for d, tid in self._index.knn(point.x, point.y, k)]
+
+    def within_radius(self, point: Point, radius: float) -> list[tuple[float, LbsTuple]]:
+        return [
+            (d, self._tuples[tid])
+            for d, tid in self._index.within_radius(point.x, point.y, radius)
+        ]
+
+    # ------------------------------------------------------------------
+    # Ground truth (experiment verification only)
+    # ------------------------------------------------------------------
+    def ground_truth_count(self, predicate: Optional[Predicate] = None) -> int:
+        if predicate is None:
+            return len(self._tuples)
+        return sum(1 for t in self._tuples.values() if predicate(t))
+
+    def ground_truth_sum(self, attr: str, predicate: Optional[Predicate] = None) -> float:
+        total = 0.0
+        for t in self._tuples.values():
+            if predicate is not None and not predicate(t):
+                continue
+            value = t.get(attr)
+            if value is not None:
+                total += float(value)
+        return total
+
+    def ground_truth_avg(self, attr: str, predicate: Optional[Predicate] = None) -> float:
+        total = 0.0
+        count = 0
+        for t in self._tuples.values():
+            if predicate is not None and not predicate(t):
+                continue
+            value = t.get(attr)
+            if value is not None:
+                total += float(value)
+                count += 1
+        if count == 0:
+            raise ValueError("AVG over empty selection")
+        return total / count
+
+    # ------------------------------------------------------------------
+    # Derived databases
+    # ------------------------------------------------------------------
+    def filtered(self, predicate: Predicate) -> "SpatialDatabase":
+        """Sub-database of tuples satisfying ``predicate`` (same region).
+
+        This is how pass-through selection conditions (paper §5.1) are
+        simulated: the service runs the kNN over matching tuples only.
+        """
+        return SpatialDatabase(
+            [t for t in self._tuples.values() if predicate(t)], self.region
+        )
+
+    def subsample(self, fraction: float, rng: np.random.Generator) -> "SpatialDatabase":
+        """Uniformly random subset of the given ``fraction`` (Fig. 18)."""
+        if not 0.0 < fraction <= 1.0:
+            raise ValueError("fraction must be in (0, 1]")
+        tids = sorted(self._tuples)
+        take = max(1, int(round(fraction * len(tids))))
+        chosen = rng.choice(len(tids), size=take, replace=False)
+        keep = {tids[i] for i in chosen}
+        return SpatialDatabase(
+            [t for tid, t in self._tuples.items() if tid in keep], self.region
+        )

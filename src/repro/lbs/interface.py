@@ -1,0 +1,210 @@
+"""The restrictive public kNN interfaces of simulated LBS.
+
+Two concrete services mirror the paper's taxonomy (§2.1):
+
+* :class:`LrLbsInterface` — *Location-Returned* LBS (Google Maps style):
+  each of the top-k answers carries its coordinates and distance.
+* :class:`LnrLbsInterface` — *Location-Not-Returned* LBS (WeChat / Sina
+  Weibo style): answers are a ranked list of ids plus non-spatial
+  attributes; locations and distances are suppressed.
+
+Both honour the common interface limitations: top-k truncation, a shared
+:class:`~repro.lbs.budget.QueryBudget`, and an optional maximum coverage
+radius ``max_radius`` (§5.3) outside which tuples are never returned.
+``filtered`` produces a pass-through-condition view (§5.1) that shares the
+parent's budget, exactly like appending ``name=Starbucks`` to an API call.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Callable, Optional, Sequence
+
+from ..geometry import Point, distance
+from ..index import KdTree
+from .budget import QueryBudget
+from .database import SpatialDatabase
+from .ranking import ObfuscationModel, ProminenceRanking
+from .tuples import LbsTuple
+
+__all__ = ["ReturnedTuple", "QueryAnswer", "KnnInterface", "LrLbsInterface", "LnrLbsInterface"]
+
+Predicate = Callable[[LbsTuple], bool]
+
+
+@dataclass(frozen=True)
+class ReturnedTuple:
+    """One entry of a kNN answer.
+
+    ``location``/``distance`` are ``None`` for LNR services.  ``attrs``
+    exposes the non-spatial attributes the service discloses (name,
+    gender, rating, ...).
+    """
+
+    rank: int
+    tid: int
+    attrs: dict
+    location: Optional[Point] = None
+    distance: Optional[float] = None
+
+
+@dataclass(frozen=True)
+class QueryAnswer:
+    """A ranked kNN answer for one query location."""
+
+    query: Point
+    results: tuple[ReturnedTuple, ...]
+
+    def __len__(self) -> int:
+        return len(self.results)
+
+    def __iter__(self):
+        return iter(self.results)
+
+    def is_empty(self) -> bool:
+        return not self.results
+
+    def tids(self) -> list[int]:
+        return [r.tid for r in self.results]
+
+    def top(self) -> Optional[ReturnedTuple]:
+        return self.results[0] if self.results else None
+
+    def rank_of(self, tid: int) -> Optional[int]:
+        """1-based rank of ``tid`` in this answer, or ``None``."""
+        for r in self.results:
+            if r.tid == tid:
+                return r.rank
+        return None
+
+    def contains(self, tid: int) -> bool:
+        return self.rank_of(tid) is not None
+
+    def ranked_before(self, a: int, b: int) -> bool:
+        """True when tuple ``a`` appears and is ranked above ``b``.
+
+        If ``b`` is absent while ``a`` is present, ``a`` counts as ranked
+        before ``b`` (``b`` must then be farther than the k-th answer).
+        """
+        ra = self.rank_of(a)
+        rb = self.rank_of(b)
+        if ra is None:
+            return False
+        return rb is None or ra < rb
+
+
+class KnnInterface:
+    """Shared implementation of both service flavours."""
+
+    #: Whether answers expose tuple locations/distances.
+    returns_location = True
+
+    def __init__(
+        self,
+        database: SpatialDatabase,
+        k: int,
+        *,
+        budget: Optional[QueryBudget] = None,
+        max_radius: Optional[float] = None,
+        obfuscation: Optional[ObfuscationModel] = None,
+        prominence: Optional[dict] = None,
+        visible_attrs: Optional[Sequence[str]] = None,
+    ):
+        if k < 1:
+            raise ValueError("k must be >= 1")
+        self.database = database
+        self.k = k
+        self.budget = budget if budget is not None else QueryBudget(None)
+        self.max_radius = max_radius
+        self.obfuscation = obfuscation
+        self.visible_attrs = tuple(visible_attrs) if visible_attrs is not None else None
+
+        tuples = database.tuples()
+        if obfuscation is not None:
+            # Jitter, clamped to the service region: obfuscated positions
+            # still live in the service's world.
+            region = database.region
+            self._locations = {
+                tid: region.clamp(p)
+                for tid, p in obfuscation.effective_locations(tuples).items()
+            }
+        else:
+            self._locations = {t.tid: t.location for t in tuples}
+        self._prominence: Optional[ProminenceRanking] = None
+        if prominence is not None:
+            self._prominence = ProminenceRanking(tuples, self._locations, **prominence)
+        self._index = KdTree(
+            [(p.x, p.y, tid) for tid, p in self._locations.items()]
+        )
+
+    # ------------------------------------------------------------------
+    @property
+    def queries_used(self) -> int:
+        return self.budget.used
+
+    @property
+    def region(self):
+        return self.database.region
+
+    def effective_location(self, tid: int) -> Point:
+        """The position the service *ranks* with (tests/ground truth only)."""
+        return self._locations[tid]
+
+    # ------------------------------------------------------------------
+    def query(self, point: Point) -> QueryAnswer:
+        """Issue one kNN query; draws one unit of budget."""
+        self.budget.spend(1)
+        point = Point(*point)
+        if self._prominence is not None:
+            ranked = self._prominence.rank(point, self.k)
+        else:
+            ranked = self._index.knn(point.x, point.y, self.k)
+        if self.max_radius is not None:
+            ranked = [(d, tid) for d, tid in ranked if d <= self.max_radius]
+        results = tuple(
+            self._make_result(rank, d, tid)
+            for rank, (d, tid) in enumerate(ranked, start=1)
+        )
+        return QueryAnswer(point, results)
+
+    def _make_result(self, rank: int, dist: float, tid: int) -> ReturnedTuple:
+        t = self.database.get(tid)
+        if self.visible_attrs is None:
+            attrs = dict(t.attrs)
+        else:
+            attrs = {a: t.attrs[a] for a in self.visible_attrs if a in t.attrs}
+        if self.returns_location:
+            return ReturnedTuple(
+                rank=rank, tid=tid, attrs=attrs,
+                location=self._locations[tid], distance=dist,
+            )
+        return ReturnedTuple(rank=rank, tid=tid, attrs=attrs)
+
+    # ------------------------------------------------------------------
+    def filtered(self, predicate: Predicate) -> "KnnInterface":
+        """Pass-through selection-condition view (paper §5.1).
+
+        Runs the kNN over matching tuples only, drawing from the *same*
+        budget — like adding a keyword filter to the Places API call.
+        """
+        view = type(self)(
+            self.database.filtered(predicate),
+            self.k,
+            budget=self.budget,
+            max_radius=self.max_radius,
+            obfuscation=self.obfuscation,
+            visible_attrs=self.visible_attrs,
+        )
+        return view
+
+
+class LrLbsInterface(KnnInterface):
+    """Location-Returned LBS (Google Maps / Bing Maps style)."""
+
+    returns_location = True
+
+
+class LnrLbsInterface(KnnInterface):
+    """Location-Not-Returned LBS (WeChat / Sina Weibo style)."""
+
+    returns_location = False

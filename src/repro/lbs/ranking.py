@@ -1,0 +1,94 @@
+"""Ranking functions and location obfuscation for the simulated services.
+
+The default service ranks by Euclidean distance on *effective* locations.
+Effective locations differ from true ones when the service obfuscates
+(WeChat-style, paper §6.3 "Localization Accuracy"): each tuple gets one
+fixed jitter, drawn once, so repeated queries are consistent — which is
+exactly what makes localization attacks *almost* work against WeChat and
+why Fig. 21 shows a bounded but non-zero error floor.
+
+:class:`ProminenceRanking` models the Google-Places "prominence" order of
+§5.3: a mix of a distance score and a static popularity score.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Optional, Sequence
+
+import numpy as np
+
+from ..geometry import Point
+from .tuples import LbsTuple
+
+__all__ = ["ObfuscationModel", "ProminenceRanking"]
+
+
+@dataclass(frozen=True)
+class ObfuscationModel:
+    """Fixed per-tuple Gaussian jitter of reported/ranked positions.
+
+    ``sigma`` is the standard deviation (same units as coordinates) and
+    ``clip`` an optional hard cap on the displacement norm.
+    """
+
+    sigma: float
+    seed: int = 0
+    clip: Optional[float] = None
+
+    def effective_locations(self, tuples: Sequence[LbsTuple]) -> dict[int, Point]:
+        rng = np.random.default_rng(self.seed)
+        out: dict[int, Point] = {}
+        for t in sorted(tuples, key=lambda t: t.tid):
+            dx, dy = rng.normal(0.0, self.sigma, size=2)
+            if self.clip is not None:
+                norm = float(np.hypot(dx, dy))
+                if norm > self.clip > 0.0:
+                    dx *= self.clip / norm
+                    dy *= self.clip / norm
+            out[t.tid] = Point(t.location.x + float(dx), t.location.y + float(dy))
+        return out
+
+
+class ProminenceRanking:
+    """Rank by ``w_d * distance_score + w_s * static_score`` (paper §5.3).
+
+    ``distance_score`` decays linearly from 1 at distance 0 to 0 at
+    ``distance_cap`` (and stays 0 beyond — the paper's "0 to tuples more
+    than 50 miles away").  ``static_attr`` supplies the popularity score,
+    normalized to [0, 1] over the database.
+    """
+
+    def __init__(
+        self,
+        tuples: Sequence[LbsTuple],
+        locations: dict[int, Point],
+        static_attr: str,
+        weight_distance: float = 0.5,
+        weight_static: float = 0.5,
+        distance_cap: float = 50.0,
+    ):
+        self.tids = np.array(sorted(locations), dtype=np.int64)
+        by_tid = {t.tid: t for t in tuples}
+        self.xs = np.array([locations[tid].x for tid in self.tids])
+        self.ys = np.array([locations[tid].y for tid in self.tids])
+        raw = np.array([float(by_tid[int(tid)].get(static_attr, 0.0)) for tid in self.tids])
+        spread = raw.max() - raw.min() if len(raw) else 0.0
+        self.static_scores = (raw - raw.min()) / spread if spread > 0 else np.zeros_like(raw)
+        self.weight_distance = weight_distance
+        self.weight_static = weight_static
+        self.distance_cap = distance_cap
+
+    def rank(self, point: Point, k: int) -> list[tuple[float, int]]:
+        """Top-k as ``(distance, tid)`` pairs ordered by descending score.
+
+        Note the returned pairs still carry the *distance* (the interface
+        decides whether to expose it); the ordering is by prominence.
+        """
+        dist = np.hypot(self.xs - point.x, self.ys - point.y)
+        dscore = np.clip(1.0 - dist / self.distance_cap, 0.0, 1.0)
+        score = self.weight_distance * dscore + self.weight_static * self.static_scores
+        # Deterministic order: descending score, then ascending tid.
+        order = np.lexsort((self.tids, -score))
+        top = order[: max(k, 0)]
+        return [(float(dist[i]), int(self.tids[i])) for i in top]

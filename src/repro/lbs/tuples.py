@@ -1,0 +1,42 @@
+"""Tuple model for the simulated LBS databases."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from types import MappingProxyType
+from typing import Any, Mapping
+
+from ..geometry import Point
+
+__all__ = ["LbsTuple"]
+
+
+@dataclass(frozen=True)
+class LbsTuple:
+    """A database tuple: an id, a planar location, and free-form attributes.
+
+    POIs carry attributes like ``category``, ``brand``, ``rating``,
+    ``open_sundays`` or ``enrollment``; social users carry ``gender`` and
+    ``location_enabled`` — mirroring the enriched OpenStreetMap / WeChat
+    datasets of the paper's §6.1.
+    """
+
+    tid: int
+    location: Point
+    attrs: Mapping[str, Any] = field(default_factory=dict)
+
+    def __post_init__(self) -> None:
+        object.__setattr__(self, "location", Point(*self.location))
+        object.__setattr__(self, "attrs", MappingProxyType(dict(self.attrs)))
+
+    def __getitem__(self, key: str) -> Any:
+        return self.attrs[key]
+
+    def get(self, key: str, default: Any = None) -> Any:
+        return self.attrs.get(key, default)
+
+    def __hash__(self) -> int:
+        return hash(self.tid)
+
+    def __eq__(self, other: object) -> bool:
+        return isinstance(other, LbsTuple) and other.tid == self.tid

@@ -1,0 +1,7 @@
+"""Query-point samplers: uniform and census-weighted (paper §5.2)."""
+
+from .base import PointSampler, RestrictedSampler
+from .uniform import UniformSampler
+from .weighted import GridWeightedSampler
+
+__all__ = ["PointSampler", "RestrictedSampler", "UniformSampler", "GridWeightedSampler"]

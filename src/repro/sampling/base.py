@@ -1,0 +1,87 @@
+"""Query-point sampling abstractions.
+
+An estimator draws query locations from a density ``f`` over the bounding
+region.  Unbiasedness (paper Eq. 1) holds for *any* ``f`` that is positive
+everywhere — what changes is the variance (§5.2).  The estimator therefore
+needs, for any tuple it samples, the ``f``-measure of that tuple's
+(top-h) Voronoi cell:
+
+    p(t) = ∫_{V_h(t)} f(q) dq
+
+:class:`PointSampler` packages the three required capabilities: drawing
+points, measuring polygon unions exactly, and re-sampling restricted to a
+polygon union (used by the Monte-Carlo bound finish of §3.2.4, which must
+sample from ``f`` *conditioned on* the upper-bound region).
+"""
+
+from __future__ import annotations
+
+import abc
+from typing import Optional, Sequence
+
+import numpy as np
+
+from ..geometry import ConvexPolygon, Disk, Point, Rect
+
+__all__ = ["PointSampler", "RestrictedSampler"]
+
+
+class PointSampler(abc.ABC):
+    """Samples query locations from a fixed density over ``region``."""
+
+    def __init__(self, region: Rect):
+        self.region = region
+
+    @abc.abstractmethod
+    def sample(self, rng: np.random.Generator) -> Point:
+        """Draw one location from the density."""
+
+    @abc.abstractmethod
+    def density(self, p: Point) -> float:
+        """The density ``f(p)`` (integrates to 1 over the region)."""
+
+    @abc.abstractmethod
+    def measure_polygon(self, poly: ConvexPolygon, disk: Optional[Disk] = None) -> float:
+        """``∫_poly f`` — exactly; optionally intersected with ``disk``
+        (the §5.3 max-radius constraint)."""
+
+    def measure_region(
+        self, polys: Sequence[ConvexPolygon], disk: Optional[Disk] = None
+    ) -> float:
+        """Measure of a union of interior-disjoint convex pieces."""
+        return sum(self.measure_polygon(p, disk) for p in polys)
+
+    @abc.abstractmethod
+    def restricted(
+        self, polys: Sequence[ConvexPolygon], disk: Optional[Disk] = None
+    ) -> "RestrictedSampler":
+        """A sampler for ``f`` conditioned on the union of ``polys``
+        (optionally further intersected with ``disk``)."""
+
+
+class RestrictedSampler:
+    """Draws from a density restricted to a union of weighted convex pieces.
+
+    ``pieces`` are ``(polygon, weight)`` with weights proportional to the
+    conditioned probability of each piece; sampling picks a piece by
+    weight, then a uniform point inside (the density is constant within
+    each piece by construction), rejecting outside ``disk`` when given.
+    """
+
+    def __init__(self, pieces: Sequence[tuple[ConvexPolygon, float]], disk: Optional[Disk] = None):
+        self.pieces = [(p, w) for p, w in pieces if w > 0.0 and not p.is_empty()]
+        self.disk = disk
+        self.total = sum(w for _p, w in self.pieces)
+        if self.total <= 0.0:
+            raise ValueError("restricted sampler over a zero-measure region")
+        self._cum = np.cumsum([w for _p, w in self.pieces])
+
+    def sample(self, rng: np.random.Generator, max_tries: int = 10_000) -> Point:
+        for _ in range(max_tries):
+            u = rng.random() * self.total
+            idx = int(np.searchsorted(self._cum, u, side="right"))
+            idx = min(idx, len(self.pieces) - 1)
+            p = self.pieces[idx][0].sample(rng)
+            if self.disk is None or self.disk.contains_point(p):
+                return p
+        raise RuntimeError("rejection sampling failed; disk-region overlap too thin")

@@ -1,0 +1,48 @@
+"""Uniform query-point sampling (the paper's default strategy)."""
+
+from __future__ import annotations
+
+from typing import Optional, Sequence
+
+import numpy as np
+
+from ..geometry import ConvexPolygon, Disk, Point, polygon_disk_area
+from .base import PointSampler, RestrictedSampler
+
+__all__ = ["UniformSampler"]
+
+
+class UniformSampler(PointSampler):
+    """``f(q) = 1 / |V0|`` over the bounding region.
+
+    The measure of a Voronoi cell is then simply ``area / |V0|`` — the
+    familiar form of the paper's Eq. 1.
+    """
+
+    def sample(self, rng: np.random.Generator) -> Point:
+        return self.region.sample(rng)
+
+    def density(self, p: Point) -> float:
+        return 1.0 / self.region.area if self.region.contains(p) else 0.0
+
+    def measure_polygon(self, poly: ConvexPolygon, disk: Optional[Disk] = None) -> float:
+        # Polygons may extend beyond the region (cells of tuples outside a
+        # sub-region base); the density is zero there, so clip first.
+        poly = poly.clip_rect(self.region)
+        if poly.is_empty():
+            return 0.0
+        if disk is None:
+            area = poly.area()
+        else:
+            area = polygon_disk_area(poly.vertices, disk.center, disk.radius)
+        return area / self.region.area
+
+    def restricted(
+        self, polys: Sequence[ConvexPolygon], disk: Optional[Disk] = None
+    ) -> RestrictedSampler:
+        # Weights deliberately ignore the disk: the RestrictedSampler
+        # handles it by rejection, which keeps the conditioned density
+        # proportional to f on every piece ∩ disk (see base.py).
+        clipped = (p.clip_rect(self.region) for p in polys)
+        pieces = [(p, p.area()) for p in clipped if not p.is_empty()]
+        return RestrictedSampler(pieces, disk)

@@ -1,0 +1,6 @@
+"""Statistics utilities: running moments, CIs, estimation results."""
+
+from .result import EstimationResult, TracePoint, normal_ci
+from .running import RatioStat, RunningStat
+
+__all__ = ["RunningStat", "RatioStat", "EstimationResult", "TracePoint", "normal_ci"]

@@ -1,0 +1,85 @@
+"""Streaming statistics for the estimators.
+
+Welford's algorithm gives numerically stable running mean/variance; the
+sample variance uses Bessel's correction, which is how the paper suggests
+practitioners approximate the (unknown) population variance when reporting
+confidence intervals (§2.3).
+"""
+
+from __future__ import annotations
+
+import math
+
+__all__ = ["RunningStat", "RatioStat"]
+
+
+class RunningStat:
+    """Running mean / variance over a stream of floats (Welford)."""
+
+    __slots__ = ("n", "mean", "_m2")
+
+    def __init__(self) -> None:
+        self.n = 0
+        self.mean = 0.0
+        self._m2 = 0.0
+
+    def push(self, x: float) -> None:
+        self.n += 1
+        delta = x - self.mean
+        self.mean += delta / self.n
+        self._m2 += delta * (x - self.mean)
+
+    def variance(self) -> float:
+        """Bessel-corrected sample variance (0 for fewer than 2 samples)."""
+        if self.n < 2:
+            return 0.0
+        return self._m2 / (self.n - 1)
+
+    def std(self) -> float:
+        return math.sqrt(self.variance())
+
+    def sem(self) -> float:
+        """Standard error of the mean."""
+        if self.n < 1:
+            return float("inf")
+        return self.std() / math.sqrt(self.n)
+
+    def merge(self, other: "RunningStat") -> "RunningStat":
+        """Combined statistics of two disjoint streams (Chan's method)."""
+        out = RunningStat()
+        out.n = self.n + other.n
+        if out.n == 0:
+            return out
+        delta = other.mean - self.mean
+        out.mean = self.mean + delta * other.n / out.n
+        out._m2 = self._m2 + other._m2 + delta * delta * self.n * other.n / out.n
+        return out
+
+
+class RatioStat:
+    """Running ratio-of-means estimator for AVG = SUM / COUNT queries.
+
+    AVG is estimated as the ratio of two unbiased estimators sharing the
+    same samples (paper §1.3: "AVG queries can be computed as
+    SUM/COUNT"); the ratio itself is consistent though not exactly
+    unbiased — standard for ratio estimators.
+    """
+
+    __slots__ = ("numerator", "denominator")
+
+    def __init__(self) -> None:
+        self.numerator = RunningStat()
+        self.denominator = RunningStat()
+
+    def push(self, num: float, den: float) -> None:
+        self.numerator.push(num)
+        self.denominator.push(den)
+
+    @property
+    def n(self) -> int:
+        return self.numerator.n
+
+    def estimate(self) -> float:
+        if self.denominator.mean == 0.0:
+            return float("nan")
+        return self.numerator.mean / self.denominator.mean

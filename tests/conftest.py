@@ -1,0 +1,43 @@
+"""Shared fixtures: small hidden databases with known ground truth."""
+
+import numpy as np
+import pytest
+
+from repro.geometry import Point, Rect
+from repro.lbs import LbsTuple, SpatialDatabase
+
+BOX = Rect(0.0, 0.0, 100.0, 100.0)
+
+
+def _make_db(n: int, seed: int) -> SpatialDatabase:
+    rng = np.random.default_rng(seed)
+    tuples = []
+    for i in range(n):
+        attrs = {
+            "category": "school" if i % 3 == 0 else "restaurant",
+            "value": float(rng.integers(1, 100)),
+            "gender": "m" if rng.random() < 0.6 else "f",
+            "is_male": 0,
+        }
+        attrs["is_male"] = 1 if attrs["gender"] == "m" else 0
+        tuples.append(
+            LbsTuple(i, Point(rng.random() * 100.0, rng.random() * 100.0), attrs)
+        )
+    return SpatialDatabase(tuples, BOX)
+
+
+@pytest.fixture(scope="session")
+def box() -> Rect:
+    return BOX
+
+
+@pytest.fixture(scope="session")
+def small_db() -> SpatialDatabase:
+    """60 uniform tuples — cheap enough for exact-cell comparisons."""
+    return _make_db(60, seed=3)
+
+
+@pytest.fixture(scope="session")
+def tiny_db() -> SpatialDatabase:
+    """12 tuples — for the most query-hungry LNR paths."""
+    return _make_db(12, seed=9)

@@ -1,0 +1,128 @@
+"""Tests for aggregate specs and the observation history."""
+
+import pytest
+
+from repro.core import AggregateKind, AggregateQuery, DiskLedger, ObservationHistory
+from repro.geometry import Disk, Point
+from repro.lbs import LrLbsInterface, LnrLbsInterface
+
+
+class TestAggregateQuery:
+    def test_count_numerator(self):
+        q = AggregateQuery.count()
+        assert q.numerator({"a": 1}, None) == 1.0
+        assert q.denominator({"a": 1}, None) == 1.0
+
+    def test_count_with_condition(self):
+        q = AggregateQuery.count(lambda attrs, _loc: attrs.get("x") == 1)
+        assert q.numerator({"x": 1}, None) == 1.0
+        assert q.numerator({"x": 2}, None) == 0.0
+
+    def test_sum(self):
+        q = AggregateQuery.sum("v")
+        assert q.numerator({"v": 7}, None) == 7.0
+        assert q.numerator({}, None) == 0.0  # missing attr
+
+    def test_sum_requires_attr(self):
+        with pytest.raises(ValueError):
+            AggregateQuery(AggregateKind.SUM)
+
+    def test_avg_is_ratio(self):
+        q = AggregateQuery.avg("v")
+        assert q.is_ratio
+        assert q.numerator({"v": 4}, None) == 4.0
+        assert q.denominator({"v": 4}, None) == 1.0
+        assert q.denominator({}, None) == 0.0  # missing excluded from AVG
+
+    def test_location_condition(self):
+        q = AggregateQuery.count(
+            lambda _a, loc: loc is not None and loc.x < 50, needs_location=True
+        )
+        assert q.numerator({}, Point(10, 0)) == 1.0
+        assert q.numerator({}, Point(90, 0)) == 0.0
+        assert q.numerator({}, None) == 0.0
+
+
+class TestDiskLedger:
+    def test_add_and_near(self):
+        ledger = DiskLedger(cell_size=10.0)
+        ledger.add(Disk(Point(5, 5), 2.0))
+        ledger.add(Disk(Point(95, 95), 1.0))
+        near = ledger.near(Point(6, 6), 3.0)
+        assert len(near) == 1
+        assert near[0].center == Point(5, 5)
+
+    def test_zero_radius_ignored(self):
+        ledger = DiskLedger(cell_size=10.0)
+        ledger.add(Disk(Point(0, 0), 0.0))
+        assert ledger.count == 0
+
+    def test_invalid_cell_size(self):
+        with pytest.raises(ValueError):
+            DiskLedger(cell_size=0.0)
+
+    def test_near_uses_max_radius(self):
+        ledger = DiskLedger(cell_size=5.0)
+        ledger.add(Disk(Point(0, 0), 40.0))  # huge disk far away
+        assert len(ledger.near(Point(30, 0), 1.0)) == 1
+
+
+class TestObservationHistory:
+    def test_cache_hits_do_not_spend_budget(self, small_db):
+        api = LrLbsInterface(small_db, k=3)
+        hist = ObservationHistory(api)
+        p = Point(10, 10)
+        a1 = hist.query(p)
+        a2 = hist.query(p)
+        assert a1 is a2
+        assert api.queries_used == 1
+
+    def test_locations_recorded_lr(self, small_db):
+        api = LrLbsInterface(small_db, k=3)
+        hist = ObservationHistory(api)
+        ans = hist.query(Point(50, 50))
+        for r in ans:
+            assert hist.locations[r.tid] == r.location
+
+    def test_no_locations_recorded_lnr(self, small_db):
+        api = LnrLbsInterface(small_db, k=3)
+        hist = ObservationHistory(api)
+        hist.query(Point(50, 50))
+        assert not hist.locations
+
+    def test_known_disk_radius_is_kth_distance(self, small_db):
+        api = LrLbsInterface(small_db, k=3)
+        hist = ObservationHistory(api)
+        ans = hist.query(Point(50, 50))
+        disks = hist.disks.near(Point(50, 50), 0.1)
+        assert len(disks) == 1
+        assert disks[0].radius == pytest.approx(ans.results[-1].distance)
+
+    def test_no_disk_for_lnr(self, small_db):
+        api = LnrLbsInterface(small_db, k=3)
+        hist = ObservationHistory(api)
+        hist.query(Point(50, 50))
+        assert hist.disks.count == 0
+
+    def test_short_answer_certifies_max_radius(self, small_db):
+        api = LrLbsInterface(small_db, k=10, max_radius=4.0)
+        hist = ObservationHistory(api)
+        ans = hist.query(Point(50, 50))
+        if len(ans) < 10:  # short answer under the service radius
+            disks = hist.disks.near(Point(50, 50), 0.1)
+            assert disks and disks[0].radius == pytest.approx(4.0)
+
+    def test_reset_sample_when_disabled(self, small_db):
+        api = LrLbsInterface(small_db, k=3)
+        hist = ObservationHistory(api, enabled=False)
+        hist.query(Point(50, 50))
+        assert hist.locations
+        hist.reset_sample()
+        assert not hist.locations
+
+    def test_reset_sample_noop_when_enabled(self, small_db):
+        api = LrLbsInterface(small_db, k=3)
+        hist = ObservationHistory(api, enabled=True)
+        hist.query(Point(50, 50))
+        hist.reset_sample()
+        assert hist.locations

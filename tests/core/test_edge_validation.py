@@ -1,0 +1,80 @@
+"""Focused tests for the two-point edge validation (DESIGN.md §5).
+
+These use pure geometric predicates (no LBS in the loop) so the failure
+mode — corner chords masquerading as edges — can be staged precisely.
+"""
+
+import math
+
+import pytest
+
+from repro.core.edge_search import _line_validates, estimate_boundary_line
+from repro.geometry import Point, Rect, normalize
+
+BOX = Rect(-100, -100, 100, 100)
+
+
+def halfplane_pred(a, b, c):
+    """Inside = {p : a x + b y < c}."""
+    return lambda p: a * p.x + b * p.y < c
+
+
+class TestLineValidates:
+    def test_true_edge_passes(self):
+        pred = halfplane_pred(0, 1, 5)  # inside: y < 5
+        ok = _line_validates(
+            pred, Point(0, 5), Point(1, 0), inside_hint=Point(0, 4.99),
+            delta=1e-4, separation=1.0, rect=BOX,
+        )
+        assert ok
+
+    def test_tilted_chord_fails(self):
+        pred = halfplane_pred(0, 1, 5)
+        # A 30-degree wrong direction through a boundary point.
+        bad_dir = normalize(Point(math.cos(0.5), math.sin(0.5)))
+        ok = _line_validates(
+            pred, Point(0, 5), bad_dir, inside_hint=Point(0, 4.99),
+            delta=1e-4, separation=2.0, rect=BOX,
+        )
+        assert not ok
+
+    def test_corner_chord_fails(self):
+        # Inside = quadrant; chord from (1, 0.5) to (0.5, 1) cuts the corner.
+        pred = lambda p: p.x < 1.0 and p.y < 1.0
+        start = Point(1.0, 0.5)
+        direction = normalize(Point(0.5, 1.0) - start)
+        ok = _line_validates(
+            pred, start, direction, inside_hint=Point(0.99, 0.5),
+            delta=1e-3, separation=math.hypot(0.5, 0.5), rect=BOX,
+        )
+        assert not ok
+
+
+class TestEstimateAgainstSyntheticCells:
+    def test_oblique_edge_precise(self):
+        """A steeply oblique edge — the case the perpendicular fallback
+        would get badly wrong — must come out two-point and accurate."""
+        pred = halfplane_pred(1, 3, 4)
+        est = estimate_boundary_line(
+            pred, Point(0, 0), Point(20, 0), delta=1e-6, delta_prime=0.02, rect=BOX
+        )
+        assert est is not None and est.two_point
+        # est.direction must be orthogonal to the normal (1, 3).
+        n = math.hypot(1, 3)
+        assert abs(est.direction.x * 1 + est.direction.y * 3) / n < 1e-2
+
+    def test_all_cardinal_walks_find_square(self):
+        """Walking out of a square in all four directions recovers all
+        four of its edges."""
+        pred = lambda p: abs(p.x) < 3 and abs(p.y) < 3
+        found = []
+        for d in (Point(1, 0), Point(-1, 0), Point(0, 1), Point(0, -1)):
+            far = Point(d.x * 50, d.y * 50)
+            est = estimate_boundary_line(
+                pred, Point(0, 0), far, delta=1e-5, delta_prime=0.05, rect=BOX
+            )
+            assert est is not None
+            found.append(est)
+        # Each recovered line sits at distance ~3 from the origin.
+        for est in found:
+            assert max(abs(est.point.x), abs(est.point.y)) == pytest.approx(3.0, abs=1e-3)

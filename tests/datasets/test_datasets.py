@@ -1,0 +1,148 @@
+"""Tests for the synthetic dataset generators."""
+
+import numpy as np
+import pytest
+
+from repro.datasets import (
+    CityModel,
+    PoiConfig,
+    PopulationGrid,
+    UserConfig,
+    generate_poi_database,
+    generate_user_database,
+    is_brand,
+    is_category,
+    subrect,
+)
+from repro.geometry import Point, Rect
+
+BOX = Rect(0, 0, 200, 100)
+
+
+class TestCityModel:
+    def test_generate_and_sample(self):
+        rng = np.random.default_rng(0)
+        model = CityModel.generate(BOX, 10, rng)
+        for _ in range(200):
+            assert BOX.contains(model.sample_point(rng))
+
+    def test_density_positive(self):
+        rng = np.random.default_rng(0)
+        model = CityModel.generate(BOX, 5, rng)
+        for _ in range(50):
+            assert model.density(BOX.sample(rng)) > 0
+
+    def test_density_peaks_at_city(self):
+        rng = np.random.default_rng(1)
+        model = CityModel.generate(BOX, 3, rng, rural_fraction=0.05)
+        biggest = max(model.cities, key=lambda c: c.weight)
+        far = Point((biggest.center.x + 100) % 200, (biggest.center.y + 50) % 100)
+        assert model.density(biggest.center) > model.density(far)
+
+    def test_invalid_params(self):
+        rng = np.random.default_rng(0)
+        with pytest.raises(ValueError):
+            CityModel.generate(BOX, 0, rng)
+        with pytest.raises(ValueError):
+            CityModel(BOX, [], rural_fraction=0.5)
+
+    def test_clustering_increases_with_sharp_cities(self):
+        rng = np.random.default_rng(2)
+        sharp = CityModel.generate(BOX, 5, np.random.default_rng(2),
+                                   base_sigma_fraction=0.005, rural_fraction=0.02)
+        pts = sharp.sample_points(300, rng)
+        xs = np.array([p.x for p in pts])
+        # Strong clustering: sample variance well below the uniform value.
+        assert xs.var() != pytest.approx(200 ** 2 / 12, rel=0.1)
+
+
+class TestPopulationGrid:
+    def test_density_integrates_to_one(self):
+        rng = np.random.default_rng(0)
+        model = CityModel.generate(BOX, 6, rng)
+        grid = PopulationGrid.from_city_model(model, nx=10, ny=5)
+        total = sum(
+            grid.density(grid.cell_rect(i, j).center) * grid.cell_area()
+            for i in range(grid.nx) for j in range(grid.ny)
+        )
+        assert total == pytest.approx(1.0)
+
+    def test_cell_of_clamps(self):
+        grid = PopulationGrid.uniform(BOX, 4, 2)
+        assert grid.cell_of(Point(-10, -10)) == (0, 0)
+        assert grid.cell_of(Point(1000, 1000)) == (3, 1)
+
+    def test_sampling_follows_weights(self):
+        weights = np.zeros((2, 1))
+        weights[0, 0] = 1.0
+        weights[1, 0] = 3.0
+        grid = PopulationGrid(BOX, weights)
+        rng = np.random.default_rng(0)
+        right = sum(grid.sample_point(rng).x >= 100 for _ in range(2000))
+        assert 0.68 < right / 2000 < 0.82
+
+    def test_invalid_weights(self):
+        with pytest.raises(ValueError):
+            PopulationGrid(BOX, np.array([[-1.0]]))
+        with pytest.raises(ValueError):
+            PopulationGrid(BOX, np.zeros((2, 2)))
+
+    def test_noise_changes_weights(self):
+        rng = np.random.default_rng(0)
+        model = CityModel.generate(BOX, 4, rng)
+        clean = PopulationGrid.from_city_model(model, nx=6, ny=3, noise=0.0)
+        noisy = PopulationGrid.from_city_model(
+            model, nx=6, ny=3, noise=0.8, rng=np.random.default_rng(1)
+        )
+        assert not np.allclose(clean.weights, noisy.weights)
+
+
+class TestPoiGenerator:
+    def test_counts_and_attrs(self):
+        rng = np.random.default_rng(0)
+        cfg = PoiConfig(n_restaurants=50, n_schools=30, n_banks=10, n_cafes=5)
+        db = generate_poi_database(BOX, rng, cfg)
+        assert len(db) == cfg.total == 95
+        assert db.ground_truth_count(is_category("restaurant")) == 50
+        assert db.ground_truth_count(is_category("school")) == 30
+        for t in db:
+            if t.get("category") == "restaurant":
+                assert 1.0 <= t["rating"] <= 5.0
+                assert isinstance(t["open_sundays"], bool)
+                assert t["review_count"] >= 1
+            if t.get("category") == "school":
+                assert t["enrollment"] >= 20
+
+    def test_deterministic(self):
+        cfg = PoiConfig(n_restaurants=20, n_schools=10, n_banks=0, n_cafes=0)
+        a = generate_poi_database(BOX, np.random.default_rng(42), cfg)
+        b = generate_poi_database(BOX, np.random.default_rng(42), cfg)
+        assert a.locations() == b.locations()
+
+    def test_brands_exist(self):
+        rng = np.random.default_rng(0)
+        cfg = PoiConfig(n_restaurants=400, n_schools=0, n_banks=0, n_cafes=0)
+        db = generate_poi_database(BOX, rng, cfg)
+        assert db.ground_truth_count(is_brand("starbucks")) > 0
+
+
+class TestUserGenerator:
+    def test_gender_ratio(self):
+        rng = np.random.default_rng(0)
+        db = generate_user_database(BOX, rng, UserConfig(n_users=2000, male_fraction=0.7))
+        males = db.ground_truth_count(lambda t: t["gender"] == "m")
+        assert 0.65 < males / len(db) < 0.75
+        assert db.ground_truth_avg("is_male") == pytest.approx(males / len(db))
+
+    def test_location_enabled_rate(self):
+        rng = np.random.default_rng(0)
+        db = generate_user_database(
+            BOX, rng, UserConfig(n_users=1000, location_enabled_rate=0.5)
+        )
+        assert 380 < len(db) < 620
+
+
+class TestRegions:
+    def test_subrect(self):
+        sub = subrect(BOX, 0.25, 0.0, 0.75, 1.0)
+        assert sub == Rect(50, 0, 150, 100)

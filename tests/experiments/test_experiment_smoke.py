@@ -1,0 +1,76 @@
+"""Tiny-scale smoke runs of the cheaper experiment modules.
+
+Full regenerations live in ``benchmarks/``; these tests only prove that
+each module executes end to end and emits a well-formed table.
+"""
+
+import pytest
+
+from repro.datasets import PoiConfig, UserConfig
+from repro.experiments import (
+    fig11_voronoi_map,
+    fig12_unbiasedness,
+    fig17_avg_rating_austin,
+    fig21_localization,
+    table1_online,
+)
+from repro.experiments.harness import poi_world, user_world
+from repro.geometry import Rect
+
+TINY_BOX = Rect(0, 0, 120, 90)
+
+
+@pytest.fixture(scope="module")
+def tiny_world():
+    return poi_world(
+        seed=23,
+        region=TINY_BOX,
+        config=PoiConfig(n_restaurants=60, n_schools=40, n_banks=5, n_cafes=5),
+        n_cities=6,
+    )
+
+
+def test_fig11_smoke(tiny_world):
+    table = fig11_voronoi_map.run(tiny_world, brand="independent")
+    assert table.rows
+    stats = dict(zip(table.column("statistic"), table.column("area")))
+    assert stats["max"] >= stats["median"] >= stats["min"] > 0
+
+
+def test_fig12_smoke(tiny_world):
+    table = fig12_unbiasedness.run(tiny_world, max_queries=400, seed=2)
+    assert table.headers[0] == "queries"
+    assert table.rows
+    assert all(row[-1] == table.rows[0][-1] for row in table.rows)  # truth constant
+
+
+def test_fig17_smoke(tiny_world):
+    table = fig17_avg_rating_austin.run(
+        tiny_world, n_runs=1, max_queries=300, include_lnr=False
+    )
+    assert "LR-LBS-AGG" in table.headers
+    assert len(table.rows) == 5
+
+
+def test_fig21_smoke(tiny_world):
+    table = fig21_localization.run(tiny_world, n_targets=4, obfuscation_sigma=1.0)
+    percents = [row[1] for row in table.rows]
+    assert sum(percents) == pytest.approx(100.0, abs=1.0)
+
+
+def test_table1_smoke():
+    poi = poi_world(
+        seed=7, region=TINY_BOX,
+        config=PoiConfig(n_restaurants=60, n_schools=10, n_banks=5, n_cafes=5),
+        n_cities=5,
+    )
+    wechat = user_world(seed=11, region=TINY_BOX, config=UserConfig(n_users=50, male_fraction=0.7))
+    weibo = user_world(seed=13, region=TINY_BOX, config=UserConfig(n_users=50, male_fraction=0.5))
+    table, truths = table1_online.run(
+        poi, wechat, weibo, budget_places=400, budget_social=1200
+    )
+    assert len(table.rows) == 6
+    assert set(truths) == {
+        "starbucks", "open_sunday", "wechat_count", "wechat_ratio",
+        "weibo_count", "weibo_ratio",
+    }

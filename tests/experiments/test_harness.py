@@ -1,0 +1,82 @@
+"""Tests for the experiment harness."""
+
+import pytest
+
+from repro.experiments.harness import (
+    ExperimentTable,
+    cost_to_reach,
+    median_or_none,
+    poi_world,
+    user_world,
+)
+from repro.stats import EstimationResult, TracePoint
+
+
+class TestExperimentTable:
+    def test_format_and_columns(self):
+        t = ExperimentTable("Title", ["a", "b"])
+        t.add(1, 2.5)
+        t.add(None, "x")
+        text = t.formatted()
+        assert "Title" in text and "2.5" in text and "-" in text
+        assert t.column("a") == [1, None]
+
+    def test_unknown_column(self):
+        t = ExperimentTable("T", ["a"])
+        with pytest.raises(ValueError):
+            t.column("zzz")
+
+
+class _FakeEstimator:
+    """Deterministic trace: error halves every 10 queries."""
+
+    def __init__(self, truth, final_err):
+        self.truth = truth
+        self.final_err = final_err
+
+    def run(self, max_queries=None):
+        trace = []
+        err = 1.0
+        q = 0
+        while err > self.final_err and q < (max_queries or 1000):
+            q += 10
+            err /= 2
+            trace.append(TracePoint(q, q // 10, self.truth * (1 + err)))
+        return EstimationResult(self.truth, q, q // 10, trace=trace)
+
+
+class TestCostToReach:
+    def test_monotone_targets(self):
+        costs = cost_to_reach(
+            lambda s: _FakeEstimator(100.0, 0.001),
+            truth=100.0, targets=(0.5, 0.1, 0.01), n_runs=2, max_queries=500,
+        )
+        assert costs[0.5] <= costs[0.1] <= costs[0.01]
+
+    def test_unreached_charged_budget(self):
+        costs = cost_to_reach(
+            lambda s: _FakeEstimator(100.0, 0.2),
+            truth=100.0, targets=(0.01,), n_runs=2, max_queries=300,
+        )
+        assert costs[0.01] == 300.0
+
+    def test_median_or_none(self):
+        assert median_or_none([]) is None
+        assert median_or_none([1.0, 3.0, 2.0]) == 2.0
+
+
+class TestWorlds:
+    def test_poi_world_deterministic(self):
+        a = poi_world(seed=5)
+        b = poi_world(seed=5)
+        assert a.db.locations() == b.db.locations()
+        assert len(a.db) == 500
+
+    def test_user_world(self):
+        w = user_world(seed=5)
+        assert len(w.db) > 0
+        assert all("gender" in t.attrs for t in w.db)
+
+    def test_census_attached(self):
+        w = poi_world(seed=6)
+        assert w.census.region == w.region

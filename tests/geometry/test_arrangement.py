@@ -1,0 +1,121 @@
+"""Tests for arrangement level regions (top-k Voronoi cells)."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.geometry import (
+    ConvexPolygon,
+    Point,
+    Rect,
+    bisector_halfplane,
+    build_level_region,
+    full_voronoi_diagram,
+    true_topk_cell,
+    true_voronoi_cell,
+)
+from repro.index import BruteForceIndex
+
+BOX = Rect(0, 0, 100, 100)
+
+
+def random_sites(rng, n):
+    return [Point(rng.random() * 100, rng.random() * 100) for _ in range(n)]
+
+
+class TestLevelRegion:
+    def test_no_constraints_whole_base(self):
+        base = ConvexPolygon.from_rect(BOX)
+        region = build_level_region([], 0, base, Point(50, 50))
+        assert region.area() == pytest.approx(BOX.area)
+
+    def test_level_ge_n_whole_base(self):
+        base = ConvexPolygon.from_rect(BOX)
+        cons = [bisector_halfplane(Point(10, 10), Point(90, 90))]
+        region = build_level_region(cons, 5, base, Point(50, 50))
+        assert region.area() == pytest.approx(BOX.area)
+
+    def test_seed_outside_raises(self):
+        base = ConvexPolygon.from_rect(BOX)
+        cons = [bisector_halfplane(Point(10, 50), Point(20, 50))]
+        with pytest.raises(ValueError):
+            build_level_region(cons, 0, base, Point(90, 50))
+
+    def test_top1_matches_direct_clip(self):
+        rng = np.random.default_rng(0)
+        sites = random_sites(rng, 20)
+        t = sites[0]
+        cell = true_voronoi_cell(t, sites[1:], BOX)
+        cons = [bisector_halfplane(t, u, label=i) for i, u in enumerate(sites[1:])]
+        region = build_level_region(cons, 0, ConvexPolygon.from_rect(BOX), t)
+        assert region.num_pieces() == 1
+        assert region.area() == pytest.approx(cell.area())
+
+    def test_boundary_vertices_on_boundary(self):
+        rng = np.random.default_rng(1)
+        sites = random_sites(rng, 15)
+        region = true_topk_cell(sites[0], sites[1:], 2, BOX)
+        for v in region.boundary_vertices():
+            # A boundary vertex is in the closed region but not interior:
+            # nudging outward along some direction must leave the region.
+            assert region.contains(v, tol=1e-6)
+
+    def test_sample_inside(self):
+        rng = np.random.default_rng(2)
+        sites = random_sites(rng, 12)
+        region = true_topk_cell(sites[0], sites[1:], 3, BOX)
+        for _ in range(100):
+            p = region.sample(rng)
+            assert region.contains(p, tol=1e-7)
+
+    @given(st.integers(min_value=1, max_value=4), st.integers(min_value=0, max_value=10_000))
+    @settings(max_examples=25, deadline=None)
+    def test_membership_matches_knn(self, k, seed):
+        rng = np.random.default_rng(seed)
+        sites = random_sites(rng, 14)
+        region = true_topk_cell(sites[0], sites[1:], k, BOX)
+        index = BruteForceIndex([(p.x, p.y, i) for i, p in enumerate(sites)])
+        for _ in range(150):
+            q = BOX.sample(rng)
+            topk = [tid for _, tid in index.knn(q.x, q.y, k)]
+            assert region.contains(q) == (0 in topk)
+
+    @given(st.integers(min_value=0, max_value=10_000))
+    @settings(max_examples=20, deadline=None)
+    def test_area_monotone_in_k(self, seed):
+        rng = np.random.default_rng(seed)
+        sites = random_sites(rng, 12)
+        areas = [true_topk_cell(sites[0], sites[1:], k, BOX).area() for k in (1, 2, 3)]
+        assert areas[0] <= areas[1] + 1e-9 <= areas[2] + 2e-9
+
+    def test_topk_area_sums_to_k_times_box(self):
+        """Σ_t |V_k(t)| = k * |V0| (every location has exactly k owners)."""
+        rng = np.random.default_rng(3)
+        sites = random_sites(rng, 10)
+        k = 2
+        total = 0.0
+        for i, t in enumerate(sites):
+            others = sites[:i] + sites[i + 1:]
+            total += true_topk_cell(t, others, k, BOX).area()
+        assert total == pytest.approx(k * BOX.area, rel=1e-6)
+
+
+class TestVoronoiRef:
+    def test_partition(self):
+        rng = np.random.default_rng(4)
+        sites = {i: p for i, p in enumerate(random_sites(rng, 25))}
+        cells = full_voronoi_diagram(sites, BOX)
+        assert sum(c.area() for c in cells.values()) == pytest.approx(BOX.area, rel=1e-9)
+
+    def test_cell_contains_its_site(self):
+        rng = np.random.default_rng(5)
+        sites = {i: p for i, p in enumerate(random_sites(rng, 15))}
+        cells = full_voronoi_diagram(sites, BOX)
+        for i, cell in cells.items():
+            assert cell.contains(sites[i], tol=1e-9)
+
+    def test_two_sites_half_plane_split(self):
+        cells = full_voronoi_diagram({0: Point(25, 50), 1: Point(75, 50)}, BOX)
+        assert cells[0].area() == pytest.approx(BOX.area / 2)
+        assert cells[1].area() == pytest.approx(BOX.area / 2)

@@ -1,0 +1,216 @@
+"""Tests for circle arithmetic, arc coverage, and polygon-disk area."""
+
+import math
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.geometry import (
+    AngularIntervals,
+    ConvexPolygon,
+    Disk,
+    Point,
+    Rect,
+    arc_inside_disk,
+    disk_covered_by_union,
+    polygon_disk_area,
+    segment_circle_intersections,
+)
+
+coord = st.floats(min_value=-50, max_value=50, allow_nan=False)
+radius = st.floats(min_value=0.1, max_value=30, allow_nan=False)
+
+
+class TestDisk:
+    def test_contains_point(self):
+        d = Disk(Point(0, 0), 5)
+        assert d.contains_point(Point(3, 4))
+        assert not d.contains_point(Point(3.1, 4))
+
+    def test_contains_disk(self):
+        assert Disk(Point(0, 0), 5).contains_disk(Disk(Point(1, 0), 3))
+        assert not Disk(Point(0, 0), 5).contains_disk(Disk(Point(3, 0), 3))
+
+    def test_point_at(self):
+        d = Disk(Point(1, 1), 2)
+        p = d.point_at(math.pi / 2)
+        assert p.x == pytest.approx(1) and p.y == pytest.approx(3)
+
+
+class TestArcInsideDisk:
+    def test_disjoint(self):
+        c = Disk(Point(0, 0), 1)
+        assert arc_inside_disk(c, Disk(Point(10, 0), 1)) is None
+
+    def test_full_cover(self):
+        c = Disk(Point(0, 0), 1)
+        assert arc_inside_disk(c, Disk(Point(0.1, 0), 5)) == (0.0, 2 * math.pi)
+
+    def test_half_cover_symmetric(self):
+        # Equal radii, centres 2r apart on the x-axis: the covered arc of
+        # the first circle is centred on angle 0.
+        c = Disk(Point(0, 0), 2)
+        lo, hi = arc_inside_disk(c, Disk(Point(2, 0), 2))
+        mid = (lo + hi) / 2
+        assert mid == pytest.approx(0, abs=1e-9)
+
+    def test_shrink_reduces_arc(self):
+        c = Disk(Point(0, 0), 2)
+        full = arc_inside_disk(c, Disk(Point(2, 0), 2))
+        shrunk = arc_inside_disk(c, Disk(Point(2, 0), 2), shrink=0.5)
+        assert (full[1] - full[0]) > (shrunk[1] - shrunk[0])
+
+    @given(coord, coord, radius, coord, coord, radius)
+    @settings(max_examples=80, deadline=None)
+    def test_arc_matches_pointwise(self, cx, cy, cr, dx, dy, dr):
+        circle = Disk(Point(cx, cy), cr)
+        disk = Disk(Point(dx, dy), dr)
+        interval = arc_inside_disk(circle, disk)
+        ai = AngularIntervals()
+        ai.add_interval(interval)
+        for theta in np.linspace(0, 2 * math.pi, 17):
+            p = circle.point_at(theta)
+            d = math.hypot(p.x - dx, p.y - dy)
+            if abs(d - dr) < 1e-6:
+                continue  # boundary-grazing: numerically ambiguous
+            covered = any(lo <= theta % (2 * math.pi) <= hi for lo, hi in ai.merged())
+            assert covered == (d < dr)
+
+
+class TestAngularIntervals:
+    def test_empty_not_full(self):
+        assert not AngularIntervals().covers_full()
+
+    def test_full_single(self):
+        ai = AngularIntervals()
+        ai.add(0, 2 * math.pi)
+        assert ai.covers_full()
+
+    def test_wraparound(self):
+        ai = AngularIntervals()
+        ai.add(-1, 1)
+        merged = ai.merged()
+        assert len(merged) == 2  # split across 0
+
+    def test_union_of_pieces_covers(self):
+        ai = AngularIntervals()
+        ai.add(0, 3)
+        ai.add(2.5, 5)
+        ai.add(4.5, 2 * math.pi + 0.1)
+        assert ai.covers_full()
+
+    def test_uncovered_gap(self):
+        ai = AngularIntervals()
+        ai.add(0, 1)
+        ai.add(2, 2 * math.pi)
+        gaps = ai.uncovered([(0, 2 * math.pi)])
+        assert len(gaps) == 1
+        lo, hi = gaps[0]
+        assert lo == pytest.approx(1) and hi == pytest.approx(2)
+
+    def test_total(self):
+        ai = AngularIntervals()
+        ai.add(1, 2)
+        ai.add(1.5, 3)
+        assert ai.total() == pytest.approx(2.0)
+
+
+class TestDiskCoverage:
+    def test_single_superset(self):
+        assert disk_covered_by_union(Disk(Point(0, 0), 1), [Disk(Point(0, 0), 2)])
+
+    def test_not_covered_smaller(self):
+        assert not disk_covered_by_union(Disk(Point(0, 0), 2), [Disk(Point(0, 0), 1)])
+
+    def test_covered_by_four_overlapping(self):
+        target = Disk(Point(0, 0), 10)
+        disks = [
+            Disk(Point(-6, 0), 9), Disk(Point(6, 0), 9),
+            Disk(Point(0, -6), 9), Disk(Point(0, 6), 9),
+        ]
+        assert disk_covered_by_union(target, disks)
+
+    def test_hole_detected(self):
+        # A ring of six disks covering the target boundary but leaving the
+        # centre uncovered: must be rejected.
+        target = Disk(Point(0, 0), 4)
+        ring = [
+            Disk(Point(4 * math.cos(a), 4 * math.sin(a)), 2.5)
+            for a in np.linspace(0, 2 * math.pi, 7)[:-1]
+        ]
+        assert not any(d.contains_point(Point(0, 0)) for d in ring)
+        assert not disk_covered_by_union(target, ring)
+
+    def test_point_target(self):
+        assert disk_covered_by_union(Disk(Point(1, 1), 0), [Disk(Point(0, 0), 2)])
+        assert not disk_covered_by_union(Disk(Point(5, 5), 0), [Disk(Point(0, 0), 2)])
+
+    def test_no_disks(self):
+        assert not disk_covered_by_union(Disk(Point(0, 0), 1), [])
+
+    @given(
+        st.lists(st.tuples(coord, coord, radius), min_size=1, max_size=6),
+        coord, coord, st.floats(min_value=0.5, max_value=10),
+    )
+    @settings(max_examples=60, deadline=None)
+    def test_soundness_against_sampling(self, disks_raw, tx, ty, tr):
+        """If the test says 'covered', every sampled point must be inside."""
+        target = Disk(Point(tx, ty), tr)
+        disks = [Disk(Point(x, y), r) for x, y, r in disks_raw]
+        if not disk_covered_by_union(target, disks):
+            return
+        rng = np.random.default_rng(0)
+        for _ in range(300):
+            ang = rng.random() * 2 * math.pi
+            rad = tr * math.sqrt(rng.random())
+            p = Point(tx + rad * math.cos(ang), ty + rad * math.sin(ang))
+            assert any(d.contains_point(p, tol=1e-7) for d in disks)
+
+
+class TestPolygonDiskArea:
+    def test_disk_inside_polygon(self):
+        sq = ConvexPolygon.from_rect(Rect(-10, -10, 10, 10))
+        a = polygon_disk_area(sq.vertices, Point(0, 0), 2)
+        assert a == pytest.approx(math.pi * 4)
+
+    def test_polygon_inside_disk(self):
+        sq = ConvexPolygon.from_rect(Rect(-1, -1, 1, 1))
+        a = polygon_disk_area(sq.vertices, Point(0, 0), 10)
+        assert a == pytest.approx(4.0)
+
+    def test_quarter_disk(self):
+        sq = ConvexPolygon.from_rect(Rect(0, 0, 10, 10))
+        a = polygon_disk_area(sq.vertices, Point(0, 0), 4)
+        assert a == pytest.approx(math.pi * 16 / 4)
+
+    def test_disjoint(self):
+        sq = ConvexPolygon.from_rect(Rect(10, 10, 20, 20))
+        assert polygon_disk_area(sq.vertices, Point(0, 0), 3) == pytest.approx(0, abs=1e-9)
+
+    def test_zero_radius(self):
+        sq = ConvexPolygon.from_rect(Rect(0, 0, 1, 1))
+        assert polygon_disk_area(sq.vertices, Point(0, 0), 0) == 0.0
+
+    @given(coord, coord, st.floats(min_value=0.5, max_value=20))
+    @settings(max_examples=40, deadline=None)
+    def test_matches_monte_carlo(self, cx, cy, r):
+        rect = Rect(-10, -5, 15, 12)
+        poly = ConvexPolygon.from_rect(rect)
+        exact = polygon_disk_area(poly.vertices, Point(cx, cy), r)
+        rng = np.random.default_rng(7)
+        n = 4000
+        hits = 0
+        for _ in range(n):
+            p = rect.sample(rng)
+            if math.hypot(p.x - cx, p.y - cy) <= r:
+                hits += 1
+        mc = rect.area * hits / n
+        assert exact == pytest.approx(mc, abs=4.0 * rect.area / math.sqrt(n))
+
+    def test_segment_circle_intersections(self):
+        ts = segment_circle_intersections(Point(-2, 0), Point(2, 0), 1.0)
+        assert len(ts) == 2
+        xs = sorted(-2 + t * 4 for t in ts)
+        assert xs[0] == pytest.approx(-1) and xs[1] == pytest.approx(1)

@@ -1,0 +1,87 @@
+"""Tests for half-planes and perpendicular bisectors."""
+
+import math
+
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.geometry import HalfPlane, Point, bisector_halfplane, distance
+
+coord = st.floats(min_value=-100, max_value=100, allow_nan=False)
+
+
+class TestHalfPlane:
+    def test_contains(self):
+        hp = HalfPlane(1, 0, 5)  # x <= 5
+        assert hp.contains(Point(4, 100))
+        assert hp.contains(Point(5, 0))
+        assert not hp.contains(Point(6, 0))
+
+    def test_flipped(self):
+        hp = HalfPlane(1, 0, 5)
+        assert hp.flipped().contains(Point(6, 0))
+        assert not hp.flipped().contains(Point(4, 0))
+
+    def test_relabel(self):
+        assert HalfPlane(1, 0, 5, "a").relabel("b").label == "b"
+
+    def test_boundary_point_on_line(self):
+        hp = HalfPlane(3, 4, 12)
+        p = hp.boundary_point()
+        assert hp.value(p) == pytest.approx(0, abs=1e-9)
+
+    def test_boundary_direction_along_line(self):
+        hp = HalfPlane(0, 1, 2)  # y <= 2
+        d = hp.boundary_direction()
+        assert abs(d.y) < 1e-12 and abs(d.x) == pytest.approx(1.0)
+
+    def test_degenerate_raises(self):
+        with pytest.raises(ValueError):
+            HalfPlane(0, 0, 1).boundary_direction()
+        with pytest.raises(ValueError):
+            HalfPlane(0, 0, 1).boundary_point()
+
+    def test_intersect_line(self):
+        a = HalfPlane(1, 0, 2)   # x = 2
+        b = HalfPlane(0, 1, 3)   # y = 3
+        assert a.intersect_line(b) == Point(2, 3)
+
+    def test_intersect_parallel_returns_none(self):
+        a = HalfPlane(1, 0, 2)
+        b = HalfPlane(2, 0, 10)
+        assert a.intersect_line(b) is None
+
+    def test_from_point_direction_orients_toward_inside(self):
+        inside = Point(0, -1)
+        hp = HalfPlane.from_point_direction(Point(0, 0), Point(1, 0), inside)
+        assert hp.contains(inside)
+        assert not hp.contains(Point(0, 1))
+
+
+class TestBisector:
+    def test_midpoint_on_boundary(self):
+        t, u = Point(0, 0), Point(4, 0)
+        hp = bisector_halfplane(t, u)
+        assert hp.value(Point(2, 5)) == pytest.approx(0, abs=1e-9)
+
+    def test_t_side_inside(self):
+        t, u = Point(0, 0), Point(4, 0)
+        hp = bisector_halfplane(t, u)
+        assert hp.contains(t)
+        assert not hp.contains(u)
+
+    def test_label_carried(self):
+        hp = bisector_halfplane(Point(0, 0), Point(1, 1), label=42)
+        assert hp.label == 42
+
+    @given(coord, coord, coord, coord, coord, coord)
+    def test_membership_matches_distance(self, tx, ty, ux, uy, qx, qy):
+        t, u, q = Point(tx, ty), Point(ux, uy), Point(qx, qy)
+        if distance(t, u) < 1e-6:
+            return
+        hp = bisector_halfplane(t, u)
+        dt, du = distance(q, t), distance(q, u)
+        if abs(dt - du) < 1e-6:
+            return  # too close to the boundary for a robust check
+        assert hp.contains(q) == (dt < du)

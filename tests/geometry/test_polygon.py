@@ -1,0 +1,134 @@
+"""Tests for labeled convex polygons and half-plane clipping."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.geometry import (
+    BBOX_LABEL,
+    ConvexPolygon,
+    HalfPlane,
+    Point,
+    Rect,
+    bisector_halfplane,
+)
+
+BOX = Rect(0, 0, 10, 10)
+coord = st.floats(min_value=-20, max_value=20, allow_nan=False)
+
+
+class TestConstruction:
+    def test_from_rect(self):
+        poly = ConvexPolygon.from_rect(BOX)
+        assert len(poly) == 4
+        assert poly.area() == pytest.approx(100.0)
+        assert set(poly.edge_labels) == {BBOX_LABEL}
+
+    def test_empty(self):
+        assert ConvexPolygon.empty().is_empty()
+        assert not ConvexPolygon.empty()
+
+    def test_label_mismatch_raises(self):
+        with pytest.raises(ValueError):
+            ConvexPolygon([Point(0, 0), Point(1, 0), Point(0, 1)], ["a"])
+
+    def test_centroid_perimeter(self):
+        poly = ConvexPolygon.from_rect(BOX)
+        assert poly.centroid() == Point(5, 5)
+        assert poly.perimeter() == pytest.approx(40.0)
+
+    def test_bounding_rect(self):
+        poly = ConvexPolygon.from_rect(Rect(1, 2, 3, 4))
+        assert poly.bounding_rect() == Rect(1, 2, 3, 4)
+
+
+class TestContains:
+    def test_inside_outside_boundary(self):
+        poly = ConvexPolygon.from_rect(BOX)
+        assert poly.contains(Point(5, 5))
+        assert poly.contains(Point(0, 0))
+        assert not poly.contains(Point(11, 5))
+
+
+class TestClip:
+    def test_no_op_when_fully_inside(self):
+        poly = ConvexPolygon.from_rect(BOX)
+        clipped = poly.clip(HalfPlane(1, 0, 100))  # x <= 100
+        assert clipped.area() == pytest.approx(100.0)
+
+    def test_empty_when_fully_outside(self):
+        poly = ConvexPolygon.from_rect(BOX)
+        assert poly.clip(HalfPlane(1, 0, -5)).is_empty()
+
+    def test_half_cut(self):
+        poly = ConvexPolygon.from_rect(BOX).clip(HalfPlane(1, 0, 5, "cut"))
+        assert poly.area() == pytest.approx(50.0)
+        assert "cut" in poly.labels()
+
+    def test_new_edge_carries_label(self):
+        poly = ConvexPolygon.from_rect(BOX).clip(HalfPlane(1, 0, 5, "cut"))
+        cut_edges = [(a, b) for a, b, lbl in poly.edges() if lbl == "cut"]
+        assert len(cut_edges) == 1
+        (a, b) = cut_edges[0]
+        assert a.x == pytest.approx(5.0) and b.x == pytest.approx(5.0)
+
+    def test_surviving_edges_keep_labels(self):
+        poly = ConvexPolygon.from_rect(BOX).clip(HalfPlane(1, 0, 5, "cut"))
+        assert BBOX_LABEL in poly.labels()
+
+    def test_clip_many_short_circuits(self):
+        poly = ConvexPolygon.from_rect(BOX)
+        out = poly.clip_many([HalfPlane(1, 0, -5), HalfPlane(0, 1, 5)])
+        assert out.is_empty()
+
+    def test_clip_rect(self):
+        poly = ConvexPolygon.from_rect(BOX).clip_rect(Rect(2, 2, 4, 7))
+        assert poly.area() == pytest.approx(10.0)
+
+    def test_bisector_clip_splits_area(self):
+        poly = ConvexPolygon.from_rect(BOX)
+        hp = bisector_halfplane(Point(2, 5), Point(8, 5))
+        assert poly.clip(hp).area() == pytest.approx(50.0)
+
+    @given(st.lists(st.tuples(coord, coord, coord, coord), min_size=1, max_size=6))
+    @settings(max_examples=60, deadline=None)
+    def test_clip_reduces_area_and_stays_inside(self, cuts):
+        poly = ConvexPolygon.from_rect(BOX)
+        for tx, ty, ux, uy in cuts:
+            t, u = Point(tx, ty), Point(ux, uy)
+            if (t.x, t.y) == (u.x, u.y):
+                continue
+            prev_area = poly.area()
+            poly = poly.clip(bisector_halfplane(t, u))
+            assert poly.area() <= prev_area + 1e-9
+            if poly.is_empty():
+                return
+        for v in poly.vertices:
+            assert BOX.contains(v, tol=1e-6)
+
+
+class TestSampling:
+    def test_samples_inside(self):
+        rng = np.random.default_rng(0)
+        poly = ConvexPolygon.from_rect(BOX).clip(HalfPlane(1, 1, 10))
+        for _ in range(200):
+            assert poly.contains(poly.sample(rng), tol=1e-9)
+
+    def test_sample_empty_raises(self):
+        rng = np.random.default_rng(0)
+        with pytest.raises(ValueError):
+            ConvexPolygon.empty().sample(rng)
+
+    def test_sample_roughly_uniform(self):
+        rng = np.random.default_rng(1)
+        poly = ConvexPolygon.from_rect(BOX)
+        left = sum(poly.sample(rng).x < 5 for _ in range(2000))
+        assert 0.4 < left / 2000 < 0.6
+
+    def test_triangles_cover_area(self):
+        poly = ConvexPolygon.from_rect(BOX).clip(HalfPlane(1, 1, 12))
+        from repro.geometry import orientation
+
+        tri_area = sum(abs(orientation(a, b, c)) / 2 for a, b, c in poly.triangles())
+        assert tri_area == pytest.approx(poly.area())

@@ -1,0 +1,162 @@
+"""Unit and property tests for geometric primitives."""
+
+import math
+
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.geometry import (
+    Point,
+    Rect,
+    angle_between,
+    angle_of,
+    cross,
+    distance,
+    distance_sq,
+    dot,
+    interpolate,
+    midpoint,
+    normalize,
+    orientation,
+    perpendicular,
+    polygon_area,
+    polygon_centroid,
+    rotate,
+)
+
+finite = st.floats(min_value=-1e6, max_value=1e6, allow_nan=False, allow_infinity=False)
+small = st.floats(min_value=-1e3, max_value=1e3, allow_nan=False, allow_infinity=False)
+
+
+class TestPoint:
+    def test_add_sub(self):
+        assert Point(1, 2) + Point(3, 4) == Point(4, 6)
+        assert Point(3, 4) - Point(1, 2) == Point(2, 2)
+
+    def test_scalar_mul(self):
+        assert Point(1, -2) * 3 == Point(3, -6)
+        assert 3 * Point(1, -2) == Point(3, -6)
+
+    def test_norm(self):
+        assert Point(3, 4).norm() == pytest.approx(5.0)
+
+    def test_unpacking(self):
+        x, y = Point(7, 8)
+        assert (x, y) == (7, 8)
+
+
+class TestRect:
+    def test_dimensions(self):
+        r = Rect(1, 2, 5, 10)
+        assert r.width == 4 and r.height == 8
+        assert r.area == 32
+        assert r.perimeter == 24
+        assert r.center == Point(3, 6)
+
+    def test_corners_ccw(self):
+        r = Rect(0, 0, 2, 1)
+        corners = r.corners()
+        assert polygon_area(corners) > 0  # counter-clockwise
+
+    def test_contains_and_clamp(self):
+        r = Rect(0, 0, 10, 10)
+        assert r.contains(Point(5, 5))
+        assert r.contains(Point(0, 0))
+        assert not r.contains(Point(11, 5))
+        assert r.clamp(Point(12, -3)) == Point(10, 0)
+
+    def test_expanded(self):
+        r = Rect(0, 0, 2, 2).expanded(1)
+        assert r == Rect(-1, -1, 3, 3)
+
+    def test_sample_inside(self):
+        import numpy as np
+
+        r = Rect(3, 4, 8, 9)
+        rng = np.random.default_rng(0)
+        for _ in range(100):
+            assert r.contains(r.sample(rng))
+
+
+class TestVectorOps:
+    def test_distance(self):
+        assert distance(Point(0, 0), Point(3, 4)) == pytest.approx(5.0)
+        assert distance_sq(Point(0, 0), Point(3, 4)) == pytest.approx(25.0)
+
+    def test_midpoint(self):
+        assert midpoint(Point(0, 0), Point(2, 4)) == Point(1, 2)
+
+    def test_dot_cross(self):
+        assert dot(Point(1, 2), Point(3, 4)) == 11
+        assert cross(Point(1, 0), Point(0, 1)) == 1
+
+    def test_orientation_signs(self):
+        a, b = Point(0, 0), Point(1, 0)
+        assert orientation(a, b, Point(0.5, 1)) > 0   # left turn
+        assert orientation(a, b, Point(0.5, -1)) < 0  # right turn
+        assert orientation(a, b, Point(2, 0)) == 0    # collinear
+
+    def test_rotate_quarter(self):
+        v = rotate(Point(1, 0), math.pi / 2)
+        assert v.x == pytest.approx(0, abs=1e-12)
+        assert v.y == pytest.approx(1)
+
+    def test_normalize(self):
+        assert normalize(Point(0, 5)) == Point(0, 1)
+        with pytest.raises(ValueError):
+            normalize(Point(0, 0))
+
+    def test_perpendicular_is_orthogonal(self):
+        v = Point(3, 7)
+        assert dot(v, perpendicular(v)) == 0
+
+    def test_interpolate(self):
+        assert interpolate(Point(0, 0), Point(10, 20), 0.5) == Point(5, 10)
+
+    def test_angle_of(self):
+        assert angle_of(Point(0, 1)) == pytest.approx(math.pi / 2)
+
+    def test_angle_between(self):
+        assert angle_between(Point(1, 0), Point(0, 2)) == pytest.approx(math.pi / 2)
+        with pytest.raises(ValueError):
+            angle_between(Point(0, 0), Point(1, 0))
+
+    @given(small, small, st.floats(min_value=-math.pi, max_value=math.pi))
+    def test_rotation_preserves_norm(self, x, y, theta):
+        v = Point(x, y)
+        assert rotate(v, theta).norm() == pytest.approx(v.norm(), abs=1e-6)
+
+    @given(small, small, small, small, small, small)
+    def test_orientation_antisymmetry(self, ax, ay, bx, by, cx, cy):
+        a, b, c = Point(ax, ay), Point(bx, by), Point(cx, cy)
+        assert orientation(a, b, c) == pytest.approx(-orientation(b, a, c), abs=1e-3)
+
+
+class TestPolygonArea:
+    def test_square(self):
+        sq = [Point(0, 0), Point(2, 0), Point(2, 2), Point(0, 2)]
+        assert polygon_area(sq) == pytest.approx(4.0)
+        assert polygon_area(list(reversed(sq))) == pytest.approx(-4.0)
+
+    def test_degenerate(self):
+        assert polygon_area([Point(0, 0), Point(1, 1)]) == 0.0
+
+    def test_centroid_square(self):
+        sq = [Point(0, 0), Point(2, 0), Point(2, 2), Point(0, 2)]
+        assert polygon_centroid(sq) == Point(1, 1)
+
+    def test_centroid_degenerate_falls_back_to_mean(self):
+        pts = [Point(0, 0), Point(1, 1), Point(2, 2)]
+        c = polygon_centroid(pts)
+        assert c == Point(1, 1)
+
+    def test_centroid_empty_raises(self):
+        with pytest.raises(ValueError):
+            polygon_centroid([])
+
+    @given(st.lists(st.tuples(small, small), min_size=3, max_size=10))
+    def test_area_translation_invariant(self, raw):
+        pts = [Point(x, y) for x, y in raw]
+        shifted = [Point(x + 100, y - 50) for x, y in raw]
+        assert polygon_area(pts) == pytest.approx(polygon_area(shifted), rel=1e-6, abs=1e-3)

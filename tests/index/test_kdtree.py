@@ -1,0 +1,78 @@
+"""KD-tree vs brute-force oracle, including tie handling."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.index import BruteForceIndex, KdTree
+
+coord = st.floats(min_value=-100, max_value=100, allow_nan=False)
+
+
+def build_pair(points):
+    return KdTree(points), BruteForceIndex(points)
+
+
+class TestKnn:
+    def test_empty_tree(self):
+        kt = KdTree([])
+        assert kt.knn(0, 0, 3) == []
+        assert kt.within_radius(0, 0, 5) == []
+
+    def test_k_zero(self):
+        kt = KdTree([(0, 0, 1)])
+        assert kt.knn(0, 0, 0) == []
+
+    def test_k_larger_than_n(self):
+        kt, bf = build_pair([(0, 0, 0), (1, 1, 1)])
+        assert kt.knn(0.2, 0.2, 10) == bf.knn(0.2, 0.2, 10)
+
+    def test_exact_tie_broken_by_id(self):
+        # Two points equidistant from the query: smaller id must win.
+        pts = [(1.0, 0.0, 7), (-1.0, 0.0, 3)]
+        kt = KdTree(pts)
+        assert kt.knn(0, 0, 1)[0][1] == 3
+
+    def test_many_ties_on_circle(self):
+        pts = [(np.cos(a), np.sin(a), i) for i, a in enumerate(np.linspace(0, 2 * np.pi, 9)[:-1])]
+        kt, bf = build_pair(pts)
+        assert kt.knn(0, 0, 3) == bf.knn(0, 0, 3)
+
+    def test_duplicate_locations(self):
+        pts = [(5.0, 5.0, 2), (5.0, 5.0, 9), (1.0, 1.0, 1)]
+        kt, bf = build_pair(pts)
+        assert kt.knn(5, 5, 2) == bf.knn(5, 5, 2)
+
+    @given(
+        st.lists(st.tuples(coord, coord), min_size=1, max_size=80),
+        coord, coord, st.integers(min_value=1, max_value=12),
+    )
+    @settings(max_examples=120, deadline=None)
+    def test_matches_brute_force(self, raw, qx, qy, k):
+        pts = [(x, y, i) for i, (x, y) in enumerate(raw)]
+        kt, bf = build_pair(pts)
+        assert kt.knn(qx, qy, k) == bf.knn(qx, qy, k)
+
+    def test_len(self):
+        assert len(KdTree([(0, 0, 0), (1, 1, 1)])) == 2
+
+
+class TestRadius:
+    @given(
+        st.lists(st.tuples(coord, coord), min_size=1, max_size=60),
+        coord, coord, st.floats(min_value=0, max_value=150),
+    )
+    @settings(max_examples=100, deadline=None)
+    def test_matches_brute_force(self, raw, qx, qy, r):
+        pts = [(x, y, i) for i, (x, y) in enumerate(raw)]
+        kt, bf = build_pair(pts)
+        assert kt.within_radius(qx, qy, r) == bf.within_radius(qx, qy, r)
+
+    def test_negative_radius(self):
+        kt = KdTree([(0, 0, 0)])
+        assert kt.within_radius(0, 0, -1) == []
+
+    def test_inclusive_boundary(self):
+        kt = KdTree([(3, 4, 0)])
+        assert kt.within_radius(0, 0, 5.0) == [(pytest.approx(5.0), 0)]

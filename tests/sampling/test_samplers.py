@@ -1,0 +1,111 @@
+"""Tests for uniform and census-weighted query samplers."""
+
+import math
+
+import numpy as np
+import pytest
+
+from repro.datasets import PopulationGrid
+from repro.geometry import ConvexPolygon, Disk, HalfPlane, Point, Rect
+from repro.sampling import GridWeightedSampler, UniformSampler
+
+BOX = Rect(0, 0, 100, 100)
+
+
+def triangle():
+    return ConvexPolygon([Point(10, 10), Point(50, 10), Point(10, 50)])
+
+
+class TestUniformSampler:
+    def test_density(self):
+        s = UniformSampler(BOX)
+        assert s.density(Point(50, 50)) == pytest.approx(1e-4)
+        assert s.density(Point(500, 50)) == 0.0
+
+    def test_measure_polygon(self):
+        s = UniformSampler(BOX)
+        assert s.measure_polygon(triangle()) == pytest.approx(800 / 10000)
+        assert s.measure_polygon(ConvexPolygon.empty()) == 0.0
+
+    def test_measure_with_disk(self):
+        s = UniformSampler(BOX)
+        sq = ConvexPolygon.from_rect(Rect(0, 0, 50, 50))
+        m = s.measure_polygon(sq, Disk(Point(0, 0), 10))
+        assert m == pytest.approx((math.pi * 100 / 4) / 10000)
+
+    def test_restricted_samples_inside(self):
+        s = UniformSampler(BOX)
+        rs = s.restricted([triangle()])
+        rng = np.random.default_rng(0)
+        tri = triangle()
+        for _ in range(200):
+            assert tri.contains(rs.sample(rng), tol=1e-9)
+
+    def test_restricted_with_disk_rejection(self):
+        s = UniformSampler(BOX)
+        disk = Disk(Point(10, 10), 15)
+        rs = s.restricted([triangle()], disk)
+        rng = np.random.default_rng(0)
+        for _ in range(100):
+            p = rs.sample(rng)
+            assert disk.contains_point(p)
+
+    def test_restricted_empty_raises(self):
+        s = UniformSampler(BOX)
+        with pytest.raises(ValueError):
+            s.restricted([ConvexPolygon.empty()])
+
+    def test_measure_region_additive(self):
+        s = UniformSampler(BOX)
+        a = ConvexPolygon.from_rect(Rect(0, 0, 10, 10))
+        b = ConvexPolygon.from_rect(Rect(20, 20, 30, 30))
+        assert s.measure_region([a, b]) == pytest.approx(0.02)
+
+
+class TestGridWeightedSampler:
+    def test_uniform_grid_equals_uniform_sampler(self):
+        grid = PopulationGrid.uniform(BOX, 8, 8)
+        ws = GridWeightedSampler(grid)
+        us = UniformSampler(BOX)
+        for poly in (triangle(), ConvexPolygon.from_rect(Rect(5, 5, 95, 60))):
+            assert ws.measure_polygon(poly) == pytest.approx(us.measure_polygon(poly))
+
+    def test_density_integrates_via_measure(self):
+        weights = np.arange(1.0, 17.0).reshape(4, 4)
+        grid = PopulationGrid(BOX, weights)
+        ws = GridWeightedSampler(grid)
+        whole = ConvexPolygon.from_rect(BOX)
+        assert ws.measure_polygon(whole) == pytest.approx(1.0)
+
+    def test_measure_matches_monte_carlo(self):
+        weights = np.array([[1.0, 5.0], [2.0, 0.5]])
+        grid = PopulationGrid(BOX, weights)
+        ws = GridWeightedSampler(grid)
+        poly = triangle()
+        exact = ws.measure_polygon(poly)
+        rng = np.random.default_rng(3)
+        hits = sum(poly.contains(ws.sample(rng)) for _ in range(20000))
+        assert exact == pytest.approx(hits / 20000, abs=0.01)
+
+    def test_measure_with_disk(self):
+        grid = PopulationGrid.uniform(BOX, 4, 4)
+        ws = GridWeightedSampler(grid)
+        us = UniformSampler(BOX)
+        sq = ConvexPolygon.from_rect(Rect(10, 10, 60, 60))
+        disk = Disk(Point(30, 30), 15)
+        assert ws.measure_polygon(sq, disk) == pytest.approx(us.measure_polygon(sq, disk))
+
+    def test_restricted_follows_density(self):
+        weights = np.array([[1.0], [9.0]])  # right half 9x denser
+        grid = PopulationGrid(BOX, weights)
+        ws = GridWeightedSampler(grid)
+        whole = ConvexPolygon.from_rect(BOX)
+        rs = ws.restricted([whole])
+        rng = np.random.default_rng(0)
+        right = sum(rs.sample(rng).x >= 50 for _ in range(3000))
+        assert 0.85 < right / 3000 < 0.95
+
+    def test_sample_density_zero_outside(self):
+        grid = PopulationGrid.uniform(BOX, 2, 2)
+        ws = GridWeightedSampler(grid)
+        assert ws.density(Point(101, 0)) == 0.0

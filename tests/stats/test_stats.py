@@ -1,0 +1,113 @@
+"""Tests for running statistics and estimation results."""
+
+import math
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.stats import EstimationResult, RatioStat, RunningStat, TracePoint, normal_ci
+
+values = st.lists(
+    st.floats(min_value=-1e6, max_value=1e6, allow_nan=False), min_size=2, max_size=50
+)
+
+
+class TestRunningStat:
+    @given(values)
+    @settings(max_examples=100)
+    def test_matches_numpy(self, xs):
+        rs = RunningStat()
+        for x in xs:
+            rs.push(x)
+        assert rs.mean == pytest.approx(np.mean(xs), rel=1e-9, abs=1e-6)
+        assert rs.variance() == pytest.approx(np.var(xs, ddof=1), rel=1e-6, abs=1e-3)
+
+    def test_empty(self):
+        rs = RunningStat()
+        assert rs.n == 0 and rs.variance() == 0.0
+        assert rs.sem() == float("inf")
+
+    def test_single_value(self):
+        rs = RunningStat()
+        rs.push(5.0)
+        assert rs.mean == 5.0 and rs.variance() == 0.0
+
+    @given(values, values)
+    @settings(max_examples=50)
+    def test_merge(self, xs, ys):
+        a, b, c = RunningStat(), RunningStat(), RunningStat()
+        for x in xs:
+            a.push(x)
+            c.push(x)
+        for y in ys:
+            b.push(y)
+            c.push(y)
+        m = a.merge(b)
+        assert m.n == c.n
+        assert m.mean == pytest.approx(c.mean, rel=1e-9, abs=1e-6)
+        assert m.variance() == pytest.approx(c.variance(), rel=1e-6, abs=1e-3)
+
+
+class TestRatioStat:
+    def test_ratio(self):
+        rs = RatioStat()
+        rs.push(10, 2)
+        rs.push(20, 3)
+        assert rs.estimate() == pytest.approx(30 / 5)
+        assert rs.n == 2
+
+    def test_zero_denominator_nan(self):
+        rs = RatioStat()
+        rs.push(1, 0)
+        assert math.isnan(rs.estimate())
+
+
+class TestNormalCi:
+    def test_width_scales_with_level(self):
+        lo90, hi90 = normal_ci(0, 1, 0.90)
+        lo99, hi99 = normal_ci(0, 1, 0.99)
+        assert hi99 - lo99 > hi90 - lo90
+
+    def test_unsupported_level(self):
+        with pytest.raises(ValueError):
+            normal_ci(0, 1, 0.42)
+
+
+class TestEstimationResult:
+    def _result(self, estimates):
+        trace = [TracePoint(10 * (i + 1), i + 1, e) for i, e in enumerate(estimates)]
+        return EstimationResult(estimates[-1], 10 * len(estimates), len(estimates), trace=trace)
+
+    def test_relative_error(self):
+        r = self._result([90.0])
+        assert r.relative_error(100.0) == pytest.approx(0.1)
+        with pytest.raises(ValueError):
+            r.relative_error(0.0)
+
+    def test_queries_to_reach_requires_staying(self):
+        # Dips inside the band then leaves: the early crossing must not count.
+        r = self._result([100, 150, 100, 100])
+        assert r.queries_to_reach(100, 0.05) == 30
+
+    def test_queries_to_reach_never(self):
+        r = self._result([200, 300])
+        assert r.queries_to_reach(100, 0.1) is None
+
+    def test_queries_to_reach_immediately(self):
+        r = self._result([101, 99, 100])
+        assert r.queries_to_reach(100, 0.05) == 10
+
+    def test_ci_no_stat(self):
+        r = self._result([100])
+        lo, hi = r.ci()
+        assert lo == -math.inf and hi == math.inf
+
+    def test_ci_with_stat(self):
+        rs = RunningStat()
+        for x in (9, 10, 11, 10):
+            rs.push(x)
+        r = EstimationResult(10, 100, 4, stat=rs)
+        lo, hi = r.ci(0.95)
+        assert lo < 10 < hi

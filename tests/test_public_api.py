@@ -1,0 +1,55 @@
+"""Public API surface checks and the README quickstart path."""
+
+import numpy as np
+import pytest
+
+import repro
+
+
+class TestPublicSurface:
+    def test_version(self):
+        assert repro.__version__ == "1.0.0"
+
+    def test_all_exports_resolve(self):
+        for name in repro.__all__:
+            assert hasattr(repro, name), name
+
+    def test_subpackage_all_exports_resolve(self):
+        import repro.core
+        import repro.datasets
+        import repro.geometry
+        import repro.lbs
+        import repro.sampling
+        import repro.stats
+
+        for mod in (repro.core, repro.datasets, repro.geometry,
+                    repro.lbs, repro.sampling, repro.stats):
+            for name in mod.__all__:
+                assert hasattr(mod, name), f"{mod.__name__}.{name}"
+
+    def test_experiment_registry_complete(self):
+        from repro.experiments import ALL_EXPERIMENTS
+
+        expected = {f"fig{n}" for n in range(11, 22)} | {"table1"}
+        assert set(ALL_EXPERIMENTS) == expected
+
+
+class TestReadmeQuickstart:
+    def test_quickstart_flow(self):
+        """The README snippet, condensed: it must run and be sane."""
+        from repro import (AggregateQuery, LrLbsAgg, LrLbsInterface,
+                           PoiConfig, UniformSampler, generate_poi_database)
+        from repro.geometry import Rect
+
+        region = Rect(0, 0, 100, 100)
+        db = generate_poi_database(
+            region, np.random.default_rng(7),
+            PoiConfig(n_restaurants=40, n_schools=20, n_banks=0, n_cafes=0),
+        )
+        api = LrLbsInterface(db, k=5)
+        agg = LrLbsAgg(api, UniformSampler(region), AggregateQuery.count(), seed=0)
+        result = agg.run(max_queries=400)
+        assert result.samples > 0
+        assert result.estimate == pytest.approx(len(db), rel=1.0)
+        lo, hi = result.ci(0.95)
+        assert lo < hi
