@@ -16,6 +16,15 @@ from repro.geometry import Rect
 BENCH_BOX = Rect(0.0, 0.0, 200.0, 150.0)
 
 
+def pytest_addoption(parser):
+    parser.addoption(
+        "--quick",
+        action="store_true",
+        default=False,
+        help="run benchmarks at a reduced load (CI perf smoke)",
+    )
+
+
 @pytest.fixture(scope="session")
 def bench_world() -> World:
     """A small POI world shared by the cost-figure benchmarks."""

@@ -2,7 +2,7 @@
 
 from .aggregates import AggregateKind, AggregateQuery
 from .bounds import LowerBoundTester, McOutcome, MonteCarloFinish
-from .config import LnrAggConfig, LrAggConfig
+from .config import LnrAggConfig, LrAggConfig, QueryEngineConfig
 from .edge_search import (
     LineEstimate,
     TransitionSegment,
@@ -24,6 +24,7 @@ __all__ = [
     "AggregateQuery",
     "LrAggConfig",
     "LnrAggConfig",
+    "QueryEngineConfig",
     "ObservationHistory",
     "DiskLedger",
     "TopHCellOracle",

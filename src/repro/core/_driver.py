@@ -1,0 +1,94 @@
+"""The sampling loop shared by the estimation drivers.
+
+LR-LBS-AGG, LNR-LBS-AGG, and the NNO baseline all run the same outer
+loop: draw sample points, evaluate each through the estimator's
+``_sample_at``, push the contribution, trace progress, stop on budget or
+sample count.  Batching (``batch_size > 1``) additionally prefetches the
+kNN answers of whole blocks of points through the vectorized
+``query_batch`` before evaluating them one by one against the warm
+cache.  Keeping the loop in one place keeps the subtle parts — budget
+clamping, mid-batch exhaustion, per-sample stop re-checks — in sync
+across drivers.
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+from ..lbs import BudgetExhausted
+from ..stats import EstimationResult, TracePoint
+
+__all__ = ["run_estimation_loop"]
+
+
+def run_estimation_loop(
+    est,
+    max_queries: Optional[int],
+    n_samples: Optional[int],
+    batch_size: int,
+) -> EstimationResult:
+    """Drive ``est`` (an LR/LNR/NNO driver) to completion.
+
+    ``est`` supplies: ``interface``, ``sampler``, ``rng``, ``samples``,
+    ``estimate()``, ``_sample_at(q)``, the ``_stat``/``_ratio``/``_trace``
+    accumulators, and ``query.is_ratio``.  Prefetching requires an
+    ``est.history`` with ``query_batch``; drivers without one (NNO) pass
+    ``batch_size=1``.
+
+    A sample interrupted by budget exhaustion is discarded (its partial
+    queries still count, as they would against a real rate limit).  On
+    mid-prefetch exhaustion the paid prefix is already cached, so the
+    per-point loop below replays it for free and stops at the first
+    unpaid point — exactly like a sequential run.
+    """
+    if max_queries is None and n_samples is None:
+        raise ValueError("provide max_queries and/or n_samples")
+    if batch_size < 1:
+        raise ValueError("batch_size must be >= 1")
+    start = est.interface.queries_used
+    stop = False
+    while not stop:
+        if n_samples is not None and est.samples >= n_samples:
+            break
+        if max_queries is not None and est.interface.queries_used - start >= max_queries:
+            break
+        b = batch_size
+        if n_samples is not None:
+            b = min(b, n_samples - est.samples)
+        if max_queries is not None:
+            b = min(b, max_queries - (est.interface.queries_used - start))
+        b = max(b, 1)
+        if b > 1:
+            points = est.sampler.sample_batch(est.rng, b)
+            try:
+                est.history.query_batch(points)
+            except BudgetExhausted:
+                pass
+        else:
+            points = [est.sampler.sample(est.rng)]
+        for i, q in enumerate(points):
+            if i > 0:
+                if n_samples is not None and est.samples >= n_samples:
+                    break
+                if (
+                    max_queries is not None
+                    and est.interface.queries_used - start >= max_queries
+                ):
+                    break
+            try:
+                num, den = est._sample_at(q)
+            except BudgetExhausted:
+                stop = True
+                break
+            est._stat.push(num)
+            est._ratio.push(num, den)
+            est._trace.append(
+                TracePoint(est.interface.queries_used - start, est.samples, est.estimate())
+            )
+    return EstimationResult(
+        estimate=est.estimate(),
+        queries=est.interface.queries_used - start,
+        samples=est.samples,
+        stat=est._ratio.numerator if est.query.is_ratio else est._stat,
+        trace=list(est._trace),
+    )

@@ -9,7 +9,12 @@ from __future__ import annotations
 from dataclasses import dataclass, replace
 from typing import Optional
 
-__all__ = ["LrAggConfig", "LnrAggConfig"]
+# Re-exported here so estimator code configures the whole stack from one
+# module: the query engine (index backend, answer cache, batching) is as
+# much an estimator knob as h or the MC bounds.
+from ..index import QueryEngineConfig
+
+__all__ = ["LrAggConfig", "LnrAggConfig", "QueryEngineConfig"]
 
 
 @dataclass(frozen=True)

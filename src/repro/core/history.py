@@ -96,8 +96,34 @@ class ObservationHistory:
         if hit is not None:
             return hit
         answer = self.interface.query(point)
+        self._cache[key] = answer
         self.record(answer)
         return answer
+
+    def query_batch(self, points: Iterable[Point]) -> list[QueryAnswer]:
+        """Issue (or replay) a batch of queries through one engine call.
+
+        Unseen points go to :meth:`KnnInterface.query_batch` together —
+        the vectorized hot path — and every returned answer is absorbed.
+        On :class:`~repro.lbs.BudgetExhausted` the affordable prefix has
+        already been paid and cached by the interface, so re-querying
+        those points later is free; the exception still propagates, as a
+        sequential loop's would.
+        """
+        pts = [Point(*p) for p in points]
+        missing = []
+        seen = set()
+        for p in pts:
+            key = (p.x, p.y)
+            if key not in self._cache and key not in seen:
+                seen.add(key)
+                missing.append(p)
+        if missing:
+            answers = self.interface.query_batch(missing)
+            for p, answer in zip(missing, answers):
+                self._cache[(p.x, p.y)] = answer
+                self.record(answer)
+        return [self._cache[(p.x, p.y)] for p in pts]
 
     def record(self, answer: QueryAnswer) -> None:
         """Absorb an answer obtained elsewhere."""

@@ -22,9 +22,10 @@ from typing import Optional
 
 import numpy as np
 
-from ..lbs import BudgetExhausted, KnnInterface
+from ..lbs import KnnInterface
 from ..sampling import PointSampler
 from ..stats import EstimationResult, RatioStat, RunningStat, TracePoint
+from ._driver import run_estimation_loop
 from .aggregates import AggregateQuery
 from .config import LnrAggConfig
 from .history import ObservationHistory
@@ -72,6 +73,10 @@ class LnrLbsAgg:
     # ------------------------------------------------------------------
     def sample_once(self) -> tuple[float, float]:
         q = self.sampler.sample(self.rng)
+        return self._sample_at(q)
+
+    def _sample_at(self, q) -> tuple[float, float]:
+        """Evaluate the sample at a pre-drawn query point."""
         answer = self.history.query(q)
         num = 0.0
         den = 0.0
@@ -113,29 +118,13 @@ class LnrLbsAgg:
         self,
         max_queries: Optional[int] = None,
         n_samples: Optional[int] = None,
+        batch_size: int = 1,
     ) -> EstimationResult:
-        """Run until the query budget or sample count is exhausted."""
-        if max_queries is None and n_samples is None:
-            raise ValueError("provide max_queries and/or n_samples")
-        start = self.interface.queries_used
-        while True:
-            if n_samples is not None and self.samples >= n_samples:
-                break
-            if max_queries is not None and self.interface.queries_used - start >= max_queries:
-                break
-            try:
-                num, den = self.sample_once()
-            except BudgetExhausted:
-                break
-            self._stat.push(num)
-            self._ratio.push(num, den)
-            self._trace.append(
-                TracePoint(self.interface.queries_used - start, self.samples, self.estimate())
-            )
-        return EstimationResult(
-            estimate=self.estimate(),
-            queries=self.interface.queries_used - start,
-            samples=self.samples,
-            stat=self._ratio.numerator if self.query.is_ratio else self._stat,
-            trace=list(self._trace),
-        )
+        """Run until the query budget or sample count is exhausted.
+
+        ``batch_size > 1`` prefetches the kNN answers of whole blocks of
+        sample points through the vectorized ``query_batch`` (LNR keeps
+        history across samples and its adaptive-h rule depends only on
+        ranks, so prefetching is always sound — unlike the LR case).
+        """
+        return run_estimation_loop(self, max_queries, n_samples, batch_size)

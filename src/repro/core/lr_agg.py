@@ -30,9 +30,10 @@ from typing import Optional
 import numpy as np
 
 from ..geometry import Point
-from ..lbs import BudgetExhausted, KnnInterface
+from ..lbs import KnnInterface
 from ..sampling import PointSampler
 from ..stats import EstimationResult, RatioStat, RunningStat, TracePoint
+from ._driver import run_estimation_loop
 from .aggregates import AggregateQuery
 from .config import LrAggConfig
 from .history import ObservationHistory
@@ -82,11 +83,15 @@ class LrLbsAgg:
     # ------------------------------------------------------------------
     def sample_once(self) -> tuple[float, float]:
         """Draw one sample; returns its (numerator, denominator) pair."""
+        q = self.sampler.sample(self.rng)
+        return self._sample_at(q)
+
+    def _sample_at(self, q: Point) -> tuple[float, float]:
+        """Evaluate the sample at a pre-drawn query point."""
         self.history.reset_sample()
         # Snapshot past-only observations: the adaptive-h rule may not see
         # the current answer (see the unbiasedness note in variance.py).
         past_locations = dict(self.history.locations) if self.config.adaptive_h else None
-        q = self.sampler.sample(self.rng)
         answer = self.history.query(q)
         num = 0.0
         den = 0.0
@@ -131,6 +136,7 @@ class LrLbsAgg:
         self,
         max_queries: Optional[int] = None,
         n_samples: Optional[int] = None,
+        batch_size: int = 1,
     ) -> EstimationResult:
         """Run until the query budget or sample count is exhausted.
 
@@ -138,28 +144,18 @@ class LrLbsAgg:
         spent inside cell computations.  A sample interrupted by budget
         exhaustion is discarded (its partial queries still count, as they
         would against a real rate limit).
+
+        ``batch_size > 1`` draws that many sample points at once and
+        prefetches their kNN answers through the interface's vectorized
+        ``query_batch`` before evaluating them one by one (each
+        evaluation then hits the history cache).  Estimates change only
+        through the random stream (points are drawn up front); each
+        sample's contribution is computed by the same code path.  The
+        prefetch is skipped — batches degrade to size 1 — when history is
+        off (answers would be wiped between samples) or adaptive h is on
+        (its rule may only see *past* answers; prefetched ones would
+        leak).
         """
-        if max_queries is None and n_samples is None:
-            raise ValueError("provide max_queries and/or n_samples")
-        start = self.interface.queries_used
-        while True:
-            if n_samples is not None and self.samples >= n_samples:
-                break
-            if max_queries is not None and self.interface.queries_used - start >= max_queries:
-                break
-            try:
-                num, den = self.sample_once()
-            except BudgetExhausted:
-                break
-            self._stat.push(num)
-            self._ratio.push(num, den)
-            self._trace.append(
-                TracePoint(self.interface.queries_used - start, self.samples, self.estimate())
-            )
-        return EstimationResult(
-            estimate=self.estimate(),
-            queries=self.interface.queries_used - start,
-            samples=self.samples,
-            stat=self._ratio.numerator if self.query.is_ratio else self._stat,
-            trace=list(self._trace),
-        )
+        if self.config.adaptive_h or not self.config.use_history:
+            batch_size = 1
+        return run_estimation_loop(self, max_queries, n_samples, batch_size)

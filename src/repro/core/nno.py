@@ -25,9 +25,10 @@ from typing import Optional
 import numpy as np
 
 from ..geometry import Point
-from ..lbs import BudgetExhausted, KnnInterface
+from ..lbs import KnnInterface
 from ..sampling import PointSampler
 from ..stats import EstimationResult, RatioStat, RunningStat, TracePoint
+from ._driver import run_estimation_loop
 from .aggregates import AggregateQuery
 
 __all__ = ["NnoConfig", "LrLbsNno"]
@@ -86,9 +87,12 @@ class LrLbsNno:
         return top is not None and top.tid == tid
 
     def sample_once(self) -> tuple[float, float]:
+        q = self.sampler.sample(self.rng)
+        return self._sample_at(q)
+
+    def _sample_at(self, q: Point) -> tuple[float, float]:
         cfg = self.config
         region = self.sampler.region
-        q = self.sampler.sample(self.rng)
         answer = self.interface.query(q)
         top = answer.top()
         if top is None:
@@ -121,13 +125,17 @@ class LrLbsNno:
         y1 = min(t_loc.y + half, region.y1)
         box_area = max(x1 - x0, 0.0) * max(y1 - y0, 0.0)
 
+        # All area probes go through one vectorized query_batch.  The
+        # (n, 2) uniform draw consumes the generator stream in the same
+        # x,y order as per-probe draws did, so results are unchanged.
+        u = self.rng.random((cfg.area_probes, 2))
+        probes = [
+            Point(x0 + ux * (x1 - x0), y0 + uy * (y1 - y0)) for ux, uy in u
+        ]
         hits = 0
-        for _ in range(cfg.area_probes):
-            p = Point(
-                x0 + self.rng.random() * (x1 - x0),
-                y0 + self.rng.random() * (y1 - y0),
-            )
-            if self._returns_t(p, top.tid):
+        for probe_answer in self.interface.query_batch(probes):
+            t = probe_answer.top()
+            if t is not None and t.tid == top.tid:
                 hits += 1
         # Plug-in inverse of the area estimate: the source of the bias.
         frac = max(hits, 1) / cfg.area_probes
@@ -143,28 +151,10 @@ class LrLbsNno:
         self,
         max_queries: Optional[int] = None,
         n_samples: Optional[int] = None,
+        batch_size: int = 1,
     ) -> EstimationResult:
-        if max_queries is None and n_samples is None:
-            raise ValueError("provide max_queries and/or n_samples")
-        start = self.interface.queries_used
-        while True:
-            if n_samples is not None and self.samples >= n_samples:
-                break
-            if max_queries is not None and self.interface.queries_used - start >= max_queries:
-                break
-            try:
-                num, den = self.sample_once()
-            except BudgetExhausted:
-                break
-            self._stat.push(num)
-            self._ratio.push(num, den)
-            self._trace.append(
-                TracePoint(self.interface.queries_used - start, self.samples, self.estimate())
-            )
-        return EstimationResult(
-            estimate=self.estimate(),
-            queries=self.interface.queries_used - start,
-            samples=self.samples,
-            stat=self._ratio.numerator if self.query.is_ratio else self._stat,
-            trace=list(self._trace),
-        )
+        """``batch_size`` is accepted for driver-API uniformity but NNO
+        has no history to prefetch into — its queries are inherently
+        sequential except the area probes, which always go through
+        ``query_batch``."""
+        return run_estimation_loop(self, max_queries, n_samples, batch_size=1)

@@ -101,3 +101,15 @@ class PopulationGrid:
         i, j = divmod(flat, self.ny)
         cell = self.cell_rect(i, j)
         return cell.sample(rng)
+
+    def sample_points(self, rng: np.random.Generator, n: int) -> list[Point]:
+        """Draw ``n`` points from the grid density (vectorized: one cell
+        choice and one in-cell uniform draw for the whole batch)."""
+        flats = rng.choice(self.nx * self.ny, size=n, p=self._flat_probs)
+        u = rng.random((n, 2))
+        out = []
+        for flat, (ux, uy) in zip(flats.tolist(), u):
+            i, j = divmod(flat, self.ny)
+            cell = self.cell_rect(i, j)
+            out.append(Point(cell.x0 + ux * self.cell_w, cell.y0 + uy * self.cell_h))
+        return out

@@ -1,6 +1,27 @@
-"""Spatial index substrate (static KD-tree plus a brute-force oracle)."""
+"""Spatial index substrate: pluggable backends behind one protocol.
 
+Three interchangeable backends implement :class:`SpatialIndex`:
+
+* :class:`KdTree` — pure-Python best-first search; good single-query
+  latency, no vectorized batch kernel;
+* :class:`GridIndex` — NumPy uniform grid; the batched workhorse;
+* :class:`BruteForceIndex` — the O(n) oracle; its batch path is a fully
+  vectorized distance matrix, unbeatable on tiny databases.
+
+:func:`make_index` picks a backend by name or, with ``"auto"``, by
+database size.
+"""
+
+from .base import QueryEngineConfig, SpatialIndex, make_index
 from .brute import BruteForceIndex
+from .grid import GridIndex
 from .kdtree import KdTree
 
-__all__ = ["KdTree", "BruteForceIndex"]
+__all__ = [
+    "SpatialIndex",
+    "QueryEngineConfig",
+    "KdTree",
+    "GridIndex",
+    "BruteForceIndex",
+    "make_index",
+]

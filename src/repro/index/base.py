@@ -1,0 +1,142 @@
+"""The :class:`SpatialIndex` protocol and the query-engine configuration.
+
+Every spatial index in :mod:`repro.index` answers the same four
+questions — single-point kNN, single-point radius search, and their
+batched counterparts — under one shared contract:
+
+* distances are Euclidean with one exact realization: candidates are
+  *ordered* by the squared distance ``dx*dx + dy*dy`` and the returned
+  value is ``sqrt`` of it.  Multiplication, addition, and square root
+  are IEEE-754-exact / correctly rounded, identical between NumPy
+  arrays and Python scalars — which is what makes every backend, looped
+  or batched, bit-identical.  (Do **not** substitute ``math.hypot``: it
+  can differ from ``sqrt(dx*dx + dy*dy)`` in the last ulp.)
+* answers are sorted by ``(distance, item)`` — ties in distance are
+  broken by item id, making the simulated service deterministic (the
+  paper's "general position" assumption made real);
+* ``within_radius``/``range_batch`` are inclusive (``sqrt(d2) <= radius``).
+
+Backends are interchangeable: :class:`~repro.index.kdtree.KdTree`
+(pure-Python best-first search, great single-query latency on small
+databases), :class:`~repro.index.grid.GridIndex` (NumPy uniform grid,
+built for vectorized batches), and
+:class:`~repro.index.brute.BruteForceIndex` (the O(n) oracle, whose
+batched form is a fully vectorized distance matrix).  The equivalence
+test suite (`tests/index/test_index_equivalence.py`) holds all three to
+the contract on randomized inputs.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Hashable, Optional, Protocol, Sequence, runtime_checkable
+
+__all__ = ["SpatialIndex", "QueryEngineConfig", "make_index"]
+
+#: One kNN / radius answer: ``(distance, item)``.
+Neighbor = tuple[float, Hashable]
+
+
+@runtime_checkable
+class SpatialIndex(Protocol):
+    """What the LBS simulator requires of a spatial index backend."""
+
+    def __len__(self) -> int:
+        """Number of indexed points."""
+
+    def knn(self, x: float, y: float, k: int) -> list[Neighbor]:
+        """The ``k`` nearest items as ``(distance, item)``, sorted by
+        ``(distance, item)``."""
+
+    def within_radius(self, x: float, y: float, radius: float) -> list[Neighbor]:
+        """All items with ``distance <= radius``, sorted by
+        ``(distance, item)``."""
+
+    def knn_batch(
+        self, points: Sequence[tuple[float, float]], k: int
+    ) -> list[list[Neighbor]]:
+        """Per-point kNN answers, identical to ``[knn(x, y, k) ...]``."""
+
+    def range_batch(
+        self, points: Sequence[tuple[float, float]], radius: float
+    ) -> list[list[Neighbor]]:
+        """Per-point radius answers, identical to looped ``within_radius``."""
+
+
+@dataclass(frozen=True)
+class QueryEngineConfig:
+    """Knobs of the batched query engine behind a simulated LBS interface.
+
+    Attributes
+    ----------
+    index_backend:
+        ``"auto"`` | ``"kdtree"`` | ``"grid"`` | ``"brute"``.  Auto picks
+        by database size: brute-force vectorized scans win on tiny
+        databases (the candidate-gathering overhead of smarter indexes
+        dominates), the uniform grid wins everywhere else.
+    auto_brute_max:
+        Largest database size for which ``"auto"`` picks brute force.
+    cache_size:
+        Capacity of the per-interface LRU query-answer cache (number of
+        distinct snapped query locations).  ``0`` disables caching.
+    snap_resolution:
+        Cache keys are query coordinates snapped to this grid pitch.
+        ``None`` derives an EPS-scale pitch from the service region —
+        fine enough that distinct random queries never collide, coarse
+        enough that float noise on a revisited location still hits.
+    """
+
+    index_backend: str = "auto"
+    auto_brute_max: int = 64
+    cache_size: int = 65536
+    snap_resolution: Optional[float] = None
+
+    def __post_init__(self) -> None:
+        if self.index_backend != "auto" and self.index_backend not in _backends():
+            raise ValueError(
+                f"unknown index backend {self.index_backend!r}; "
+                f"expected one of {('auto', *_backends())}"
+            )
+        if self.cache_size < 0:
+            raise ValueError("cache_size must be non-negative")
+        if self.snap_resolution is not None and self.snap_resolution <= 0.0:
+            raise ValueError("snap_resolution must be positive")
+
+
+def _backends() -> dict:
+    """The backend registry — the single source of truth shared by
+    config validation and :func:`make_index` dispatch.  Imported lazily:
+    the backend modules are siblings, and this module is imported first
+    by the package __init__."""
+    from .brute import BruteForceIndex
+    from .grid import GridIndex
+    from .kdtree import KdTree
+
+    return {"kdtree": KdTree, "grid": GridIndex, "brute": BruteForceIndex}
+
+
+def make_index(
+    points: Sequence[tuple[float, float, Hashable]],
+    backend: str = "auto",
+    *,
+    auto_brute_max: int = 64,
+) -> SpatialIndex:
+    """Build a spatial index over ``points``.
+
+    ``backend`` is ``"kdtree"``, ``"grid"``, ``"brute"``, or ``"auto"``
+    (brute force up to ``auto_brute_max`` points, uniform grid beyond —
+    the crossover where candidate-gathering overhead stops dominating).
+    All backends return identical answers; only throughput differs.
+    """
+    registry = _backends()
+    pts = points if isinstance(points, list) else list(points)
+    if backend == "auto":
+        backend = "brute" if len(pts) <= auto_brute_max else "grid"
+    try:
+        cls = registry[backend]
+    except KeyError:
+        raise ValueError(
+            f"unknown index backend {backend!r}; expected one of "
+            f"{('auto', *registry)}"
+        ) from None
+    return cls(pts)

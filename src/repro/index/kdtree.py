@@ -7,6 +7,13 @@ radius query.  Ties in distance are broken by item id so the simulated
 service is deterministic — the "general position" assumption of the paper
 made real.
 
+Like every :class:`~repro.index.base.SpatialIndex` backend, ordering uses
+the exact squared distance ``dx*dx + dy*dy`` and answers carry its
+``sqrt`` — IEEE-exact operations, bit-identical to the brute-force
+oracle and the grid.  The batch entry points just loop: the tree has no
+vectorized kernel, which is exactly what the query-engine benchmark uses
+as its single-query baseline.
+
 The tree stores ``(x, y, item)`` triples; ``item`` is any hashable id.
 """
 
@@ -82,16 +89,16 @@ class KdTree:
         if self.root is None or k <= 0:
             return []
         # Max-heap via negated keys: worst current candidate on top.
-        best: list[tuple[float, object, Hashable]] = []  # (-dist, neg_item_key, item)
+        best: list[tuple[float, object, Hashable]] = []  # (-dist2, neg_item_key, item)
         stack = [self.root]
         while stack:
             node = stack.pop()
-            # Prune with a one-ulp slack so boundary ties are never lost.
-            if len(best) == k and math.sqrt(self._box_distance_sq(node, x, y)) > -best[0][0] + 1e-12:
+            # Prune with relative slack so boundary ties are never lost.
+            if len(best) == k and self._box_distance_sq(node, x, y) > -best[0][0] * (1.0 + 1e-9) + 1e-300:
                 continue
-            # math.hypot is correctly rounded, keeping distances identical
-            # to the brute-force oracle bit for bit.
-            d = math.hypot(node.x - x, node.y - y)
+            ddx = node.x - x
+            ddy = node.y - y
+            d = ddx * ddx + ddy * ddy
             entry = (-d, _NegKey(node.item), node.item)
             if len(best) < k:
                 heapq.heappush(best, entry)
@@ -108,28 +115,46 @@ class KdTree:
                 stack.append(near)
         result = [(-nd, item) for nd, _nk, item in best]
         result.sort(key=lambda pair: (pair[0], pair[1]))
-        return result
+        return [(math.sqrt(d2), item) for d2, item in result]
 
     def within_radius(self, x: float, y: float, radius: float) -> list[tuple[float, Hashable]]:
         """All items within ``radius`` (inclusive), sorted by (distance, item)."""
         if self.root is None or radius < 0.0:
             return []
-        r2 = radius * radius * (1.0 + 1e-12)
-        out: list[tuple[float, Hashable]] = []
+        r2 = radius * radius * (1.0 + 1e-9) + 1e-300
+        out: list[tuple[float, float, Hashable]] = []
         stack = [self.root]
         while stack:
             node = stack.pop()
             if self._box_distance_sq(node, x, y) > r2:
                 continue
-            d = math.hypot(node.x - x, node.y - y)
+            ddx = node.x - x
+            ddy = node.y - y
+            d2 = ddx * ddx + ddy * ddy
+            d = math.sqrt(d2)
             if d <= radius:
-                out.append((d, node.item))
+                out.append((d2, d, node.item))
             if node.left is not None:
                 stack.append(node.left)
             if node.right is not None:
                 stack.append(node.right)
-        out.sort(key=lambda pair: (pair[0], pair[1]))
-        return out
+        out.sort(key=lambda trip: (trip[0], trip[2]))
+        return [(d, item) for _d2, d, item in out]
+
+    # ------------------------------------------------------------------
+    # Batched queries — the KD-tree has no vectorized kernel, so these
+    # simply satisfy the SpatialIndex protocol by looping; prefer
+    # GridIndex / BruteForceIndex when batch throughput matters.
+    # ------------------------------------------------------------------
+    def knn_batch(
+        self, points: Sequence[tuple[float, float]], k: int
+    ) -> list[list[tuple[float, Hashable]]]:
+        return [self.knn(x, y, k) for x, y in points]
+
+    def range_batch(
+        self, points: Sequence[tuple[float, float]], radius: float
+    ) -> list[list[tuple[float, Hashable]]]:
+        return [self.within_radius(x, y, radius) for x, y in points]
 
     @staticmethod
     def _box_distance_sq(node: _Node, x: float, y: float) -> float:

@@ -1,6 +1,8 @@
 """Simulated location based services: hidden databases behind kNN APIs."""
 
+from ..index import QueryEngineConfig
 from .budget import BudgetExhausted, QueryBudget
+from .cache import QueryAnswerCache
 from .database import SpatialDatabase
 from .interface import (
     KnnInterface,
@@ -17,6 +19,8 @@ __all__ = [
     "SpatialDatabase",
     "QueryBudget",
     "BudgetExhausted",
+    "QueryAnswerCache",
+    "QueryEngineConfig",
     "KnnInterface",
     "LrLbsInterface",
     "LnrLbsInterface",

@@ -41,6 +41,17 @@ class QueryBudget:
             return None
         return self.limit - self.used
 
+    def affordable(self, amount: int) -> int:
+        """How many of ``amount`` queries can be paid for right now.
+
+        Batched interfaces use this to issue the affordable prefix of a
+        batch before raising :class:`BudgetExhausted` — cache hits are
+        free, so only genuine (miss) queries are counted.
+        """
+        if self.limit is None:
+            return amount
+        return max(0, min(amount, self.limit - self.used))
+
     def exhausted(self) -> bool:
         return self.limit is not None and self.used >= self.limit
 

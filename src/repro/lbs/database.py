@@ -12,7 +12,7 @@ from typing import Callable, Iterable, Optional
 import numpy as np
 
 from ..geometry import Point, Rect
-from ..index import KdTree
+from ..index import make_index
 from .tuples import LbsTuple
 
 __all__ = ["SpatialDatabase"]
@@ -32,7 +32,7 @@ class SpatialDatabase:
             if not region.contains(t.location, tol=1e-6 * max(region.width, region.height, 1.0)):
                 raise ValueError(f"tuple {t.tid} at {t.location} outside region {region}")
             self._tuples[t.tid] = t
-        self._index = KdTree(
+        self._index = make_index(
             [(t.location.x, t.location.y, t.tid) for t in self._tuples.values()]
         )
 

@@ -13,21 +13,35 @@ Both honour the common interface limitations: top-k truncation, a shared
 radius ``max_radius`` (§5.3) outside which tuples are never returned.
 ``filtered`` produces a pass-through-condition view (§5.1) that shares the
 parent's budget, exactly like appending ``name=Starbucks`` to an API call.
+
+Each interface runs on a pluggable query engine
+(:class:`~repro.index.QueryEngineConfig`): a spatial-index backend picked
+by name or database size, a per-interface LRU answer cache (cache hits
+cost no budget — only network calls count, §2.1), and a vectorized
+``query_batch`` entry point used by the samplers and estimators' hot
+loops.
 """
 
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Callable, Optional, Sequence
+from typing import Callable, Iterable, Optional, Sequence
 
 from ..geometry import Point, distance
-from ..index import KdTree
-from .budget import QueryBudget
+from ..index import QueryEngineConfig, make_index
+from .budget import BudgetExhausted, QueryBudget
+from .cache import QueryAnswerCache
 from .database import SpatialDatabase
 from .ranking import ObfuscationModel, ProminenceRanking
 from .tuples import LbsTuple
 
-__all__ = ["ReturnedTuple", "QueryAnswer", "KnnInterface", "LrLbsInterface", "LnrLbsInterface"]
+__all__ = [
+    "ReturnedTuple",
+    "QueryAnswer",
+    "KnnInterface",
+    "LrLbsInterface",
+    "LnrLbsInterface",
+]
 
 Predicate = Callable[[LbsTuple], bool]
 
@@ -109,6 +123,7 @@ class KnnInterface:
         obfuscation: Optional[ObfuscationModel] = None,
         prominence: Optional[dict] = None,
         visible_attrs: Optional[Sequence[str]] = None,
+        engine: Optional[QueryEngineConfig] = None,
     ):
         if k < 1:
             raise ValueError("k must be >= 1")
@@ -118,6 +133,7 @@ class KnnInterface:
         self.max_radius = max_radius
         self.obfuscation = obfuscation
         self.visible_attrs = tuple(visible_attrs) if visible_attrs is not None else None
+        self.engine = engine if engine is not None else QueryEngineConfig()
 
         tuples = database.tuples()
         if obfuscation is not None:
@@ -133,9 +149,20 @@ class KnnInterface:
         self._prominence: Optional[ProminenceRanking] = None
         if prominence is not None:
             self._prominence = ProminenceRanking(tuples, self._locations, **prominence)
-        self._index = KdTree(
-            [(p.x, p.y, tid) for tid, p in self._locations.items()]
+        self._index = make_index(
+            [(p.x, p.y, tid) for tid, p in self._locations.items()],
+            self.engine.index_backend,
+            auto_brute_max=self.engine.auto_brute_max,
         )
+        region = database.region
+        resolution = (
+            self.engine.snap_resolution
+            if self.engine.snap_resolution is not None
+            else QueryAnswerCache.resolution_for(region.width, region.height)
+        )
+        # Per-interface by design: a filtered() view must never serve the
+        # parent's (full-database) answers.
+        self._cache = QueryAnswerCache(self.engine.cache_size, resolution)
 
     # ------------------------------------------------------------------
     @property
@@ -151,14 +178,98 @@ class KnnInterface:
         return self._locations[tid]
 
     # ------------------------------------------------------------------
+    @property
+    def cache_stats(self) -> dict:
+        """Hit/miss counters of the per-interface answer cache."""
+        return self._cache.stats()
+
     def query(self, point: Point) -> QueryAnswer:
-        """Issue one kNN query; draws one unit of budget."""
-        self.budget.spend(1)
+        """Issue one kNN query.
+
+        A cached answer (same snapped location seen before) is returned
+        for free — only genuine service calls draw budget, the way the
+        paper counts queries (§2.1: the rate limit is on network calls).
+        """
         point = Point(*point)
+        key = self._cache.key(point.x, point.y)
+        hit = self._cache.get(key)
+        if hit is not None:
+            return hit
+        self.budget.spend(1)
+        answer = self._answer(point)
+        self._cache.put(key, answer)
+        return answer
+
+    def query_batch(self, points: Iterable[Point]) -> list[QueryAnswer]:
+        """Answer a batch of queries, in order, as one engine call.
+
+        Answers are identical to looping :meth:`query` (regression-tested
+        in ``tests/lbs/test_query_cache.py``): cache hits are free,
+        duplicate locations within the batch are answered once, and the
+        kNN search for all misses runs through the index's vectorized
+        ``knn_batch``.  If the budget cannot cover every miss, the
+        affordable prefix is answered (and cached — those queries *were*
+        spent) before :class:`BudgetExhausted` is raised, exactly as a
+        sequential loop would behave.
+        """
+        pts = [Point(*p) for p in points]
+        if self._cache.capacity == 0:
+            # Cache disabled: every point is a network call, duplicates
+            # included — exactly like the loop of query() calls.
+            paid = self.budget.affordable(len(pts))
+            if paid:
+                self.budget.spend(paid)
+                answers = self._answer_batch(pts[:paid])
+            else:
+                answers = []
+            if paid < len(pts):
+                raise BudgetExhausted(self.budget.limit)
+            return answers
+        keys = [self._cache.key(p.x, p.y) for p in pts]
+        answers: dict = {}
+        missing: list[Point] = []
+        missing_keys: list = []
+        for p, key in zip(pts, keys):
+            if key in answers:
+                continue
+            hit = self._cache.get(key)
+            if hit is not None:
+                answers[key] = hit
+            else:
+                answers[key] = None  # reserve slot, keep first-seen order
+                missing.append(p)
+                missing_keys.append(key)
+        paid = self.budget.affordable(len(missing))
+        if paid:
+            self.budget.spend(paid)
+            for p, key, answer in zip(
+                missing[:paid], missing_keys[:paid], self._answer_batch(missing[:paid])
+            ):
+                self._cache.put(key, answer)
+                answers[key] = answer
+        if paid < len(missing):
+            raise BudgetExhausted(self.budget.limit)
+        return [answers[key] for key in keys]
+
+    def _answer(self, point: Point) -> QueryAnswer:
+        """Compute one answer (no budget, no cache — plumbing only)."""
         if self._prominence is not None:
             ranked = self._prominence.rank(point, self.k)
         else:
             ranked = self._index.knn(point.x, point.y, self.k)
+        return self._build_answer(point, ranked)
+
+    def _answer_batch(self, points: Sequence[Point]) -> list[QueryAnswer]:
+        """Compute answers for many points (no budget, no cache)."""
+        if self._prominence is not None:
+            # Prominence re-ranking has no vectorized kernel.
+            return [self._answer(p) for p in points]
+        ranked_lists = self._index.knn_batch([(p.x, p.y) for p in points], self.k)
+        return [
+            self._build_answer(p, ranked) for p, ranked in zip(points, ranked_lists)
+        ]
+
+    def _build_answer(self, point: Point, ranked) -> QueryAnswer:
         if self.max_radius is not None:
             ranked = [(d, tid) for d, tid in ranked if d <= self.max_radius]
         results = tuple(
@@ -186,6 +297,9 @@ class KnnInterface:
 
         Runs the kNN over matching tuples only, drawing from the *same*
         budget — like adding a keyword filter to the Places API call.
+        The view gets its *own* answer cache (its answers come from a
+        different database, so reusing the parent's would serve stale
+        results) but shares the engine configuration.
         """
         view = type(self)(
             self.database.filtered(predicate),
@@ -194,6 +308,7 @@ class KnnInterface:
             max_radius=self.max_radius,
             obfuscation=self.obfuscation,
             visible_attrs=self.visible_attrs,
+            engine=self.engine,
         )
         return view
 

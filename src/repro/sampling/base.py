@@ -36,6 +36,15 @@ class PointSampler(abc.ABC):
     def sample(self, rng: np.random.Generator) -> Point:
         """Draw one location from the density."""
 
+    def sample_batch(self, rng: np.random.Generator, n: int) -> list[Point]:
+        """Draw ``n`` locations at once (feeds the estimators' batched
+        query prefetch).  Subclasses override with a vectorized draw; the
+        fallback loops :meth:`sample`.  Implementations may consume the
+        generator stream differently from ``n`` single draws — callers
+        must not rely on cross-mode reproducibility of the stream, only
+        on the distribution."""
+        return [self.sample(rng) for _ in range(n)]
+
     @abc.abstractmethod
     def density(self, p: Point) -> float:
         """The density ``f(p)`` (integrates to 1 over the region)."""

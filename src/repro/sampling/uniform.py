@@ -22,6 +22,15 @@ class UniformSampler(PointSampler):
     def sample(self, rng: np.random.Generator) -> Point:
         return self.region.sample(rng)
 
+    def sample_batch(self, rng: np.random.Generator, n: int) -> list[Point]:
+        # One (n, 2) draw; C-order matches n sequential x,y draws, so the
+        # batch consumes the generator stream exactly like a loop would.
+        u = rng.random((n, 2))
+        r = self.region
+        w = r.width
+        h = r.height
+        return [Point(r.x0 + ux * w, r.y0 + uy * h) for ux, uy in u]
+
     def density(self, p: Point) -> float:
         return 1.0 / self.region.area if self.region.contains(p) else 0.0
 

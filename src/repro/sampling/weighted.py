@@ -37,6 +37,10 @@ class GridWeightedSampler(PointSampler):
     def sample(self, rng: np.random.Generator) -> Point:
         return self.grid.sample_point(rng)
 
+    def sample_batch(self, rng: np.random.Generator, n: int) -> list[Point]:
+        # Same density as n single draws, different generator-stream layout.
+        return self.grid.sample_points(rng, n)
+
     def density(self, p: Point) -> float:
         if not self.region.contains(p):
             return 0.0

@@ -1,0 +1,244 @@
+"""The query engine's cache, batch, and budget semantics.
+
+Covers the contract the estimators rely on: batched answers identical to
+looped single queries (LR and LNR), cache hits never drawing budget,
+filtered() views never serving stale parent answers, and budget
+exhaustion mid-batch paying for exactly the affordable prefix.
+"""
+
+import numpy as np
+import pytest
+
+from repro.geometry import Point, Rect
+from repro.lbs import (
+    BudgetExhausted,
+    LbsTuple,
+    LnrLbsInterface,
+    LrLbsInterface,
+    QueryAnswerCache,
+    QueryBudget,
+    QueryEngineConfig,
+    SpatialDatabase,
+)
+
+BOX = Rect(0, 0, 100, 100)
+
+
+def make_db(n=40, seed=0):
+    rng = np.random.default_rng(seed)
+    return SpatialDatabase(
+        [
+            LbsTuple(i, Point(rng.random() * 100, rng.random() * 100),
+                     {"idx": i, "even": i % 2 == 0})
+            for i in range(n)
+        ],
+        BOX,
+    )
+
+
+def random_points(n, seed=1):
+    rng = np.random.default_rng(seed)
+    return [Point(rng.random() * 100, rng.random() * 100) for _ in range(n)]
+
+
+class TestAnswerCache:
+    def test_hit_costs_no_budget(self):
+        api = LrLbsInterface(make_db(), k=3, budget=QueryBudget(10))
+        p = Point(20, 30)
+        first = api.query(p)
+        assert api.queries_used == 1
+        second = api.query(p)
+        assert api.queries_used == 1  # replay is free
+        assert second == first
+        assert api.cache_stats["hits"] == 1
+
+    def test_float_noise_still_hits(self):
+        api = LrLbsInterface(make_db(), k=3)
+        api.query(Point(20, 30))
+        api.query(Point(20 + 1e-13, 30 - 1e-13))
+        assert api.queries_used == 1
+
+    def test_distinct_points_miss(self):
+        api = LrLbsInterface(make_db(), k=3)
+        api.query(Point(20, 30))
+        api.query(Point(21, 30))
+        assert api.queries_used == 2
+
+    def test_cache_disabled(self):
+        api = LrLbsInterface(
+            make_db(), k=3, engine=QueryEngineConfig(cache_size=0)
+        )
+        p = Point(20, 30)
+        assert api.query(p) == api.query(p)
+        assert api.queries_used == 2  # every call is a network call
+
+    def test_lru_eviction(self):
+        cache = QueryAnswerCache(capacity=2, resolution=1e-9)
+        for i, label in enumerate("abc"):
+            cache.put(cache.key(float(i), 0.0), label)
+        assert cache.peek(cache.key(0.0, 0.0)) is None  # evicted
+        assert cache.peek(cache.key(2.0, 0.0)) == "c"
+        assert len(cache) == 2
+
+    def test_invalid_parameters(self):
+        with pytest.raises(ValueError):
+            QueryAnswerCache(capacity=-1, resolution=1e-9)
+        with pytest.raises(ValueError):
+            QueryAnswerCache(capacity=4, resolution=0.0)
+        with pytest.raises(ValueError):
+            QueryEngineConfig(cache_size=-5)
+
+
+class TestQueryBatchRegression:
+    """query_batch must be indistinguishable from a loop of query()."""
+
+    @pytest.mark.parametrize("cls", [LrLbsInterface, LnrLbsInterface])
+    @pytest.mark.parametrize("backend", ["kdtree", "grid", "brute", "auto"])
+    def test_batch_equals_loop(self, cls, backend):
+        db = make_db(60, seed=5)
+        engine = QueryEngineConfig(index_backend=backend)
+        points = random_points(30, seed=7)
+        looped = [cls(db, k=4, engine=engine).query(p) for p in points]
+        batched = cls(db, k=4, engine=engine).query_batch(points)
+        assert batched == looped
+
+    @pytest.mark.parametrize("cls", [LrLbsInterface, LnrLbsInterface])
+    def test_batch_with_max_radius(self, cls):
+        db = make_db(60, seed=5)
+        points = random_points(25, seed=9)
+        looped = [cls(db, k=6, max_radius=9.0).query(p) for p in points]
+        batched = cls(db, k=6, max_radius=9.0).query_batch(points)
+        assert batched == looped
+
+    def test_batch_with_duplicates_pays_unique_misses(self):
+        api = LrLbsInterface(make_db(), k=3, budget=QueryBudget(10))
+        p1, p2 = Point(10, 10), Point(60, 60)
+        answers = api.query_batch([p1, p2, p1, p2, p1])
+        assert api.queries_used == 2
+        assert answers[0] == answers[2] == answers[4]
+        assert answers[1] == answers[3]
+
+    def test_batch_reuses_prior_cache(self):
+        api = LrLbsInterface(make_db(), k=3)
+        p = Point(10, 10)
+        single = api.query(p)
+        answers = api.query_batch([p, Point(50, 50)])
+        assert api.queries_used == 2  # only the new point paid
+        assert answers[0] == single
+
+    def test_cache_disabled_batch_matches_loop_accounting(self):
+        # With the cache off, every point — duplicates included — is a
+        # network call, exactly like the loop of query() calls.
+        api = LrLbsInterface(make_db(), k=3, engine=QueryEngineConfig(cache_size=0))
+        p = Point(10, 10)
+        got = api.query_batch([p, p, p])
+        assert api.queries_used == 3
+        assert got[0] == got[1] == got[2]
+
+    def test_batch_with_prominence_ranking(self):
+        # Prominence has no vectorized kernel; the batch path must still
+        # answer identically through its fallback.
+        db = make_db(30, seed=3)
+        prominence = {
+            "static_attr": "idx", "weight_distance": 1.0,
+            "weight_static": 0.2, "distance_cap": 50.0,
+        }
+        points = random_points(10, seed=13)
+        looped = [
+            LrLbsInterface(db, k=3, prominence=prominence).query(p) for p in points
+        ]
+        batched = LrLbsInterface(db, k=3, prominence=prominence).query_batch(points)
+        assert batched == looped
+
+
+class TestFilteredViewCache:
+    def test_view_never_serves_parent_answers(self):
+        db = make_db(40)
+        api = LrLbsInterface(db, k=5)
+        p = Point(50, 50)
+        full = api.query(p)  # parent cache now holds the full-db answer
+        view = api.filtered(lambda t: t["even"])
+        narrowed = view.query(p)
+        assert all(r.tid % 2 == 0 for r in narrowed)
+        assert narrowed != full
+        # And the parent must not pick up the view's answers either.
+        assert api.query(p) == full
+
+    def test_view_has_its_own_cache_but_shared_budget(self):
+        api = LrLbsInterface(make_db(), k=3, budget=QueryBudget(10))
+        view = api.filtered(lambda t: t["even"])
+        p = Point(10, 20)
+        api.query(p)
+        view.query(p)  # same location, different database: a real query
+        assert api.queries_used == 2
+        view.query(p)  # now cached in the view
+        assert api.queries_used == 2
+
+    def test_stacked_views_stay_isolated(self):
+        api = LrLbsInterface(make_db(), k=4)
+        view1 = api.filtered(lambda t: t["even"])
+        view2 = view1.filtered(lambda t: t["idx"] < 20)
+        p = Point(33, 44)
+        a1 = view1.query(p)
+        a2 = view2.query(p)
+        assert all(r.tid % 2 == 0 for r in a1)
+        assert all(r.tid % 2 == 0 and r.tid < 20 for r in a2)
+        assert view1.query(p) == a1  # replay unaffected by view2's cache
+
+
+class TestBudgetExhaustionMidBatch:
+    def test_affordable_prefix_paid_then_raises(self):
+        api = LrLbsInterface(make_db(), k=3, budget=QueryBudget(3))
+        points = random_points(5, seed=21)
+        with pytest.raises(BudgetExhausted):
+            api.query_batch(points)
+        assert api.queries_used == 3  # exactly the affordable prefix
+        # The paid answers are cached: replaying them needs no budget.
+        for p in points[:3]:
+            api.query(p)
+        assert api.queries_used == 3
+        # The unpaid tail still raises.
+        with pytest.raises(BudgetExhausted):
+            api.query(points[3])
+
+    def test_cache_hits_do_not_count_toward_exhaustion(self):
+        api = LrLbsInterface(make_db(), k=3, budget=QueryBudget(3))
+        warm = random_points(2, seed=22)
+        api.query_batch(warm)
+        assert api.queries_used == 2
+        # 2 cached + 1 new = 1 real query; fits in the remaining budget.
+        answers = api.query_batch([warm[0], warm[1], Point(77, 77)])
+        assert api.queries_used == 3
+        assert len(answers) == 3
+
+    def test_exhausted_batch_of_only_cache_hits_succeeds(self):
+        api = LrLbsInterface(make_db(), k=3, budget=QueryBudget(2))
+        warm = random_points(2, seed=23)
+        api.query_batch(warm)
+        assert api.budget.exhausted()
+        replay = api.query_batch(list(warm))
+        assert len(replay) == 2
+        assert api.queries_used == 2
+
+    def test_matches_sequential_loop_semantics(self):
+        points = random_points(6, seed=24)
+        batch_api = LrLbsInterface(make_db(), k=3, budget=QueryBudget(4))
+        loop_api = LrLbsInterface(make_db(), k=3, budget=QueryBudget(4))
+        with pytest.raises(BudgetExhausted):
+            batch_api.query_batch(points)
+        loop_answers = []
+        with pytest.raises(BudgetExhausted):
+            for p in points:
+                loop_answers.append(loop_api.query(p))
+        assert batch_api.queries_used == loop_api.queries_used == 4
+        # The paid prefix answers agree.
+        assert [batch_api.query(p) for p in points[:4]] == loop_answers
+
+    def test_affordable_helper(self):
+        b = QueryBudget(5)
+        assert b.affordable(3) == 3
+        b.spend(4)
+        assert b.affordable(3) == 1
+        b.spend(1)
+        assert b.affordable(3) == 0
+        assert QueryBudget(None).affordable(1000) == 1000
