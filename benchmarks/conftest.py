@@ -6,7 +6,6 @@ minutes.  Each benchmark asserts the *shape* of the paper's result —
 who wins, in which direction — not absolute numbers (see EXPERIMENTS.md).
 """
 
-import numpy as np
 import pytest
 
 from repro.datasets import PoiConfig, UserConfig

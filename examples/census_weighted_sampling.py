@@ -6,20 +6,21 @@ spread of inverse selection probabilities and cuts the query cost at
 any target error — without ever biasing the estimate, even when the
 raster is noisy.
 
+The two strategies differ by exactly one fluent call on an otherwise
+shared ``repro.api`` session: ``.uniform()`` vs ``.census_weighted()``.
+
 Run:  python examples/census_weighted_sampling.py
 """
+
+from types import SimpleNamespace
 
 import numpy as np
 
 from repro import (
-    AggregateQuery,
-    GridWeightedSampler,
-    LrAggConfig,
-    LrLbsAgg,
-    LrLbsInterface,
+    MaxQueries,
     PoiConfig,
     PopulationGrid,
-    UniformSampler,
+    Session,
     generate_poi_database,
     is_category,
 )
@@ -27,17 +28,10 @@ from repro.datasets import CityModel
 from repro.geometry import Rect
 
 
-def run(sampler, db, seeds, budget=2500):
+def run(session: Session, truth: int, seeds, budget: int = 2500):
     errs = []
-    truth = db.ground_truth_count(is_category("school"))
     for seed in seeds:
-        api = LrLbsInterface(db, k=5)
-        agg = LrLbsAgg(
-            api, sampler,
-            AggregateQuery.count(lambda a, _l: a.get("category") == "school"),
-            LrAggConfig(), seed=seed,
-        )
-        res = agg.run(max_queries=budget)
+        res = session.seed(seed).run(MaxQueries(budget))
         errs.append(res.relative_error(truth))
     return np.array(errs)
 
@@ -55,10 +49,14 @@ def main() -> None:
     census = PopulationGrid.from_city_model(
         cities, nx=24, ny=18, noise=0.2, rng=rng  # noisy external knowledge
     )
+    # Anything with .db (+ .census for weighted sampling) is a world.
+    world = SimpleNamespace(db=db, census=census)
+    truth = db.ground_truth_count(is_category("school"))
 
+    base = Session(world).lr(k=5).count(is_category("school"))
     seeds = range(5)
-    uniform_errs = run(UniformSampler(region), db, seeds)
-    weighted_errs = run(GridWeightedSampler(census), db, seeds)
+    uniform_errs = run(base.uniform(), truth, seeds)
+    weighted_errs = run(base.census_weighted(), truth, seeds)
 
     print("COUNT(schools), 2500-query budget, 5 runs each:")
     print(f"  uniform sampling : rel-err mean {uniform_errs.mean():.3f}  runs {np.round(uniform_errs, 3)}")

@@ -3,30 +3,24 @@
 Builds a synthetic POI database, hides it behind a Google-Maps-style
 kNN interface, and estimates the total number of POIs with the paper's
 unbiased estimator — comparing against the (normally unknowable)
-ground truth.
+ground truth.  Everything runs through the high-level ``repro.api``
+session facade: describe the run fluently, stop on a composable rule,
+stream checkpoints if you want progress.
 
 Run:  python examples/quickstart.py
 """
 
 import numpy as np
 
-from repro import (
-    AggregateQuery,
-    CityModel,
-    LrAggConfig,
-    LrLbsAgg,
-    LrLbsInterface,
-    PoiConfig,
-    UniformSampler,
-    generate_poi_database,
-)
+from repro import MaxQueries, PoiConfig, Session, TargetRelativeCI, generate_poi_database
+from repro.datasets import CityModel
 from repro.geometry import Rect
 
 
 def main() -> None:
     # 1. A hidden database: ~500 POIs on a 400 x 300 km plane with mild
     #    urban clustering (crank base_sigma_fraction down for US-grade
-    #    skew — and switch to GridWeightedSampler, see the census
+    #    skew — and switch to .census_weighted(), see the census
     #    example, because uniform sampling then needs far more queries).
     region = Rect(0, 0, 400, 300)
     rng = np.random.default_rng(7)
@@ -39,25 +33,31 @@ def main() -> None:
         cities,
     )
 
-    # 2. The only access path: a top-5 kNN interface returning locations.
-    api = LrLbsInterface(db, k=5)
+    # 2. Describe the estimation: a top-5 location-returning interface,
+    #    uniform sampling, COUNT(*).  The session is a frozen spec —
+    #    session.spec.to_json() is what a service front door would log.
+    session = Session(db).lr(k=5).count().seed(42)
 
-    # 3. Estimate COUNT(*) with 2000 queries.
-    agg = LrLbsAgg(
-        api,
-        UniformSampler(region),
-        AggregateQuery.count(),
-        LrAggConfig(adaptive_h=False),
-        seed=42,
-    )
-    result = agg.run(max_queries=2000)
+    # 3. Run until 2000 queries are spent or the 95% CI tightens to
+    #    ±10% of the estimate, whichever happens first.
+    result = session.run(MaxQueries(2000) | TargetRelativeCI(0.10))
 
     print(f"estimate : {result.estimate:8.1f}")
     print(f"truth    : {len(db):8d}")
     print(f"rel. err : {result.relative_error(len(db)):8.3f}")
     print(f"queries  : {result.queries:8d}  samples: {result.samples}")
-    lo, hi = result.ci(0.95)
+    lo, hi = result.confidence_interval(0.95)
     print(f"95% CI   : [{lo:.1f}, {hi:.1f}]")
+
+    # 4. The same run as a stream: pause at 40 samples, persist, resume.
+    run = session.start(MaxQueries(2000))
+    for checkpoint in run:
+        if checkpoint.samples >= 40:
+            break
+    state = run.to_state()  # JSON-serializable; survives a process restart
+    resumed = Session.resume(db, state).run()
+    print(f"paused at 40 samples, resumed to {resumed.samples} — "
+          f"estimate {resumed.estimate:.1f} (bit-identical to a straight run)")
 
 
 if __name__ == "__main__":

@@ -3,25 +3,17 @@
 The paper's flagship demo estimates the number of Starbucks in the US
 through Google Places with 5000 queries, landing within 5 % of the
 company's published store count.  This example reproduces the setup on
-the synthetic substrate: the selection condition ``brand = starbucks``
-is pushed into the service (like a Places keyword filter), and the
-unconditioned COUNT of the filtered view is estimated.
+the synthetic substrate through the ``repro.api`` facade: the selection
+condition ``brand = starbucks`` is pushed into the service (like a
+Places keyword filter, ``pass_through=True``), and the unconditioned
+COUNT of the filtered view is estimated.
 
 Run:  python examples/starbucks_count.py
 """
 
 import numpy as np
 
-from repro import (
-    AggregateQuery,
-    LrAggConfig,
-    LrLbsAgg,
-    LrLbsInterface,
-    PoiConfig,
-    UniformSampler,
-    generate_poi_database,
-    is_brand,
-)
+from repro import LrAggConfig, MaxQueries, PoiConfig, Session, generate_poi_database, is_brand
 from repro.datasets import CityModel
 from repro.geometry import Rect
 
@@ -38,19 +30,17 @@ def main() -> None:
     )
     truth = db.ground_truth_count(is_brand("starbucks"))
 
-    # Pass-through condition: the service itself filters by brand, so the
-    # estimator sees a smaller hidden database with the same interface.
-    api = LrLbsInterface(db, k=10)
-    filtered = api.filtered(is_brand("starbucks"))
-
-    agg = LrLbsAgg(
-        filtered,
-        UniformSampler(region),
-        AggregateQuery.count(),
-        LrAggConfig(adaptive_h=True),
-        seed=5,
+    # Pass-through condition: the service itself filters by brand, so
+    # the estimator sees a smaller hidden database behind the same
+    # interface.  is_brand() returns a serializable condition, so the
+    # whole spec still round-trips through JSON.
+    session = (
+        Session(db)
+        .lr(k=10, config=LrAggConfig(adaptive_h=True))
+        .count(is_brand("starbucks"), pass_through=True)
+        .seed(5)
     )
-    result = agg.run(max_queries=5000)
+    result = session.run(MaxQueries(5000))
 
     print(f"COUNT(starbucks) estimate: {result.estimate:7.1f}")
     print(f"published ground truth   : {truth:7d}")

@@ -6,6 +6,10 @@ LNR-LBS-AGG estimates both the number of location-enabled users and the
 male/female ratio from 10000 such queries (reporting 67.1 : 32.9 for
 WeChat).  Same pipeline here, against the simulated service.
 
+Obfuscation is an interface-construction knob the declarative spec does
+not model, so this example stays on the driver classes — note they share
+the session API's stopping rules and streaming machinery.
+
 Run:  python examples/wechat_gender_ratio.py
 """
 
@@ -16,6 +20,7 @@ from repro import (
     LnrAggConfig,
     LnrLbsAgg,
     LnrLbsInterface,
+    MaxQueries,
     ObfuscationModel,
     UniformSampler,
     generate_user_database,
@@ -34,18 +39,19 @@ def main() -> None:
     # WeChat-style service: rank-only answers, obfuscated positions.
     obfuscation = ObfuscationModel(sigma=1.0, seed=0)
     sampler = UniformSampler(region)
+    budget = MaxQueries(6000)
 
     count_api = LnrLbsInterface(db, k=10, obfuscation=obfuscation)
     count_agg = LnrLbsAgg(
         count_api, sampler, AggregateQuery.count(), LnrAggConfig(h=1), seed=1
     )
-    count_res = count_agg.run(max_queries=6000)
+    count_res = count_agg.run(budget)
 
     ratio_api = LnrLbsInterface(db, k=10, obfuscation=obfuscation)
     ratio_agg = LnrLbsAgg(
         ratio_api, sampler, AggregateQuery.avg("is_male"), LnrAggConfig(h=1), seed=2
     )
-    ratio_res = ratio_agg.run(max_queries=6000)
+    ratio_res = ratio_agg.run(budget)
 
     male_truth = db.ground_truth_avg("is_male")
     print(f"COUNT(users)  estimate: {count_res.estimate:7.1f}   truth: {len(db)}")

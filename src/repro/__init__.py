@@ -11,16 +11,21 @@ interface families the paper studies:
   controllable to arbitrary precision via binary-searched cell edges,
   plus tuple-position inference (:class:`repro.core.TupleLocalizer`).
 
-Quick start::
+Quick start (the :mod:`repro.api` session facade)::
 
     import numpy as np
-    from repro import (AggregateQuery, LrLbsAgg, LrLbsInterface,
-                       UniformSampler, generate_poi_database, US_BOX)
+    from repro import MaxQueries, Session, generate_poi_database, US_BOX
 
     db = generate_poi_database(US_BOX, np.random.default_rng(7))
-    api = LrLbsInterface(db, k=5)
-    agg = LrLbsAgg(api, UniformSampler(US_BOX), AggregateQuery.count())
-    print(agg.run(max_queries=2000).estimate, "vs", len(db))
+    result = Session(db).lr(k=5).count().run(MaxQueries(2000))
+    print(result.estimate, "vs", len(db))
+
+The driver classes remain available for low-level control::
+
+    from repro import AggregateQuery, LrLbsAgg, LrLbsInterface, UniformSampler
+    agg = LrLbsAgg(LrLbsInterface(db, k=5), UniformSampler(US_BOX),
+                   AggregateQuery.count())
+    print(agg.run(MaxQueries(2000)).estimate)
 
 See DESIGN.md for the system inventory and EXPERIMENTS.md for the
 paper-vs-measured record of every figure and table.
@@ -29,6 +34,7 @@ paper-vs-measured record of every figure and table.
 from .core import (
     AggregateKind,
     AggregateQuery,
+    AttrEquals,
     LnrAggConfig,
     LnrCellOracle,
     LnrLbsAgg,
@@ -66,16 +72,42 @@ from .lbs import (
     SpatialDatabase,
 )
 from .sampling import GridWeightedSampler, UniformSampler
-from .stats import EstimationResult
+from .stats import Checkpoint, EstimationResult
+from . import api
+from .api import (
+    AggregateSpec,
+    AnyRule,
+    EstimationSpec,
+    MaxQueries,
+    MaxSamples,
+    Session,
+    SessionRun,
+    StoppingRule,
+    TargetRelativeCI,
+    run_many,
+)
 
-__version__ = "1.0.0"
+__version__ = "1.1.0"
 
 __all__ = [
     "__version__",
+    "api",
+    "Session",
+    "SessionRun",
+    "EstimationSpec",
+    "AggregateSpec",
+    "StoppingRule",
+    "MaxQueries",
+    "MaxSamples",
+    "TargetRelativeCI",
+    "AnyRule",
+    "run_many",
+    "Checkpoint",
     "Point",
     "Rect",
     "AggregateKind",
     "AggregateQuery",
+    "AttrEquals",
     "LrAggConfig",
     "LnrAggConfig",
     "LrLbsAgg",

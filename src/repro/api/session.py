@@ -1,0 +1,302 @@
+"""Estimation sessions: build a spec fluently, run it, pause it, resume it.
+
+The front door of the library::
+
+    from repro.api import Session, MaxQueries, TargetRelativeCI
+    from repro.datasets import is_category
+
+    result = (
+        Session(world)
+        .lr(k=5)
+        .census_weighted()
+        .count(is_category("restaurant"))
+        .run(MaxQueries(4000) | TargetRelativeCI(0.05))
+    )
+
+``Session`` is an immutable builder over an
+:class:`~repro.api.EstimationSpec` — every fluent call returns a new
+session, so partial configurations can be shared and forked.  ``world``
+is anything with ``.db`` (a :class:`~repro.lbs.SpatialDatabase`) — the
+experiments' :class:`~repro.experiments.World` works as-is, and a bare
+database is accepted too; census-weighted sampling additionally needs
+``.census``.
+
+``start()`` gives a :class:`SessionRun`: iterate it for per-sample
+:class:`~repro.stats.Checkpoint` objects, stop iterating to pause,
+``to_state()`` to persist, :meth:`Session.resume` to pick the run back
+up — bit-identically, as if it had never stopped.  :func:`run_many`
+drives several runs round-robin against one shared query pool.
+"""
+
+from __future__ import annotations
+
+from typing import Iterator, Optional, Sequence
+
+from ..core import (
+    AggregateKind,
+    AggregateQuery,
+    LnrAggConfig,
+    LnrLbsAgg,
+    LrAggConfig,
+    LrLbsAgg,
+    LrLbsNno,
+    NnoConfig,
+    QueryEngineConfig,
+    StoppingRule,
+    stopping_rule_from_dict,
+)
+from ..core._driver import EstimationDriver, build_result
+from ..lbs import LnrLbsInterface, LrLbsInterface, SpatialDatabase
+from ..sampling import GridWeightedSampler, UniformSampler
+from ..stats import Checkpoint, EstimationResult
+from .spec import AggregateSpec, EstimationSpec
+
+__all__ = ["Session", "SessionRun", "run_many", "estimate"]
+
+_DRIVERS = {"lr": LrLbsAgg, "lnr": LnrLbsAgg, "nno": LrLbsNno}
+_INTERFACES = {"lr": LrLbsInterface, "lnr": LnrLbsInterface, "nno": LrLbsInterface}
+
+
+def _resolve_world(world) -> tuple[SpatialDatabase, object]:
+    """``(db, census-or-None)`` from a World-like object or a bare DB."""
+    if isinstance(world, SpatialDatabase):
+        return world, None
+    db = getattr(world, "db", None)
+    if db is None:
+        raise TypeError(
+            "world must be a SpatialDatabase or carry a .db attribute "
+            "(e.g. repro.experiments.World)"
+        )
+    return db, getattr(world, "census", None)
+
+
+class Session:
+    """Immutable fluent builder of one estimation run over a world."""
+
+    def __init__(self, world, spec: Optional[EstimationSpec] = None):
+        _resolve_world(world)  # fail fast on an unusable world
+        self.world = world
+        self.spec = spec if spec is not None else EstimationSpec()
+
+    def _with(self, **changes) -> "Session":
+        return Session(self.world, self.spec.replace(**changes))
+
+    # -- interface / method -------------------------------------------
+    def lr(self, k: int = 5, config: Optional[LrAggConfig] = None) -> "Session":
+        """LR-LBS-AGG over a location-returning top-k interface."""
+        return self._with(method="lr", k=k, config=config)
+
+    def lnr(self, k: int = 5, config: Optional[LnrAggConfig] = None) -> "Session":
+        """LNR-LBS-AGG over a rank-only top-k interface."""
+        return self._with(method="lnr", k=k, config=config)
+
+    def nno(self, k: int = 5, config: Optional[NnoConfig] = None) -> "Session":
+        """The nearest-neighbour-oracle baseline (biased; for comparison)."""
+        return self._with(method="nno", k=k, config=config)
+
+    # -- sampling ------------------------------------------------------
+    def uniform(self) -> "Session":
+        """Uniform query sampling over the world's region (the default)."""
+        return self._with(sampler="uniform")
+
+    def census_weighted(self) -> "Session":
+        """Population-raster weighted sampling (§5.2) — the world must
+        carry a census grid."""
+        return self._with(sampler="census")
+
+    # -- aggregate -----------------------------------------------------
+    def count(self, where=None, *, needs_location: bool = False,
+              pass_through: bool = False) -> "Session":
+        """Estimate ``COUNT(*) WHERE where``."""
+        return self._with(aggregate=AggregateSpec(
+            "count", None, where, needs_location, pass_through))
+
+    def sum(self, attr: str, where=None, *, needs_location: bool = False,
+            pass_through: bool = False) -> "Session":
+        """Estimate ``SUM(attr) WHERE where``."""
+        return self._with(aggregate=AggregateSpec(
+            "sum", attr, where, needs_location, pass_through))
+
+    def avg(self, attr: str, where=None, *, needs_location: bool = False,
+            pass_through: bool = False) -> "Session":
+        """Estimate ``AVG(attr) WHERE where`` (ratio of SUM and COUNT)."""
+        return self._with(aggregate=AggregateSpec(
+            "avg", attr, where, needs_location, pass_through))
+
+    # -- run parameters ------------------------------------------------
+    def engine(self, engine: QueryEngineConfig) -> "Session":
+        """Query-engine knobs: index backend, answer cache, snapping."""
+        return self._with(engine=engine)
+
+    def seed(self, seed: int) -> "Session":
+        return self._with(seed=seed)
+
+    def batch(self, batch_size: int) -> "Session":
+        """Prefetch sample batches of this size through the vectorized
+        engine (drivers degrade it where prefetching would be unsound)."""
+        return self._with(batch_size=batch_size)
+
+    # ------------------------------------------------------------------
+    def build(self) -> EstimationDriver:
+        """Construct the estimator this session describes."""
+        spec = self.spec
+        db, census = _resolve_world(self.world)
+        interface = _INTERFACES[spec.method](db, spec.k, engine=spec.engine)
+        agg = spec.aggregate
+        if agg.pass_through:
+            # Push the condition into the service (§5.1): the estimator
+            # sees a filtered view and runs the unconditioned aggregate.
+            interface = interface.filtered(agg.where)
+            query = AggregateQuery(AggregateKind(agg.kind), agg.attr)
+        else:
+            query = AggregateQuery(
+                AggregateKind(agg.kind), agg.attr, agg.where, agg.needs_location
+            )
+        if spec.sampler == "census":
+            if census is None:
+                raise ValueError(
+                    "census-weighted sampling needs a world with a .census grid"
+                )
+            sampler = GridWeightedSampler(census)
+        else:
+            sampler = UniformSampler(db.region)
+        return _DRIVERS[spec.method](
+            interface, sampler, query, config=spec.config, seed=spec.seed
+        )
+
+    def start(
+        self,
+        until: StoppingRule,
+        *,
+        state_every: Optional[int] = None,
+    ) -> "SessionRun":
+        """Begin a streaming run; iterate the returned :class:`SessionRun`."""
+        return SessionRun(self.spec, self.build(), until,
+                          batch_size=self.spec.batch_size,
+                          state_every=state_every, queries_start=0)
+
+    def run(self, until: StoppingRule) -> EstimationResult:
+        """Build, run to completion, and return the result."""
+        return self.start(until).run()
+
+    # ------------------------------------------------------------------
+    @staticmethod
+    def resume(world, state: dict, until: Optional[StoppingRule] = None,
+               *, state_every: Optional[int] = None) -> "SessionRun":
+        """Continue a run from a :meth:`SessionRun.to_state` snapshot.
+
+        ``world`` must be the same world the original session ran over
+        (the state stores what the run *learned*, not the database).
+        ``until`` defaults to the rule serialized in the state.  The
+        resumed run is bit-identical to never having paused: same RNG
+        stream, same cached knowledge, same query accounting.
+        """
+        spec = EstimationSpec.from_dict(state["spec"])
+        if until is None:
+            rule = state.get("until")
+            if rule is None:
+                raise ValueError("state carries no stopping rule; pass until=")
+            until = stopping_rule_from_dict(rule)
+        est = Session(world, spec).build()
+        est.load_state(state["driver"])
+        start = state["driver"].get("queries_start") or 0
+        return SessionRun(spec, est, until, batch_size=spec.batch_size,
+                          state_every=state_every, queries_start=start)
+
+
+class SessionRun:
+    """A live (possibly paused) streaming estimation run.
+
+    Iterate for per-sample checkpoints; stop iterating at any point and
+    call :meth:`to_state` to persist, or :meth:`run` to drain to
+    completion.  :meth:`result` is valid at any pause point — it
+    reflects everything accumulated so far.
+    """
+
+    def __init__(self, spec: EstimationSpec, est: EstimationDriver,
+                 until: StoppingRule, *, batch_size: int,
+                 state_every: Optional[int], queries_start: int):
+        self.spec = spec
+        self.estimator = est
+        self.until = until
+        self._start = queries_start
+        self._iter = est.run_iter(
+            until, batch_size=batch_size,
+            state_every=state_every, queries_start=queries_start,
+        )
+        self.last: Optional[Checkpoint] = None
+
+    def __iter__(self) -> Iterator[Checkpoint]:
+        for checkpoint in self._iter:
+            self.last = checkpoint
+            yield checkpoint
+
+    def run(self) -> EstimationResult:
+        """Drain the remaining checkpoints and return the result."""
+        for _ in self:
+            pass
+        return self.result()
+
+    def result(self) -> EstimationResult:
+        """The estimation result as of the last completed sample."""
+        return build_result(self.estimator, self._start)
+
+    @property
+    def queries_spent(self) -> int:
+        """Interface queries consumed by this run so far."""
+        return self.estimator.interface.queries_used - self._start
+
+    def to_state(self) -> dict:
+        """Fully serializable pause snapshot (spec + rule + driver state).
+
+        Valid between checkpoints — i.e. whenever this object's iterator
+        is not being advanced.  Feed to :meth:`Session.resume`.
+        """
+        state = {
+            "spec": self.spec.to_dict(),
+            "driver": self.estimator.to_state(queries_start=self._start),
+        }
+        try:
+            state["until"] = self.until.to_dict()
+        except ValueError:
+            state["until"] = None  # custom rule: pass until= on resume
+        return state
+
+
+def run_many(
+    runs: Sequence[SessionRun],
+    *,
+    max_total_queries: Optional[int] = None,
+) -> list[EstimationResult]:
+    """Drive several runs concurrently against one shared query pool.
+
+    Runs advance round-robin, one sample each per turn, so a single
+    expensive spec cannot starve the others; each run still honours its
+    own stopping rule.  When the pool — total interface queries summed
+    over all runs — is exhausted, every run is paused where it stands
+    and the partial results are returned (each run's own
+    :meth:`SessionRun.to_state` remains valid for later resumption).
+    """
+    if max_total_queries is not None and max_total_queries < 0:
+        raise ValueError("max_total_queries must be non-negative")
+    active = {i: iter(run) for i, run in enumerate(runs)}
+
+    def pool_exhausted() -> bool:
+        if max_total_queries is None:
+            return False
+        return sum(run.queries_spent for run in runs) >= max_total_queries
+
+    while active and not pool_exhausted():
+        for i in list(active):
+            try:
+                next(active[i])
+            except StopIteration:
+                del active[i]
+            if pool_exhausted():
+                break
+    return [run.result() for run in runs]
+
+
+def estimate(world, spec: EstimationSpec, until: StoppingRule) -> EstimationResult:
+    """One-shot functional form: run ``spec`` over ``world``."""
+    return Session(world, spec).run(until)

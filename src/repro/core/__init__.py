@@ -1,8 +1,17 @@
 """The paper's contribution: LR-LBS-AGG, LNR-LBS-AGG, and the NNO baseline."""
 
-from .aggregates import AggregateKind, AggregateQuery
+from ._driver import EstimationDriver
+from .aggregates import AggregateKind, AggregateQuery, AttrEquals
 from .bounds import LowerBoundTester, McOutcome, MonteCarloFinish
 from .config import LnrAggConfig, LrAggConfig, QueryEngineConfig
+from .stopping import (
+    AnyRule,
+    MaxQueries,
+    MaxSamples,
+    StoppingRule,
+    TargetRelativeCI,
+    stopping_rule_from_dict,
+)
 from .edge_search import (
     LineEstimate,
     TransitionSegment,
@@ -22,6 +31,14 @@ from .voronoi_oracle import CellOutcome, TopHCellOracle
 __all__ = [
     "AggregateKind",
     "AggregateQuery",
+    "AttrEquals",
+    "EstimationDriver",
+    "StoppingRule",
+    "MaxQueries",
+    "MaxSamples",
+    "TargetRelativeCI",
+    "AnyRule",
+    "stopping_rule_from_dict",
     "LrAggConfig",
     "LnrAggConfig",
     "QueryEngineConfig",

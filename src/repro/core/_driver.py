@@ -1,33 +1,90 @@
-"""The sampling loop shared by the estimation drivers.
+"""The streaming estimation loop shared by the drivers.
 
 LR-LBS-AGG, LNR-LBS-AGG, and the NNO baseline all run the same outer
 loop: draw sample points, evaluate each through the estimator's
-``_sample_at``, push the contribution, trace progress, stop on budget or
-sample count.  Batching (``batch_size > 1``) additionally prefetches the
-kNN answers of whole blocks of points through the vectorized
-``query_batch`` before evaluating them one by one against the warm
-cache.  Keeping the loop in one place keeps the subtle parts — budget
-clamping, mid-batch exhaustion, per-sample stop re-checks — in sync
-across drivers.
+``_sample_at``, push the contribution, trace progress, stop when a
+:class:`~repro.core.stopping.StoppingRule` fires.  Batching
+(``batch_size > 1``) additionally prefetches the kNN answers of whole
+blocks of points through the vectorized ``query_batch`` before
+evaluating them one by one against the warm cache.  Keeping the loop in
+one place keeps the subtle parts — budget clamping, mid-batch
+exhaustion, per-sample stop re-checks — in sync across drivers.
+
+The loop is a *generator*: :func:`run_iter` yields a
+:class:`~repro.stats.Checkpoint` after every completed sample, so a
+caller can stream progress, stop early, or pause the run and persist
+the estimator's :meth:`~EstimationDriver.to_state` snapshot.  Resuming
+from that snapshot (``load_state`` on a freshly built estimator over
+the same database) continues bit-identically — same RNG stream, same
+cached knowledge, same query accounting — because everything a run has
+learned is replayed into the new estimator before the loop restarts.
+
+:class:`EstimationDriver` is the base class of the three drivers; it
+owns the public ``run`` / ``run_iter`` / ``to_state`` / ``load_state``
+surface so the drivers only supply their sampling logic and their
+driver-specific state.
 """
 
 from __future__ import annotations
 
-from typing import Optional
+import warnings
+from typing import Iterator, Optional
 
+from ..geometry import Point
 from ..lbs import BudgetExhausted
-from ..stats import EstimationResult, TracePoint
+from ..stats import (
+    Checkpoint,
+    EstimationResult,
+    RatioStat,
+    RunningStat,
+    TracePoint,
+    normal_ci,
+)
+from .stopping import StoppingRule, legacy_rule
 
-__all__ = ["run_estimation_loop"]
+__all__ = ["EstimationDriver", "run_iter", "build_result"]
+
+_INF = float("inf")
 
 
-def run_estimation_loop(
+def _checkpoint(est, queries_start: int, state: Optional[dict] = None) -> Checkpoint:
+    """Progress snapshot of a live estimator (no RNG consumption)."""
+    stat = est._ratio.numerator if est.query.is_ratio else est._stat
+    if stat.n < 2:
+        ci, sem = (-_INF, _INF), _INF
+    else:
+        sem = stat.sem()
+        ci = normal_ci(stat.mean, sem)
+    return Checkpoint(
+        queries=est.interface.queries_used - queries_start,
+        samples=est.samples,
+        estimate=est.estimate(),
+        ci=ci,
+        sem=sem,
+        state=state,
+    )
+
+
+def build_result(est, queries_start: int) -> EstimationResult:
+    """The :class:`EstimationResult` of a (possibly resumed) run."""
+    return EstimationResult(
+        estimate=est.estimate(),
+        queries=est.interface.queries_used - queries_start,
+        samples=est.samples,
+        stat=est._ratio.numerator if est.query.is_ratio else est._stat,
+        trace=list(est._trace),
+    )
+
+
+def run_iter(
     est,
-    max_queries: Optional[int],
-    n_samples: Optional[int],
-    batch_size: int,
-) -> EstimationResult:
-    """Drive ``est`` (an LR/LNR/NNO driver) to completion.
+    until: StoppingRule,
+    batch_size: int = 1,
+    *,
+    state_every: Optional[int] = None,
+    queries_start: Optional[int] = None,
+) -> Iterator[Checkpoint]:
+    """Drive ``est`` until ``until`` fires, yielding per-sample checkpoints.
 
     ``est`` supplies: ``interface``, ``sampler``, ``rng``, ``samples``,
     ``estimate()``, ``_sample_at(q)``, the ``_stat``/``_ratio``/``_trace``
@@ -40,41 +97,60 @@ def run_estimation_loop(
     mid-prefetch exhaustion the paid prefix is already cached, so the
     per-point loop below replays it for free and stops at the first
     unpaid point — exactly like a sequential run.
+
+    ``state_every=N`` attaches a full :meth:`~EstimationDriver.to_state`
+    snapshot to every N-th checkpoint (state capture copies the whole
+    observation history, so per-sample capture on long runs is O(n²) —
+    pick a cadence).  ``queries_start`` overrides where query accounting
+    begins; a resumed run passes the original run's start so budgets and
+    traces continue seamlessly.
     """
-    if max_queries is None and n_samples is None:
-        raise ValueError("provide max_queries and/or n_samples")
+    if not isinstance(until, StoppingRule):
+        raise TypeError(f"until must be a StoppingRule, got {type(until).__name__}")
     if batch_size < 1:
         raise ValueError("batch_size must be >= 1")
-    start = est.interface.queries_used
+    start = est.interface.queries_used if queries_start is None else queries_start
+    return _drive(est, until, batch_size, state_every, start)
+
+
+def _drive(est, until, batch_size, state_every, start):
     stop = False
+    # Sample points drawn (and, for batches, prefetched) but not yet
+    # evaluated.  Kept on the estimator — not in a loop local — so a run
+    # paused mid-batch serializes the remainder and the resumed run
+    # consumes it before drawing fresh points, leaving the RNG stream
+    # exactly where an uninterrupted run would have it.
+    pending = getattr(est, "_pending_points", None)
+    if pending is None:
+        pending = est._pending_points = []
     while not stop:
-        if n_samples is not None and est.samples >= n_samples:
+        cp = _checkpoint(est, start)
+        if until.should_stop(cp):
             break
-        if max_queries is not None and est.interface.queries_used - start >= max_queries:
-            break
-        b = batch_size
-        if n_samples is not None:
-            b = min(b, n_samples - est.samples)
-        if max_queries is not None:
-            b = min(b, max_queries - (est.interface.queries_used - start))
-        b = max(b, 1)
-        if b > 1:
-            points = est.sampler.sample_batch(est.rng, b)
-            try:
-                est.history.query_batch(points)
-            except BudgetExhausted:
-                pass
-        else:
-            points = [est.sampler.sample(est.rng)]
-        for i, q in enumerate(points):
-            if i > 0:
-                if n_samples is not None and est.samples >= n_samples:
-                    break
-                if (
-                    max_queries is not None
-                    and est.interface.queries_used - start >= max_queries
-                ):
-                    break
+        if not pending:
+            b = batch_size
+            remaining = until.remaining_samples(cp)
+            if remaining is not None:
+                b = min(b, remaining)
+            remaining = until.remaining_queries(cp)
+            if remaining is not None:
+                b = min(b, remaining)
+            b = max(b, 1)
+            if b > 1:
+                points = est.sampler.sample_batch(est.rng, b)
+                pending.extend(points)
+                try:
+                    est.history.query_batch(points)
+                except BudgetExhausted:
+                    pass
+            else:
+                pending.append(est.sampler.sample(est.rng))
+        first = True
+        while pending:
+            if not first and until.should_stop(_checkpoint(est, start)):
+                break
+            first = False
+            q = pending.pop(0)
             try:
                 num, den = est._sample_at(q)
             except BudgetExhausted:
@@ -85,10 +161,182 @@ def run_estimation_loop(
             est._trace.append(
                 TracePoint(est.interface.queries_used - start, est.samples, est.estimate())
             )
-    return EstimationResult(
-        estimate=est.estimate(),
-        queries=est.interface.queries_used - start,
-        samples=est.samples,
-        stat=est._ratio.numerator if est.query.is_ratio else est._stat,
-        trace=list(est._trace),
-    )
+            state = None
+            if state_every is not None and est.samples % state_every == 0:
+                state = est.to_state(queries_start=start)
+            yield _checkpoint(est, start, state)
+
+
+class EstimationDriver:
+    """Shared run/stream/checkpoint machinery of the three estimators.
+
+    Subclasses provide ``kind`` (the state tag), ``_sample_at``, the
+    constructor wiring, optionally ``_effective_batch_size`` (LR
+    degrades batches under adaptive h, NNO cannot prefetch at all), and
+    the ``_state_extra``/``_load_state_extra`` pair for driver-specific
+    state.
+    """
+
+    kind: str = ""
+
+    # ------------------------------------------------------------------
+    @property
+    def samples(self) -> int:
+        return self._ratio.n if self.query.is_ratio else self._stat.n
+
+    def estimate(self) -> float:
+        if self.query.is_ratio:
+            return self._ratio.estimate()
+        return self._stat.mean
+
+    def sample_once(self) -> tuple[float, float]:
+        """Draw one sample; returns its (numerator, denominator) pair."""
+        q = self.sampler.sample(self.rng)
+        return self._sample_at(q)
+
+    # ------------------------------------------------------------------
+    def _effective_batch_size(self, batch_size: int) -> int:
+        """Hook: clamp the requested batch size to what is sound."""
+        return batch_size
+
+    def _consume_resume_start(self, queries_start: Optional[int]) -> int:
+        """Where query accounting starts for the next run.
+
+        Priority: an explicit override, then the start recorded by
+        :meth:`load_state` (consumed, so a *later* fresh ``run()`` on
+        the same estimator counts from its own beginning, as always),
+        then the current budget position.
+        """
+        if queries_start is not None:
+            return queries_start
+        resumed = getattr(self, "_resume_queries_start", None)
+        if resumed is not None:
+            self._resume_queries_start = None
+            return resumed
+        return self.interface.queries_used
+
+    def run_iter(
+        self,
+        until: StoppingRule,
+        *,
+        batch_size: int = 1,
+        state_every: Optional[int] = None,
+        queries_start: Optional[int] = None,
+    ) -> Iterator[Checkpoint]:
+        """Stream the run: one :class:`~repro.stats.Checkpoint` per sample."""
+        if batch_size < 1:
+            raise ValueError("batch_size must be >= 1")
+        start = self._consume_resume_start(queries_start)
+        return run_iter(
+            self,
+            until,
+            self._effective_batch_size(batch_size),
+            state_every=state_every,
+            queries_start=start,
+        )
+
+    def run(
+        self,
+        until: Optional[StoppingRule] = None,
+        *,
+        batch_size: int = 1,
+        max_queries: Optional[int] = None,
+        n_samples: Optional[int] = None,
+    ) -> EstimationResult:
+        """Run until the stopping rule fires and return the result.
+
+        ``until`` composes :class:`~repro.core.stopping.MaxQueries`,
+        :class:`~repro.core.stopping.MaxSamples`, and
+        :class:`~repro.core.stopping.TargetRelativeCI` with ``|``.
+        Query budgets count *total* interface queries, including those
+        spent inside cell computations.
+
+        ``batch_size > 1`` draws that many sample points at once and
+        prefetches their kNN answers through the interface's vectorized
+        ``query_batch`` before evaluating them one by one (each
+        evaluation then hits the history cache).  Estimates change only
+        through the random stream (points are drawn up front); each
+        sample's contribution is computed by the same code path.
+
+        The pre-stopping-rule signature ``run(max_queries=...,
+        n_samples=...)`` still works but is deprecated.
+        """
+        if isinstance(until, int):
+            warnings.warn(
+                "run(N) is deprecated; pass run(MaxQueries(N))",
+                DeprecationWarning, stacklevel=2,
+            )
+            until, max_queries = None, until
+        if until is None:
+            until = legacy_rule(max_queries, n_samples)  # raises if both None
+            warnings.warn(
+                "run(max_queries=..., n_samples=...) is deprecated; pass a "
+                "stopping rule: run(MaxQueries(...) | MaxSamples(...))",
+                DeprecationWarning, stacklevel=2,
+            )
+        elif max_queries is not None or n_samples is not None:
+            raise ValueError(
+                "pass either a stopping rule or the deprecated "
+                "max_queries/n_samples pair, not both"
+            )
+        if batch_size < 1:
+            raise ValueError("batch_size must be >= 1")
+        start = self._consume_resume_start(None)
+        for _ in self.run_iter(until, batch_size=batch_size, queries_start=start):
+            pass
+        return build_result(self, start)
+
+    def result(self, queries_start: int = 0) -> EstimationResult:
+        """The result of everything accumulated so far."""
+        return build_result(self, queries_start)
+
+    # ------------------------------------------------------------------
+    def to_state(self, *, queries_start: Optional[int] = None) -> dict:
+        """Serializable snapshot of the whole run (JSON-safe dict).
+
+        Captures the RNG stream position, the accumulators and trace,
+        the interface's budget/answer-cache, and the driver-specific
+        caches/history via ``_state_extra``.  ``queries_start`` records
+        where the current run began so a resumed run keeps counting
+        from the same origin.
+        """
+        state = {
+            "kind": self.kind,
+            "version": 1,
+            "queries_start": queries_start,
+            "rng": self.rng.bit_generator.state,
+            "stat": self._stat.state_dict(),
+            "ratio": self._ratio.state_dict(),
+            "trace": [[p.queries, p.samples, p.estimate] for p in self._trace],
+            "pending": [[p.x, p.y] for p in getattr(self, "_pending_points", [])],
+            "interface": self.interface.engine_state(),
+        }
+        state.update(self._state_extra())
+        return state
+
+    def load_state(self, state: dict) -> None:
+        """Restore :meth:`to_state` onto a freshly constructed estimator.
+
+        The estimator must have been built over the same database with
+        the same constructor arguments (interface kind/k, sampler,
+        query, config, seed) — the state carries the *learned* half of
+        a run, the spec carries the *configured* half.
+        """
+        if state.get("kind") != self.kind:
+            raise ValueError(
+                f"state is for a {state.get('kind')!r} driver, not {self.kind!r}"
+            )
+        self.rng.bit_generator.state = state["rng"]
+        self._stat = RunningStat.from_state(state["stat"])
+        self._ratio = RatioStat.from_state(state["ratio"])
+        self._trace = [TracePoint(int(q), int(s), e) for q, s, e in state["trace"]]
+        self._pending_points = [Point(x, y) for x, y in state.get("pending", [])]
+        self.interface.restore_engine_state(state["interface"])
+        self._load_state_extra(state)
+        self._resume_queries_start = state.get("queries_start")
+
+    def _state_extra(self) -> dict:
+        return {}
+
+    def _load_state_extra(self, state: dict) -> None:
+        pass

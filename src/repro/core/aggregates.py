@@ -22,9 +22,38 @@ from typing import Callable, Mapping, Optional
 
 from ..geometry import Point
 
-__all__ = ["AggregateKind", "AggregateQuery"]
+__all__ = ["AggregateKind", "AggregateQuery", "AttrEquals"]
 
 Condition = Callable[[Mapping, Optional[Point]], bool]
+
+
+@dataclass(frozen=True)
+class AttrEquals:
+    """Declarative selection condition: ``subject[attr] == value``.
+
+    The one condition shape every public surface understands: it is a
+    1-arg tuple predicate (``db.filtered``/``ground_truth_count`` pass
+    an :class:`~repro.lbs.LbsTuple`), a 2-arg post-process condition
+    (:class:`AggregateQuery` passes ``(attrs, location)``), *and* —
+    unlike a lambda — serializable, so it can travel inside an
+    :class:`~repro.api.EstimationSpec`.  ``is_category``/``is_brand``
+    in :mod:`repro.datasets` build these.
+    """
+
+    attr: str
+    value: object
+
+    def __call__(self, subject, location: Optional[Point] = None) -> bool:
+        return subject.get(self.attr) == self.value
+
+    def to_dict(self) -> dict:
+        return {"cond": "attr_equals", "attr": self.attr, "value": self.value}
+
+    @classmethod
+    def from_dict(cls, data: dict) -> "AttrEquals":
+        if data.get("cond") != "attr_equals":
+            raise ValueError(f"unknown condition {data.get('cond')!r}")
+        return cls(data["attr"], data["value"])
 
 
 class AggregateKind(enum.Enum):

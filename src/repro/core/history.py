@@ -151,6 +151,23 @@ class ObservationHistory:
         return None  # LNR: distances unknown, nothing certified
 
     # ------------------------------------------------------------------
+    def state_dict(self) -> dict:
+        """Serializable snapshot: the answers in observation order.
+
+        Everything else the history holds (locations, attrs, known
+        disks, the exact-location cache) is a pure function of that
+        answer sequence, so :meth:`load_state_dict` rebuilds it by
+        replaying :meth:`record` — reproducing even the dict insertion
+        orders a resumed run's geometry code will iterate in.
+        """
+        return {"answers": [a.to_state() for a in self._cache.values()]}
+
+    def load_state_dict(self, state: dict) -> None:
+        """Restore :meth:`state_dict` onto a fresh (empty) history."""
+        for entry in state["answers"]:
+            self.record(QueryAnswer.from_state(entry))
+
+    # ------------------------------------------------------------------
     def cached_answers(self) -> Iterable[QueryAnswer]:
         return self._cache.values()
 

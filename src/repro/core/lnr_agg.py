@@ -22,10 +22,11 @@ from typing import Optional
 
 import numpy as np
 
+from ..geometry import Point
 from ..lbs import KnnInterface
 from ..sampling import PointSampler
-from ..stats import EstimationResult, RatioStat, RunningStat, TracePoint
-from ._driver import run_estimation_loop
+from ..stats import RatioStat, RunningStat, TracePoint
+from ._driver import EstimationDriver
 from .aggregates import AggregateQuery
 from .config import LnrAggConfig
 from .history import ObservationHistory
@@ -35,8 +36,10 @@ from .localize import TupleLocalizer
 __all__ = ["LnrLbsAgg"]
 
 
-class LnrLbsAgg:
+class LnrLbsAgg(EstimationDriver):
     """The paper's LNR-LBS-AGG estimator."""
+
+    kind = "lnr"
 
     def __init__(
         self,
@@ -61,20 +64,6 @@ class LnrLbsAgg:
         self._loc_cache: dict[int, object] = {}
 
     # ------------------------------------------------------------------
-    @property
-    def samples(self) -> int:
-        return self._ratio.n if self.query.is_ratio else self._stat.n
-
-    def estimate(self) -> float:
-        if self.query.is_ratio:
-            return self._ratio.estimate()
-        return self._stat.mean
-
-    # ------------------------------------------------------------------
-    def sample_once(self) -> tuple[float, float]:
-        q = self.sampler.sample(self.rng)
-        return self._sample_at(q)
-
     def _sample_at(self, q) -> tuple[float, float]:
         """Evaluate the sample at a pre-drawn query point."""
         answer = self.history.query(q)
@@ -114,17 +103,28 @@ class LnrLbsAgg:
         return loc
 
     # ------------------------------------------------------------------
-    def run(
-        self,
-        max_queries: Optional[int] = None,
-        n_samples: Optional[int] = None,
-        batch_size: int = 1,
-    ) -> EstimationResult:
-        """Run until the query budget or sample count is exhausted.
+    # batch_size > 1 prefetches whole blocks of sample points through the
+    # vectorized query_batch (LNR keeps history across samples and its
+    # adaptive-h rule depends only on ranks, so prefetching is always
+    # sound — unlike the LR case); the inherited _effective_batch_size
+    # therefore passes the request through unclamped.
 
-        ``batch_size > 1`` prefetches the kNN answers of whole blocks of
-        sample points through the vectorized ``query_batch`` (LNR keeps
-        history across samples and its adaptive-h rule depends only on
-        ranks, so prefetching is always sound — unlike the LR case).
-        """
-        return run_estimation_loop(self, max_queries, n_samples, batch_size)
+    def _state_extra(self) -> dict:
+        return {
+            "history": self.history.state_dict(),
+            "cell_cache": [[tid, h, v] for (tid, h), v in self._cell_cache.items()],
+            "loc_cache": [
+                [tid, [loc.x, loc.y] if loc is not None else None]
+                for tid, loc in self._loc_cache.items()
+            ],
+            "oracle_rng": self.oracle._rng.bit_generator.state,
+        }
+
+    def _load_state_extra(self, state: dict) -> None:
+        self.history.load_state_dict(state["history"])
+        self._cell_cache = {(int(tid), int(h)): v for tid, h, v in state["cell_cache"]}
+        self._loc_cache = {
+            int(tid): Point(loc[0], loc[1]) if loc is not None else None
+            for tid, loc in state["loc_cache"]
+        }
+        self.oracle._rng.bit_generator.state = state["oracle_rng"]

@@ -32,8 +32,8 @@ import numpy as np
 from ..geometry import Point
 from ..lbs import KnnInterface
 from ..sampling import PointSampler
-from ..stats import EstimationResult, RatioStat, RunningStat, TracePoint
-from ._driver import run_estimation_loop
+from ..stats import RatioStat, RunningStat, TracePoint
+from ._driver import EstimationDriver
 from .aggregates import AggregateQuery
 from .config import LrAggConfig
 from .history import ObservationHistory
@@ -43,8 +43,10 @@ from .voronoi_oracle import TopHCellOracle
 __all__ = ["LrLbsAgg"]
 
 
-class LrLbsAgg:
+class LrLbsAgg(EstimationDriver):
     """The paper's LR-LBS-AGG estimator."""
+
+    kind = "lr"
 
     def __init__(
         self,
@@ -71,21 +73,6 @@ class LrLbsAgg:
         self._h_cache: dict[int, int] = {}
 
     # ------------------------------------------------------------------
-    @property
-    def samples(self) -> int:
-        return self._ratio.n if self.query.is_ratio else self._stat.n
-
-    def estimate(self) -> float:
-        if self.query.is_ratio:
-            return self._ratio.estimate()
-        return self._stat.mean
-
-    # ------------------------------------------------------------------
-    def sample_once(self) -> tuple[float, float]:
-        """Draw one sample; returns its (numerator, denominator) pair."""
-        q = self.sampler.sample(self.rng)
-        return self._sample_at(q)
-
     def _sample_at(self, q: Point) -> tuple[float, float]:
         """Evaluate the sample at a pre-drawn query point."""
         self.history.reset_sample()
@@ -132,30 +119,26 @@ class LrLbsAgg:
         return None
 
     # ------------------------------------------------------------------
-    def run(
-        self,
-        max_queries: Optional[int] = None,
-        n_samples: Optional[int] = None,
-        batch_size: int = 1,
-    ) -> EstimationResult:
-        """Run until the query budget or sample count is exhausted.
-
-        ``max_queries`` counts *total* interface queries, including those
-        spent inside cell computations.  A sample interrupted by budget
-        exhaustion is discarded (its partial queries still count, as they
-        would against a real rate limit).
-
-        ``batch_size > 1`` draws that many sample points at once and
-        prefetches their kNN answers through the interface's vectorized
-        ``query_batch`` before evaluating them one by one (each
-        evaluation then hits the history cache).  Estimates change only
-        through the random stream (points are drawn up front); each
-        sample's contribution is computed by the same code path.  The
-        prefetch is skipped — batches degrade to size 1 — when history is
-        off (answers would be wiped between samples) or adaptive h is on
-        (its rule may only see *past* answers; prefetched ones would
-        leak).
-        """
+    def _effective_batch_size(self, batch_size: int) -> int:
+        """Prefetch is skipped — batches degrade to size 1 — when history
+        is off (answers would be wiped between samples) or adaptive h is
+        on (its rule may only see *past* answers; prefetched ones would
+        leak)."""
         if self.config.adaptive_h or not self.config.use_history:
-            batch_size = 1
-        return run_estimation_loop(self, max_queries, n_samples, batch_size)
+            return 1
+        return batch_size
+
+    # ------------------------------------------------------------------
+    def _state_extra(self) -> dict:
+        return {
+            "history": self.history.state_dict(),
+            "h_cache": [[tid, h] for tid, h in self._h_cache.items()],
+            "cell_cache": [[tid, h, v] for (tid, h), v in self._cell_cache.items()],
+            "selector_observed": self.selector._observed.state_dict(),
+        }
+
+    def _load_state_extra(self, state: dict) -> None:
+        self.history.load_state_dict(state["history"])
+        self._h_cache = {int(tid): int(h) for tid, h in state["h_cache"]}
+        self._cell_cache = {(int(tid), int(h)): v for tid, h, v in state["cell_cache"]}
+        self.selector._observed = RunningStat.from_state(state["selector_observed"])

@@ -27,8 +27,8 @@ import numpy as np
 from ..geometry import Point
 from ..lbs import KnnInterface
 from ..sampling import PointSampler
-from ..stats import EstimationResult, RatioStat, RunningStat, TracePoint
-from ._driver import run_estimation_loop
+from ..stats import RatioStat, RunningStat, TracePoint
+from ._driver import EstimationDriver
 from .aggregates import AggregateQuery
 
 __all__ = ["NnoConfig", "LrLbsNno"]
@@ -48,8 +48,10 @@ class NnoConfig:
     initial_factor: float = 2.0
 
 
-class LrLbsNno:
+class LrLbsNno(EstimationDriver):
     """The baseline estimator (biased, top-1 only, probe-hungry)."""
+
+    kind = "nno"
 
     def __init__(
         self,
@@ -71,24 +73,10 @@ class LrLbsNno:
         self._trace: list[TracePoint] = []
 
     # ------------------------------------------------------------------
-    @property
-    def samples(self) -> int:
-        return self._ratio.n if self.query.is_ratio else self._stat.n
-
-    def estimate(self) -> float:
-        if self.query.is_ratio:
-            return self._ratio.estimate()
-        return self._stat.mean
-
-    # ------------------------------------------------------------------
     def _returns_t(self, point: Point, tid: int) -> bool:
         answer = self.interface.query(point)
         top = answer.top()
         return top is not None and top.tid == tid
-
-    def sample_once(self) -> tuple[float, float]:
-        q = self.sampler.sample(self.rng)
-        return self._sample_at(q)
 
     def _sample_at(self, q: Point) -> tuple[float, float]:
         cfg = self.config
@@ -147,14 +135,9 @@ class LrLbsNno:
         return num, den
 
     # ------------------------------------------------------------------
-    def run(
-        self,
-        max_queries: Optional[int] = None,
-        n_samples: Optional[int] = None,
-        batch_size: int = 1,
-    ) -> EstimationResult:
+    def _effective_batch_size(self, batch_size: int) -> int:
         """``batch_size`` is accepted for driver-API uniformity but NNO
         has no history to prefetch into — its queries are inherently
         sequential except the area probes, which always go through
         ``query_batch``."""
-        return run_estimation_loop(self, max_queries, n_samples, batch_size=1)
+        return 1

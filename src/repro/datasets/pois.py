@@ -15,6 +15,7 @@ from typing import Optional
 
 import numpy as np
 
+from ..core.aggregates import AttrEquals
 from ..geometry import Rect
 from ..lbs import LbsTuple, SpatialDatabase
 from .cities import CityModel
@@ -106,15 +107,16 @@ def generate_poi_database(
     return SpatialDatabase(tuples, region)
 
 
-def is_category(category: str):
-    """Predicate factory: tuple belongs to ``category``."""
-    def predicate(t: LbsTuple) -> bool:
-        return t.get("category") == category
-    return predicate
+def is_category(category: str) -> AttrEquals:
+    """Predicate factory: tuple belongs to ``category``.
+
+    Returns a serializable :class:`~repro.core.aggregates.AttrEquals`,
+    usable as a pass-through filter, a post-process condition, or
+    inside an :class:`~repro.api.EstimationSpec`.
+    """
+    return AttrEquals("category", category)
 
 
-def is_brand(brand: str):
+def is_brand(brand: str) -> AttrEquals:
     """Predicate factory: tuple carries the given ``brand``."""
-    def predicate(t: LbsTuple) -> bool:
-        return t.get("brand") == brand
-    return predicate
+    return AttrEquals("brand", brand)

@@ -9,7 +9,7 @@ from __future__ import annotations
 
 from typing import Optional
 
-from ..core import AggregateQuery, LnrAggConfig, LnrLbsAgg, LrAggConfig, LrLbsAgg, LrLbsNno
+from ..core import AggregateQuery, LnrAggConfig, LnrLbsAgg, LrAggConfig, LrLbsAgg, LrLbsNno, MaxQueries
 from ..datasets import is_category
 from ..lbs import LnrLbsInterface, LrLbsInterface
 from ..sampling import UniformSampler
@@ -21,7 +21,7 @@ _CHECKPOINTS = (250, 500, 1000, 1500, 2000, 3000)
 
 
 def traces(world: Optional[World] = None, max_queries: int = 3000, seed: int = 1,
-           lnr_max_queries: Optional[int] = None):
+           lnr_max_queries: Optional[int] = None, batch_size: int = 1):
     """Raw traces for the three algorithms (list of TracePoint each)."""
     if world is None:
         world = poi_world()
@@ -33,14 +33,15 @@ def traces(world: Optional[World] = None, max_queries: int = 3000, seed: int = 1
     nno = LrLbsNno(LrLbsInterface(world.db, k=5), sampler, query, seed=seed)
     lnr = LnrLbsAgg(LnrLbsInterface(world.db, k=5), sampler, query, LnrAggConfig(h=1), seed=seed)
 
-    lr_res = lr.run(max_queries=max_queries)
-    nno_res = nno.run(max_queries=max_queries)
-    lnr_res = lnr.run(max_queries=lnr_max_queries or max_queries)
+    lr_res = lr.run(MaxQueries(max_queries), batch_size=batch_size)
+    nno_res = nno.run(MaxQueries(max_queries), batch_size=batch_size)
+    lnr_res = lnr.run(MaxQueries(lnr_max_queries or max_queries), batch_size=batch_size)
     return truth, {"LR-LBS-AGG": lr_res, "LR-LBS-NNO": nno_res, "LNR-LBS-AGG": lnr_res}
 
 
-def run(world: Optional[World] = None, max_queries: int = 3000, seed: int = 1) -> ExperimentTable:
-    truth, results = traces(world, max_queries, seed)
+def run(world: Optional[World] = None, max_queries: int = 3000, seed: int = 1,
+        batch_size: int = 1) -> ExperimentTable:
+    truth, results = traces(world, max_queries, seed, batch_size=batch_size)
     table = ExperimentTable(
         title="Figure 12 — running COUNT(restaurants) estimate vs query cost",
         headers=["queries", "LR-LBS-NNO", "LR-LBS-AGG", "LNR-LBS-AGG", "truth"],

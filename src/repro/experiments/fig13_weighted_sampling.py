@@ -26,6 +26,7 @@ def run(
     targets: Sequence[float] = DEFAULT_TARGETS,
     include_lnr: bool = True,
     seed: int = 0,
+    batch_size: int = 1,
 ) -> ExperimentTable:
     if world is None:
         world = poi_world()
@@ -51,15 +52,19 @@ def run(
         return make
 
     columns = {
-        "LR-LBS-AGG": cost_to_reach(lr(uniform), truth, targets, n_runs, max_queries, seed),
-        "LR-LBS-AGG-US": cost_to_reach(lr(weighted), truth, targets, n_runs, max_queries, seed),
+        "LR-LBS-AGG": cost_to_reach(lr(uniform), truth, targets, n_runs,
+                                    max_queries, seed, batch_size=batch_size),
+        "LR-LBS-AGG-US": cost_to_reach(lr(weighted), truth, targets, n_runs,
+                                       max_queries, seed, batch_size=batch_size),
     }
     if include_lnr:
         columns["LNR-LBS-AGG"] = cost_to_reach(
-            lnr(uniform), truth, targets, n_runs, 4 * max_queries, seed
+            lnr(uniform), truth, targets, n_runs, 4 * max_queries, seed,
+            batch_size=batch_size,
         )
         columns["LNR-LBS-AGG-US"] = cost_to_reach(
-            lnr(weighted), truth, targets, n_runs, 4 * max_queries, seed
+            lnr(weighted), truth, targets, n_runs, 4 * max_queries, seed,
+            batch_size=batch_size,
         )
 
     table = ExperimentTable(

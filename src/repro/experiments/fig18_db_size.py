@@ -28,6 +28,7 @@ def run(
     max_queries: int = 4000,
     include_lnr: bool = True,
     seed: int = 0,
+    batch_size: int = 1,
 ) -> ExperimentTable:
     if world is None:
         world = poi_world()
@@ -64,12 +65,15 @@ def run(
 
         row = [
             frac,
-            cost_to_reach(make_nno, truth, (rel_error,), n_runs, max_queries, seed)[rel_error],
-            cost_to_reach(make_lr, truth, (rel_error,), n_runs, max_queries, seed)[rel_error],
+            cost_to_reach(make_nno, truth, (rel_error,), n_runs, max_queries,
+                          seed, batch_size=batch_size)[rel_error],
+            cost_to_reach(make_lr, truth, (rel_error,), n_runs, max_queries,
+                          seed, batch_size=batch_size)[rel_error],
         ]
         if include_lnr:
             row.append(
-                cost_to_reach(make_lnr, truth, (rel_error,), n_runs, 4 * max_queries, seed)[rel_error]
+                cost_to_reach(make_lnr, truth, (rel_error,), n_runs, 4 * max_queries,
+                              seed, batch_size=batch_size)[rel_error]
             )
         table.add(*row)
     return table

@@ -28,6 +28,7 @@ def run(
     max_queries: int = 5000,
     include_lnr: bool = False,
     seed: int = 0,
+    batch_size: int = 1,
 ) -> ExperimentTable:
     if world is None:
         world = poi_world()
@@ -62,7 +63,8 @@ def run(
 
         row = [
             "adaptive" if h is None else h,
-            cost_to_reach(make_lr, truth, (rel_error,), n_runs, max_queries, seed)[rel_error],
+            cost_to_reach(make_lr, truth, (rel_error,), n_runs, max_queries,
+                          seed, batch_size=batch_size)[rel_error],
         ]
         if include_lnr:
             def make_lnr(s: int, _h=h):
@@ -70,7 +72,8 @@ def run(
                     LnrLbsInterface(world.db, k=k), sampler, query, lnr_conf(_h), seed=s
                 )
             row.append(
-                cost_to_reach(make_lnr, truth, (rel_error,), n_runs, 6 * max_queries, seed)[rel_error]
+                cost_to_reach(make_lnr, truth, (rel_error,), n_runs, 6 * max_queries,
+                              seed, batch_size=batch_size)[rel_error]
             )
         table.add(*row)
     return table

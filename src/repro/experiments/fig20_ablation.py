@@ -33,6 +33,7 @@ def run(
     max_queries: int = 5000,
     k: int = 5,
     seed: int = 0,
+    batch_size: int = 1,
 ) -> ExperimentTable:
     if world is None:
         world = poi_world()
@@ -45,7 +46,8 @@ def run(
     for name, config in ladder.items():
         def make(s: int, _config=config):
             return LrLbsAgg(LrLbsInterface(world.db, k=k), sampler, query, _config, seed=s)
-        columns[name] = cost_to_reach(make, truth, targets, n_runs, max_queries, seed)
+        columns[name] = cost_to_reach(make, truth, targets, n_runs, max_queries,
+                                      seed, batch_size=batch_size)
 
     table = ExperimentTable(
         title="Figure 20 — query savings of the error-reduction strategies",

@@ -23,6 +23,7 @@ from typing import Callable, Optional, Sequence
 
 import numpy as np
 
+from ..core.stopping import MaxQueries
 from ..datasets import (
     CityModel,
     PoiConfig,
@@ -164,28 +165,28 @@ def cost_to_reach(
 ) -> dict[float, Optional[float]]:
     """Median query cost to *stay* within each relative-error target.
 
-    ``make_estimator(seed)`` must return a fresh estimator exposing
-    ``run(max_queries=...) -> EstimationResult`` against a fresh
-    interface (so budgets do not leak between runs).  Runs that never
-    reach a target are charged ``max_queries`` (a conservative floor —
-    the paper's plots simply stop at the budget).
+    ``make_estimator(seed)`` must return a fresh estimator exposing the
+    uniform driver signature ``run(until, batch_size=...) ->
+    EstimationResult`` against a fresh interface (so budgets do not
+    leak between runs).  Runs that never reach a target are charged
+    ``max_queries`` (a conservative floor — the paper's plots simply
+    stop at the budget).
 
-    ``batch_size`` is forwarded to the estimator's ``run`` so hot loops
-    submit query batches through the vectorized engine instead of single
-    points.  Note that prefetching shifts query *accounting*: a batch's
-    kNN queries are all paid before its first sample is traced, so
-    trace-based costs read up to ``batch_size`` queries higher (and
-    end-of-run prefetched-but-unevaluated points can go unused).  Keep
-    the default of 1 when reproducing the paper's cost curves exactly;
-    use larger batches for throughput studies.
+    ``batch_size`` makes hot loops submit query batches through the
+    vectorized engine instead of single points.  Note that prefetching
+    shifts query *accounting*: a batch's kNN queries are all paid
+    before its first sample is traced, so trace-based costs read up to
+    ``batch_size`` queries higher (and end-of-run prefetched-but-
+    unevaluated points can go unused).  Keep the default of 1 when
+    reproducing the paper's cost curves exactly; use larger batches for
+    throughput studies.
     """
     per_target: dict[float, list[float]] = {t: [] for t in targets}
-    # batch_size is forwarded only when requested, so bespoke estimators
-    # exposing just run(max_queries=...) keep working.
-    extra = {} if batch_size == 1 else {"batch_size": batch_size}
     for run in range(n_runs):
         estimator = make_estimator(seed + 1000 * run)
-        result: EstimationResult = estimator.run(max_queries=max_queries, **extra)
+        result: EstimationResult = estimator.run(
+            MaxQueries(max_queries), batch_size=batch_size
+        )
         for target in targets:
             reached = result.queries_to_reach(truth, target)
             per_target[target].append(float(reached) if reached is not None else float(max_queries))

@@ -22,6 +22,7 @@ from ..core import (
     LnrLbsAgg,
     LrAggConfig,
     LrLbsAgg,
+    MaxQueries,
 )
 from ..datasets import (
     UserConfig,
@@ -47,6 +48,7 @@ def run(
     budget_places: int = 2500,
     budget_social: int = 6000,
     seed: int = 0,
+    batch_size: int = 1,
 ) -> tuple[ExperimentTable, GroundTruths]:
     if poi is None:
         poi = poi_world(seed=7)
@@ -67,7 +69,7 @@ def run(
     filtered = api.filtered(is_brand("starbucks"))
     agg = LrLbsAgg(filtered, sampler, AggregateQuery.count(),
                    LrAggConfig(adaptive_h=True), seed=seed)
-    res = agg.run(max_queries=budget_places)
+    res = agg.run(MaxQueries(budget_places), batch_size=batch_size)
     truth = poi.db.ground_truth_count(is_brand("starbucks"))
     table.add("Google Places (sim)", "COUNT(Starbucks)", round(res.estimate, 1), truth, budget_places)
     truths["starbucks"] = (res.estimate, truth)
@@ -86,7 +88,7 @@ def run(
     agg2 = LrLbsAgg(api2, UniformSampler(box),
                     AggregateQuery.count(open_sunday, needs_location=True),
                     LrAggConfig(adaptive_h=True), seed=seed)
-    res2 = agg2.run(max_queries=budget_places)
+    res2 = agg2.run(MaxQueries(budget_places), batch_size=batch_size)
     truth2 = poi.db.ground_truth_count(
         lambda t: is_category("restaurant")(t)
         and bool(t.get("open_sundays")) and box.contains(t.location)
@@ -101,7 +103,7 @@ def run(
     wechat_sampler = UniformSampler(wechat.region)
     count_agg = LnrLbsAgg(wechat_api, wechat_sampler, AggregateQuery.count(),
                           LnrAggConfig(h=1), seed=seed)
-    res3 = count_agg.run(max_queries=budget_social)
+    res3 = count_agg.run(MaxQueries(budget_social), batch_size=batch_size)
     truth3 = len(wechat.db)
     table.add("WeChat (sim)", "COUNT(users)", round(res3.estimate, 1), truth3, budget_social)
     truths["wechat_count"] = (res3.estimate, truth3)
@@ -109,7 +111,7 @@ def run(
     ratio_agg = LnrLbsAgg(LnrLbsInterface(wechat.db, k=10, obfuscation=obf),
                           wechat_sampler, AggregateQuery.avg("is_male"),
                           LnrAggConfig(h=1), seed=seed)
-    res4 = ratio_agg.run(max_queries=budget_social)
+    res4 = ratio_agg.run(MaxQueries(budget_social), batch_size=batch_size)
     truth4 = wechat.db.ground_truth_avg("is_male")
     table.add("WeChat (sim)", "male fraction", round(res4.estimate, 3),
               round(truth4, 3), budget_social)
@@ -121,7 +123,7 @@ def run(
     weibo_sampler = UniformSampler(weibo.region)
     count5 = LnrLbsAgg(weibo_api, weibo_sampler, AggregateQuery.count(),
                        LnrAggConfig(h=1), seed=seed)
-    res5 = count5.run(max_queries=budget_social)
+    res5 = count5.run(MaxQueries(budget_social), batch_size=batch_size)
     truth5 = len(weibo.db)
     table.add("Sina Weibo (sim)", "COUNT(users)", round(res5.estimate, 1), truth5, budget_social)
     truths["weibo_count"] = (res5.estimate, truth5)
@@ -129,7 +131,7 @@ def run(
     ratio6 = LnrLbsAgg(LnrLbsInterface(weibo.db, k=20, max_radius=weibo_radius),
                        weibo_sampler, AggregateQuery.avg("is_male"),
                        LnrAggConfig(h=1), seed=seed)
-    res6 = ratio6.run(max_queries=budget_social)
+    res6 = ratio6.run(MaxQueries(budget_social), batch_size=batch_size)
     truth6 = weibo.db.ground_truth_avg("is_male")
     table.add("Sina Weibo (sim)", "male fraction", round(res6.estimate, 3),
               round(truth6, 3), budget_social)

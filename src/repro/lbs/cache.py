@@ -18,7 +18,6 @@ results (see ``tests/lbs/test_query_cache.py``).
 from __future__ import annotations
 
 from collections import OrderedDict
-from typing import Optional
 
 __all__ = ["QueryAnswerCache"]
 
@@ -83,6 +82,12 @@ class QueryAnswerCache:
 
     def clear(self) -> None:
         self._entries.clear()
+
+    def entries(self) -> list:
+        """Cached answers in LRU order (oldest first) — replaying them
+        through :meth:`put` reproduces this cache's content *and*
+        eviction order, which checkpoint restore relies on."""
+        return list(self._entries.values())
 
     def stats(self) -> dict:
         return {

@@ -61,6 +61,27 @@ class ReturnedTuple:
     location: Optional[Point] = None
     distance: Optional[float] = None
 
+    def to_state(self) -> dict:
+        """JSON-serializable form (attrs must hold JSON-safe values)."""
+        return {
+            "rank": self.rank,
+            "tid": self.tid,
+            "attrs": dict(self.attrs),
+            "loc": [self.location.x, self.location.y] if self.location is not None else None,
+            "dist": self.distance,
+        }
+
+    @classmethod
+    def from_state(cls, state: dict) -> "ReturnedTuple":
+        loc = state["loc"]
+        return cls(
+            rank=state["rank"],
+            tid=state["tid"],
+            attrs=dict(state["attrs"]),
+            location=Point(loc[0], loc[1]) if loc is not None else None,
+            distance=state["dist"],
+        )
+
 
 @dataclass(frozen=True)
 class QueryAnswer:
@@ -105,6 +126,20 @@ class QueryAnswer:
         if ra is None:
             return False
         return rb is None or ra < rb
+
+    def to_state(self) -> dict:
+        """JSON-serializable form; floats round-trip exactly."""
+        return {
+            "q": [self.query.x, self.query.y],
+            "results": [r.to_state() for r in self.results],
+        }
+
+    @classmethod
+    def from_state(cls, state: dict) -> "QueryAnswer":
+        return cls(
+            Point(state["q"][0], state["q"][1]),
+            tuple(ReturnedTuple.from_state(r) for r in state["results"]),
+        )
 
 
 class KnnInterface:
@@ -290,6 +325,32 @@ class KnnInterface:
                 location=self._locations[tid], distance=dist,
             )
         return ReturnedTuple(rank=rank, tid=tid, attrs=attrs)
+
+    # ------------------------------------------------------------------
+    def engine_state(self) -> dict:
+        """Serializable snapshot of the budget counter and answer cache.
+
+        Together with an estimator's own state this is everything needed
+        to resume a paused run bit-identically: restoring the cache (in
+        LRU order) keeps future cache hits — and therefore the query
+        accounting — exactly as they would have been uninterrupted.
+        """
+        return {
+            "budget_used": self.budget.used,
+            "cache": [a.to_state() for a in self._cache.entries()],
+            "cache_hits": self._cache.hits,
+            "cache_misses": self._cache.misses,
+        }
+
+    def restore_engine_state(self, state: dict) -> None:
+        """Restore :meth:`engine_state` onto a freshly built interface."""
+        self.budget.used = state["budget_used"]
+        self._cache.clear()
+        for entry in state["cache"]:
+            answer = QueryAnswer.from_state(entry)
+            self._cache.put(self._cache.key(answer.query.x, answer.query.y), answer)
+        self._cache.hits = state.get("cache_hits", 0)
+        self._cache.misses = state.get("cache_misses", 0)
 
     # ------------------------------------------------------------------
     def filtered(self, predicate: Predicate) -> "KnnInterface":

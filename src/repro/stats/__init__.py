@@ -1,6 +1,14 @@
 """Statistics utilities: running moments, CIs, estimation results."""
 
-from .result import EstimationResult, TracePoint, normal_ci
+from .result import Checkpoint, EstimationResult, TracePoint, normal_ci, z_value
 from .running import RatioStat, RunningStat
 
-__all__ = ["RunningStat", "RatioStat", "EstimationResult", "TracePoint", "normal_ci"]
+__all__ = [
+    "RunningStat",
+    "RatioStat",
+    "EstimationResult",
+    "TracePoint",
+    "Checkpoint",
+    "normal_ci",
+    "z_value",
+]

@@ -8,17 +8,23 @@ from typing import Optional
 
 from .running import RunningStat
 
-__all__ = ["TracePoint", "EstimationResult", "normal_ci"]
+__all__ = ["TracePoint", "Checkpoint", "EstimationResult", "normal_ci", "z_value"]
 
 #: Two-sided z quantiles for the confidence levels experiments use.
 _Z = {0.90: 1.6448536269514722, 0.95: 1.959963984540054, 0.99: 2.5758293035489004}
 
 
-def normal_ci(mean: float, sem: float, level: float = 0.95) -> tuple[float, float]:
-    """Normal-approximation confidence interval."""
+def z_value(level: float) -> float:
+    """Two-sided normal quantile for a supported confidence level."""
     z = _Z.get(level)
     if z is None:
         raise ValueError(f"unsupported confidence level {level}; use one of {sorted(_Z)}")
+    return z
+
+
+def normal_ci(mean: float, sem: float, level: float = 0.95) -> tuple[float, float]:
+    """Normal-approximation confidence interval."""
+    z = z_value(level)
     return mean - z * sem, mean + z * sem
 
 
@@ -29,6 +35,35 @@ class TracePoint:
     queries: int
     samples: int
     estimate: float
+
+
+@dataclass(frozen=True)
+class Checkpoint:
+    """One step of a streaming estimation run.
+
+    Yielded by the drivers' ``run_iter`` after every completed sample.
+    ``queries`` counts interface queries since the run started; ``ci`` is
+    the 95 % normal-approximation interval of the running estimate and
+    ``sem`` its standard error (``inf`` below two samples), so stopping
+    rules can derive intervals at other levels.  ``state``, when
+    captured (``state_every``), is the full serializable estimator state
+    at this point — feed it to ``load_state``/``Session.resume`` to
+    continue the run bit-identically.
+    """
+
+    queries: int
+    samples: int
+    estimate: float
+    ci: tuple[float, float]
+    sem: float
+    state: Optional[dict] = None
+
+    def relative_ci_halfwidth(self) -> float:
+        """Half the CI width relative to the estimate (``inf`` when
+        undefined — zero estimate or too few samples)."""
+        if not math.isfinite(self.sem) or self.estimate == 0.0:
+            return math.inf
+        return (self.ci[1] - self.ci[0]) / 2.0 / abs(self.estimate)
 
 
 @dataclass
@@ -54,6 +89,15 @@ class EstimationResult:
         if self.stat is None or self.stat.n < 2:
             return (-math.inf, math.inf)
         return normal_ci(self.stat.mean, self.stat.sem(), level)
+
+    def confidence_interval(self, level: float = 0.95) -> tuple[float, float]:
+        """Normal-approximation confidence interval of the estimate.
+
+        A readable alias of :meth:`ci` for the high-level API; for AVG
+        queries the interval is that of the numerator (SUM) stream, the
+        same convention :meth:`ci` uses.
+        """
+        return self.ci(level)
 
     def queries_to_reach(self, truth: float, rel_err: float) -> Optional[int]:
         """Query cost after which the running estimate stays within

@@ -55,6 +55,18 @@ class RunningStat:
         out._m2 = self._m2 + other._m2 + delta * delta * self.n * other.n / out.n
         return out
 
+    def state_dict(self) -> list:
+        """JSON-serializable snapshot; floats round-trip exactly."""
+        return [self.n, self.mean, self._m2]
+
+    @classmethod
+    def from_state(cls, state: list) -> "RunningStat":
+        out = cls()
+        out.n = int(state[0])
+        out.mean = float(state[1])
+        out._m2 = float(state[2])
+        return out
+
 
 class RatioStat:
     """Running ratio-of-means estimator for AVG = SUM / COUNT queries.
@@ -83,3 +95,13 @@ class RatioStat:
         if self.denominator.mean == 0.0:
             return float("nan")
         return self.numerator.mean / self.denominator.mean
+
+    def state_dict(self) -> list:
+        return [self.numerator.state_dict(), self.denominator.state_dict()]
+
+    @classmethod
+    def from_state(cls, state: list) -> "RatioStat":
+        out = cls()
+        out.numerator = RunningStat.from_state(state[0])
+        out.denominator = RunningStat.from_state(state[1])
+        return out

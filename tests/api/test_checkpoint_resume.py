@@ -1,0 +1,157 @@
+"""Checkpoint round-trips: pause → serialize → resume must be invisible.
+
+The acceptance bar of the streaming executor: for every driver, batched
+and unbatched, interrupting a run, pushing its state through JSON, and
+resuming on a freshly built estimator yields the *same*
+EstimationResult — estimate, query accounting, and full trace — as the
+uninterrupted run.
+"""
+
+import json
+
+import pytest
+
+from repro.api import MaxQueries, MaxSamples, Session
+from repro.core import (
+    AggregateQuery,
+    LnrLbsAgg,
+    LrAggConfig,
+    LrLbsAgg,
+    LrLbsNno,
+)
+from repro.lbs import LnrLbsInterface, LrLbsInterface
+from repro.sampling import UniformSampler
+
+
+def _assert_same_result(a, b):
+    assert a.estimate == b.estimate
+    assert a.queries == b.queries
+    assert a.samples == b.samples
+    assert a.trace == b.trace
+
+
+def _round_trip(make, until, batch_size, pause_after=8):
+    """Straight run vs paused-at-sample-N + JSON + resumed run."""
+    straight = make().run(until, batch_size=batch_size)
+
+    paused = make()
+    for i, _cp in enumerate(paused.run_iter(until, batch_size=batch_size)):
+        if i + 1 == pause_after:
+            break
+    state = json.loads(json.dumps(paused.to_state(queries_start=0)))
+
+    resumed = make()
+    resumed.load_state(state)
+    result = resumed.run(until, batch_size=batch_size)
+    _assert_same_result(result, straight)
+    return straight
+
+
+class TestDriverRoundTrips:
+    @pytest.mark.parametrize("batch_size", [1, 8])
+    def test_lr(self, small_db, box, batch_size):
+        def make():
+            return LrLbsAgg(LrLbsInterface(small_db, k=5), UniformSampler(box),
+                            AggregateQuery.count(), seed=0)
+
+        res = _round_trip(make, MaxSamples(30), batch_size)
+        assert res.samples == 30
+
+    def test_lr_adaptive_h(self, small_db, box):
+        def make():
+            return LrLbsAgg(LrLbsInterface(small_db, k=5), UniformSampler(box),
+                            AggregateQuery.count(),
+                            LrAggConfig(adaptive_h=True), seed=2)
+
+        _round_trip(make, MaxSamples(20), batch_size=1)
+
+    @pytest.mark.parametrize("batch_size", [1, 8])
+    def test_lr_query_budget(self, small_db, box, batch_size):
+        # Budget-bounded runs exercise the mid-batch exhaustion path.
+        def make():
+            return LrLbsAgg(LrLbsInterface(small_db, k=5), UniformSampler(box),
+                            AggregateQuery.count(), seed=1)
+
+        res = _round_trip(make, MaxQueries(120), batch_size)
+        assert res.queries <= 120 + 8  # a sample may overshoot slightly
+
+    @pytest.mark.parametrize("batch_size", [1, 8])
+    def test_lnr(self, tiny_db, box, batch_size):
+        def make():
+            return LnrLbsAgg(LnrLbsInterface(tiny_db, k=4), UniformSampler(box),
+                             AggregateQuery.count(), seed=1)
+
+        _round_trip(make, MaxSamples(12), batch_size, pause_after=5)
+
+    @pytest.mark.parametrize("batch_size", [1, 8])
+    def test_nno(self, small_db, box, batch_size):
+        # NNO degrades batches to 1 but must accept the parameter.
+        def make():
+            return LrLbsNno(LrLbsInterface(small_db, k=5), UniformSampler(box),
+                            AggregateQuery.count(), seed=3)
+
+        _round_trip(make, MaxSamples(15), batch_size)
+
+    def test_avg_ratio_state(self, small_db, box):
+        def make():
+            return LrLbsAgg(LrLbsInterface(small_db, k=5), UniformSampler(box),
+                            AggregateQuery.avg("value"), seed=0)
+
+        _round_trip(make, MaxSamples(25), batch_size=8)
+
+    def test_state_rejects_wrong_driver(self, small_db, box):
+        lr = LrLbsAgg(LrLbsInterface(small_db, k=5), UniformSampler(box),
+                      AggregateQuery.count(), seed=0)
+        lr.run(MaxSamples(3))
+        nno = LrLbsNno(LrLbsInterface(small_db, k=5), UniformSampler(box),
+                       AggregateQuery.count(), seed=0)
+        with pytest.raises(ValueError, match="driver"):
+            nno.load_state(lr.to_state())
+
+
+class TestSessionRoundTrips:
+    def test_pause_persist_resume_matches_straight_run(self, small_db):
+        """The acceptance path: seed-pinned session pause → serialize →
+        resume equals a straight run exactly."""
+        session = Session(small_db).lr(k=5).count().seed(42).batch(4)
+        straight = session.run(MaxSamples(40))
+
+        run = session.start(MaxSamples(40))
+        for cp in run:
+            if cp.samples >= 15:
+                break
+        state = json.loads(json.dumps(run.to_state()))  # survives persistence
+        resumed_result = Session.resume(small_db, state).run()
+        _assert_same_result(resumed_result, straight)
+
+    def test_resume_restores_rule_from_state(self, small_db):
+        session = Session(small_db).lr(k=5).count().seed(0)
+        run = session.start(MaxSamples(10))
+        next(iter(run))
+        state = run.to_state()
+        resumed = Session.resume(small_db, state)  # no until= passed
+        assert resumed.run().samples == 10
+
+    def test_checkpoint_state_every(self, small_db):
+        session = Session(small_db).lr(k=5).count().seed(0)
+        states = [
+            cp.state
+            for cp in session.start(MaxSamples(9), state_every=3)
+        ]
+        assert [s is not None for s in states] == [
+            False, False, True, False, False, True, False, False, True
+        ]
+        # An embedded snapshot resumes just like run.to_state().
+        mid = states[5]
+        est = session.build()
+        est.load_state(mid)
+        assert est.samples == 6
+
+    def test_result_valid_at_pause(self, small_db):
+        run = Session(small_db).lr(k=5).count().seed(0).start(MaxSamples(20))
+        for cp in run:
+            if cp.samples == 7:
+                break
+        partial = run.result()
+        assert partial.samples == 7
+        assert partial.queries == run.queries_spent

@@ -1,0 +1,99 @@
+"""Session runs: the facade end-to-end, adaptive stopping, run_many."""
+
+import pytest
+
+from repro.api import (
+    MaxQueries,
+    MaxSamples,
+    Session,
+    TargetRelativeCI,
+    estimate,
+    run_many,
+)
+from repro.datasets import is_category
+
+
+class TestSessionRun:
+    def test_count_estimate_sane(self, small_db):
+        result = Session(small_db).lr(k=5).count().seed(0).run(MaxQueries(400))
+        assert result.samples > 0
+        assert result.estimate == pytest.approx(len(small_db), rel=1.0)
+
+    def test_conditioned_count(self, small_db):
+        truth = small_db.ground_truth_count(is_category("school"))
+        result = (
+            Session(small_db).lr(k=5)
+            .count(is_category("school"))
+            .seed(1)
+            .run(MaxSamples(120))
+        )
+        assert result.estimate == pytest.approx(truth, rel=0.6)
+
+    def test_streaming_checkpoints_monotone(self, small_db):
+        run = Session(small_db).lr(k=5).count().seed(0).start(MaxSamples(10))
+        checkpoints = list(run)
+        assert [cp.samples for cp in checkpoints] == list(range(1, 11))
+        assert all(
+            b.queries >= a.queries for a, b in zip(checkpoints, checkpoints[1:])
+        )
+        assert run.last is checkpoints[-1]
+
+    def test_target_ci_stops_before_budget(self, small_db):
+        result = (
+            Session(small_db).lr(k=5).count().seed(0)
+            .run(TargetRelativeCI(0.5, min_samples=5) | MaxQueries(4000))
+        )
+        assert result.queries < 4000  # the CI rule fired first
+
+    def test_estimate_functional_form(self, small_db):
+        session = Session(small_db).lr(k=5).count().seed(0)
+        a = estimate(small_db, session.spec, MaxSamples(12))
+        b = session.run(MaxSamples(12))
+        assert a.estimate == b.estimate and a.queries == b.queries
+
+    def test_batched_session_equals_unbatched_lnr(self, tiny_db):
+        # LNR consumes randomness only for sample points, so the batched
+        # facade run must reproduce the sequential one bit for bit.
+        base = Session(tiny_db).lnr(k=4).count().seed(1)
+        seq = base.run(MaxSamples(10))
+        bat = base.batch(8).run(MaxSamples(10))
+        assert bat.estimate == seq.estimate
+        assert bat.queries == seq.queries
+
+
+class TestRunMany:
+    def test_shared_pool_interleaves(self, small_db):
+        runs = [
+            Session(small_db).lr(k=5).count().seed(s).start(MaxQueries(10_000))
+            for s in range(3)
+        ]
+        results = run_many(runs, max_total_queries=300)
+        assert sum(r.queries for r in results) >= 300
+        # Round-robin: no run starves while another exhausts the pool.
+        assert all(r.samples > 0 for r in results)
+        samples = [r.samples for r in results]
+        assert max(samples) - min(samples) <= max(samples) // 2 + 1
+
+    def test_individual_rules_respected(self, small_db):
+        runs = [
+            Session(small_db).lr(k=5).count().seed(0).start(MaxSamples(5)),
+            Session(small_db).lr(k=5).count().seed(1).start(MaxSamples(9)),
+        ]
+        results = run_many(runs)
+        assert [r.samples for r in results] == [5, 9]
+
+    def test_paused_runs_stay_resumable(self, small_db):
+        runs = [
+            Session(small_db).lr(k=5).count().seed(s).start(MaxSamples(50))
+            for s in range(2)
+        ]
+        results = run_many(runs, max_total_queries=80)
+        assert all(r.samples < 50 for r in results)
+        # Each paused run can still be serialized and finished later.
+        state = runs[0].to_state()
+        finished = Session.resume(small_db, state).run()
+        assert finished.samples == 50
+
+    def test_validation(self, small_db):
+        with pytest.raises(ValueError):
+            run_many([], max_total_queries=-1)

@@ -1,0 +1,106 @@
+"""Stopping rules: firing conditions, batch clamps, composition, serde."""
+
+import math
+
+import pytest
+
+from repro.api import (
+    AnyRule,
+    MaxQueries,
+    MaxSamples,
+    TargetRelativeCI,
+    stopping_rule_from_dict,
+)
+from repro.stats import Checkpoint
+
+
+def cp(queries=0, samples=0, estimate=0.0, sem=math.inf):
+    if math.isfinite(sem):
+        ci = (estimate - 1.959963984540054 * sem, estimate + 1.959963984540054 * sem)
+    else:
+        ci = (-math.inf, math.inf)
+    return Checkpoint(queries=queries, samples=samples, estimate=estimate,
+                      ci=ci, sem=sem)
+
+
+class TestHardLimits:
+    def test_max_queries(self):
+        rule = MaxQueries(100)
+        assert not rule.should_stop(cp(queries=99))
+        assert rule.should_stop(cp(queries=100))
+        assert rule.remaining_queries(cp(queries=40)) == 60
+        assert rule.remaining_queries(cp(queries=400)) == 0
+        assert rule.remaining_samples(cp()) is None
+
+    def test_max_samples(self):
+        rule = MaxSamples(10)
+        assert not rule.should_stop(cp(samples=9))
+        assert rule.should_stop(cp(samples=10))
+        assert rule.remaining_samples(cp(samples=4)) == 6
+        assert rule.remaining_queries(cp()) is None
+
+    def test_negative_limits_rejected(self):
+        with pytest.raises(ValueError):
+            MaxQueries(-1)
+        with pytest.raises(ValueError):
+            MaxSamples(-1)
+
+
+class TestTargetRelativeCI:
+    def test_fires_only_when_tight(self):
+        rule = TargetRelativeCI(0.1, min_samples=5)
+        # 1.96 * 2 = 3.92 half-width on estimate 100 -> 3.9% relative.
+        assert rule.should_stop(cp(samples=50, estimate=100.0, sem=2.0))
+        assert not rule.should_stop(cp(samples=50, estimate=100.0, sem=20.0))
+
+    def test_min_samples_guard(self):
+        rule = TargetRelativeCI(0.1, min_samples=30)
+        assert not rule.should_stop(cp(samples=29, estimate=100.0, sem=0.1))
+        assert rule.should_stop(cp(samples=30, estimate=100.0, sem=0.1))
+
+    def test_undefined_interval_never_stops(self):
+        rule = TargetRelativeCI(0.5, min_samples=2)
+        assert not rule.should_stop(cp(samples=10, estimate=0.0, sem=0.01))
+        assert not rule.should_stop(cp(samples=10, estimate=5.0, sem=math.inf))
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            TargetRelativeCI(0.0)
+        with pytest.raises(ValueError):
+            TargetRelativeCI(0.1, level=0.8)
+        with pytest.raises(ValueError):
+            TargetRelativeCI(0.1, min_samples=1)
+
+
+class TestComposition:
+    def test_or_fires_on_any(self):
+        rule = MaxQueries(100) | MaxSamples(10)
+        assert isinstance(rule, AnyRule)
+        assert rule.should_stop(cp(queries=100, samples=0))
+        assert rule.should_stop(cp(queries=0, samples=10))
+        assert not rule.should_stop(cp(queries=99, samples=9))
+
+    def test_or_flattens(self):
+        rule = MaxQueries(1) | MaxSamples(2) | TargetRelativeCI(0.1)
+        assert len(rule.rules) == 3
+
+    def test_remaining_takes_min(self):
+        rule = MaxQueries(100) | MaxQueries(60) | TargetRelativeCI(0.1)
+        assert rule.remaining_queries(cp(queries=10)) == 50
+        assert rule.remaining_samples(cp()) is None
+
+
+class TestSerde:
+    @pytest.mark.parametrize("rule", [
+        MaxQueries(500),
+        MaxSamples(32),
+        TargetRelativeCI(0.05, level=0.99, min_samples=20),
+        MaxQueries(500) | MaxSamples(32) | TargetRelativeCI(0.1),
+    ])
+    def test_round_trip(self, rule):
+        rebuilt = stopping_rule_from_dict(rule.to_dict())
+        assert rebuilt.to_dict() == rule.to_dict()
+
+    def test_unknown_rule_rejected(self):
+        with pytest.raises(ValueError):
+            stopping_rule_from_dict({"rule": "nope"})

@@ -1,11 +1,10 @@
 """Lower-bound soundness (§3.2.4) and adaptive-h selection (§3.2.3)."""
 
 import numpy as np
-import pytest
 
 from repro.core import AdaptiveHSelector, LowerBoundTester, ObservationHistory, TopHCellOracle
 from repro.core.config import LrAggConfig
-from repro.geometry import Point, distance
+from repro.geometry import Point
 from repro.index import BruteForceIndex
 from repro.lbs import LrLbsInterface
 from repro.sampling import UniformSampler

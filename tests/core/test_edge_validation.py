@@ -40,7 +40,8 @@ class TestLineValidates:
 
     def test_corner_chord_fails(self):
         # Inside = quadrant; chord from (1, 0.5) to (0.5, 1) cuts the corner.
-        pred = lambda p: p.x < 1.0 and p.y < 1.0
+        def pred(p):
+            return p.x < 1.0 and p.y < 1.0
         start = Point(1.0, 0.5)
         direction = normalize(Point(0.5, 1.0) - start)
         ok = _line_validates(
@@ -66,7 +67,8 @@ class TestEstimateAgainstSyntheticCells:
     def test_all_cardinal_walks_find_square(self):
         """Walking out of a square in all four directions recovers all
         four of its edges."""
-        pred = lambda p: abs(p.x) < 3 and abs(p.y) < 3
+        def pred(p):
+            return abs(p.x) < 3 and abs(p.y) < 3
         found = []
         for d in (Point(1, 0), Point(-1, 0), Point(0, 1), Point(0, -1)):
             far = Point(d.x * 50, d.y * 50)

@@ -12,7 +12,6 @@ import pytest
 
 from repro.core import (
     AggregateQuery,
-    LnrAggConfig,
     LnrLbsAgg,
     LrAggConfig,
     LrLbsAgg,

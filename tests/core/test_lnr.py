@@ -24,7 +24,8 @@ from repro.sampling import UniformSampler
 
 class TestBinaryTransition:
     def test_precision(self):
-        pred = lambda p: p.x < 3.0
+        def pred(p):
+            return p.x < 3.0
         seg = binary_transition(pred, Point(0, 0), Point(10, 0), delta=1e-6)
         assert seg.length() <= 1e-6
         assert abs(seg.mid.x - 3.0) < 1e-6
@@ -54,7 +55,8 @@ class TestEstimateBoundaryLine:
     def test_recovers_known_line(self):
         """Synthetic membership: inside = left of the line x + 2y = 8."""
         box = Rect(0, 0, 100, 100)
-        pred = lambda p: p.x + 2 * p.y < 8.0
+        def pred(p):
+            return p.x + 2 * p.y < 8.0
         est = estimate_boundary_line(
             pred, Point(0, 0), Point(50, 0), delta=1e-5, delta_prime=0.05, rect=box
         )
@@ -77,7 +79,8 @@ class TestEstimateBoundaryLine:
         validation must reject the chord (two_point becomes False)."""
         box = Rect(-50, -50, 50, 50)
         # Inside = quadrant x < 1 AND y < 1; walk diagonally at the corner.
-        pred = lambda p: p.x < 1.0 and p.y < 1.0
+        def pred(p):
+            return p.x < 1.0 and p.y < 1.0
         est = estimate_boundary_line(
             pred, Point(0, 0), Point(30, 29.9), delta=1e-5, delta_prime=0.5, rect=box
         )
@@ -205,6 +208,5 @@ class TestLnrAgg:
         api = LnrLbsInterface(tiny_db, k=3)
         agg = LnrLbsAgg(api, UniformSampler(box), query, LnrAggConfig(h=1), seed=8)
         res = agg.run(n_samples=12)
-        truth = tiny_db.ground_truth_count(lambda t: half.contains(t.location))
         assert np.isfinite(res.estimate)
         assert res.estimate >= 0

@@ -5,7 +5,7 @@ import pytest
 
 from repro.core import ObservationHistory, TopHCellOracle
 from repro.core.config import LrAggConfig
-from repro.geometry import Point, polygon_disk_area, true_topk_cell, true_voronoi_cell
+from repro.geometry import polygon_disk_area, true_topk_cell, true_voronoi_cell
 from repro.lbs import LrLbsInterface, QueryBudget, BudgetExhausted
 from repro.sampling import UniformSampler
 
@@ -123,7 +123,6 @@ class TestBudget:
         oracle = TopHCellOracle(
             hist, UniformSampler(box), LrAggConfig(), np.random.default_rng(0)
         )
-        t = small_db.get(0)
         with pytest.raises(BudgetExhausted):
             for tid in range(10):
                 tt = small_db.get(tid)

@@ -28,17 +28,22 @@ class TestExperimentTable:
 
 
 class _FakeEstimator:
-    """Deterministic trace: error halves every 10 queries."""
+    """Deterministic trace: error halves every 10 queries.
+
+    Implements the uniform driver signature ``run(until, batch_size=...)``
+    that ``cost_to_reach`` now drives estimators through.
+    """
 
     def __init__(self, truth, final_err):
         self.truth = truth
         self.final_err = final_err
 
-    def run(self, max_queries=None):
+    def run(self, until, batch_size=1):
+        max_queries = until.limit
         trace = []
         err = 1.0
         q = 0
-        while err > self.final_err and q < (max_queries or 1000):
+        while err > self.final_err and q < max_queries:
             q += 10
             err /= 2
             trace.append(TracePoint(q, q // 10, self.truth * (1 + err)))

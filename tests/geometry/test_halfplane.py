@@ -1,6 +1,5 @@
 """Tests for half-planes and perpendicular bisectors."""
 
-import math
 
 import pytest
 from hypothesis import given

@@ -10,7 +10,6 @@ from repro.lbs import (
     LnrLbsInterface,
     LrLbsInterface,
     ObfuscationModel,
-    ProminenceRanking,
     QueryBudget,
     SpatialDatabase,
 )

@@ -6,7 +6,7 @@ import numpy as np
 import pytest
 
 from repro.datasets import PopulationGrid
-from repro.geometry import ConvexPolygon, Disk, HalfPlane, Point, Rect
+from repro.geometry import ConvexPolygon, Disk, Point, Rect
 from repro.sampling import GridWeightedSampler, UniformSampler
 
 BOX = Rect(0, 0, 100, 100)

@@ -111,3 +111,52 @@ class TestEstimationResult:
         r = EstimationResult(10, 100, 4, stat=rs)
         lo, hi = r.ci(0.95)
         assert lo < 10 < hi
+
+    def test_confidence_interval_alias(self):
+        rs = RunningStat()
+        for x in (9, 10, 11, 10):
+            rs.push(x)
+        r = EstimationResult(10, 100, 4, stat=rs)
+        assert r.confidence_interval(0.95) == r.ci(0.95)
+        # Wider level, wider interval.
+        lo95, hi95 = r.confidence_interval(0.95)
+        lo99, hi99 = r.confidence_interval(0.99)
+        assert hi99 - lo99 > hi95 - lo95
+        with pytest.raises(ValueError):
+            r.confidence_interval(0.42)
+
+    def test_confidence_interval_undefined_below_two_samples(self):
+        r = self._result([100])
+        lo, hi = r.confidence_interval()
+        assert lo == -math.inf and hi == math.inf
+
+    def test_relative_error_of_live_run(self):
+        r = self._result([90.0, 95.0])
+        assert r.relative_error(95.0) == 0.0
+
+    def test_running_stat_state_round_trip(self):
+        rs = RunningStat()
+        for x in (1.0, 2.5, -3.25, 7.0):
+            rs.push(x)
+        back = RunningStat.from_state(rs.state_dict())
+        assert back.n == rs.n and back.mean == rs.mean
+        assert back.variance() == rs.variance()
+
+    def test_ratio_stat_state_round_trip(self):
+        rat = RatioStat()
+        rat.push(1.0, 2.0)
+        rat.push(3.0, 4.0)
+        back = RatioStat.from_state(rat.state_dict())
+        assert back.estimate() == rat.estimate() and back.n == rat.n
+
+
+class TestCheckpoint:
+    def test_relative_ci_halfwidth(self):
+        from repro.stats import Checkpoint
+
+        cp = Checkpoint(queries=10, samples=5, estimate=100.0,
+                        ci=(90.0, 110.0), sem=5.1)
+        assert cp.relative_ci_halfwidth() == pytest.approx(0.1)
+        undefined = Checkpoint(queries=0, samples=1, estimate=100.0,
+                               ci=(-math.inf, math.inf), sem=math.inf)
+        assert undefined.relative_ci_halfwidth() == math.inf

@@ -8,13 +8,14 @@ import repro
 
 class TestPublicSurface:
     def test_version(self):
-        assert repro.__version__ == "1.0.0"
+        assert repro.__version__ == "1.1.0"
 
     def test_all_exports_resolve(self):
         for name in repro.__all__:
             assert hasattr(repro, name), name
 
     def test_subpackage_all_exports_resolve(self):
+        import repro.api
         import repro.core
         import repro.datasets
         import repro.geometry
@@ -22,10 +23,17 @@ class TestPublicSurface:
         import repro.sampling
         import repro.stats
 
-        for mod in (repro.core, repro.datasets, repro.geometry,
+        for mod in (repro.api, repro.core, repro.datasets, repro.geometry,
                     repro.lbs, repro.sampling, repro.stats):
             for name in mod.__all__:
                 assert hasattr(mod, name), f"{mod.__name__}.{name}"
+
+    def test_api_surface_at_root(self):
+        # The session facade is reachable from the package root.
+        for name in ("Session", "SessionRun", "EstimationSpec", "AggregateSpec",
+                     "MaxQueries", "MaxSamples", "TargetRelativeCI",
+                     "StoppingRule", "Checkpoint", "run_many"):
+            assert hasattr(repro, name), name
 
     def test_experiment_registry_complete(self):
         from repro.experiments import ALL_EXPERIMENTS
@@ -34,22 +42,70 @@ class TestPublicSurface:
         assert set(ALL_EXPERIMENTS) == expected
 
 
+def _tiny_poi_db():
+    from repro import PoiConfig, generate_poi_database
+    from repro.geometry import Rect
+
+    region = Rect(0, 0, 100, 100)
+    return generate_poi_database(
+        region, np.random.default_rng(7),
+        PoiConfig(n_restaurants=40, n_schools=20, n_banks=0, n_cafes=0),
+    )
+
+
 class TestReadmeQuickstart:
     def test_quickstart_flow(self):
         """The README snippet, condensed: it must run and be sane."""
-        from repro import (AggregateQuery, LrLbsAgg, LrLbsInterface,
-                           PoiConfig, UniformSampler, generate_poi_database)
-        from repro.geometry import Rect
+        from repro import MaxQueries, Session
 
-        region = Rect(0, 0, 100, 100)
-        db = generate_poi_database(
-            region, np.random.default_rng(7),
-            PoiConfig(n_restaurants=40, n_schools=20, n_banks=0, n_cafes=0),
-        )
-        api = LrLbsInterface(db, k=5)
-        agg = LrLbsAgg(api, UniformSampler(region), AggregateQuery.count(), seed=0)
-        result = agg.run(max_queries=400)
+        db = _tiny_poi_db()
+        result = Session(db).lr(k=5).count().seed(0).run(MaxQueries(400))
         assert result.samples > 0
         assert result.estimate == pytest.approx(len(db), rel=1.0)
-        lo, hi = result.ci(0.95)
+        lo, hi = result.confidence_interval(0.95)
         assert lo < hi
+
+
+class TestDeprecationShims:
+    """The pre-session entrypoints still work, with warnings."""
+
+    def _agg(self, db, seed=0):
+        from repro import AggregateQuery, LrLbsAgg, LrLbsInterface, UniformSampler
+
+        return LrLbsAgg(LrLbsInterface(db, k=5), UniformSampler(db.region),
+                        AggregateQuery.count(), seed=seed)
+
+    def test_legacy_kwargs_warn_but_match_new_style(self):
+        from repro import MaxQueries
+
+        db = _tiny_poi_db()
+        with pytest.warns(DeprecationWarning):
+            legacy = self._agg(db).run(max_queries=300)
+        new = self._agg(db).run(MaxQueries(300))
+        assert legacy.estimate == new.estimate
+        assert legacy.queries == new.queries
+        assert legacy.trace == new.trace
+
+    def test_legacy_n_samples_and_batch(self):
+        db = _tiny_poi_db()
+        with pytest.warns(DeprecationWarning):
+            res = self._agg(db).run(n_samples=10, batch_size=4)
+        assert res.samples == 10
+
+    def test_positional_int_warns(self):
+        db = _tiny_poi_db()
+        with pytest.warns(DeprecationWarning):
+            res = self._agg(db).run(200)
+        assert res.queries >= 200
+
+    def test_no_rule_at_all_raises(self):
+        db = _tiny_poi_db()
+        with pytest.raises(ValueError):
+            self._agg(db).run()
+
+    def test_rule_plus_legacy_kwargs_rejected(self):
+        from repro import MaxQueries
+
+        db = _tiny_poi_db()
+        with pytest.raises(ValueError):
+            self._agg(db).run(MaxQueries(10), n_samples=5)
