@@ -21,7 +21,7 @@ import numpy as np
 
 from repro.geometry import Point, Rect
 from repro.index import BruteForceIndex, GridIndex, KdTree
-from repro.lbs import LbsTuple, LrLbsInterface, SpatialDatabase
+from repro.lbs import LbsTuple, LrLbsInterface, ProminenceRanking, SpatialDatabase
 
 DB_SIZE = 10_000
 K = 5
@@ -29,6 +29,12 @@ SPEEDUP_FLOOR = 5.0
 #: --quick runs far fewer queries on noisy CI runners; a real regression
 #: (losing the batch kernel) drops to ~1x, so a looser gate still bites.
 QUICK_SPEEDUP_FLOOR = 3.5
+#: Prominence rank_batch vs the per-point full-scan fallback it replaced;
+#: held in --quick too (the pruned kernel sits far above the bar).
+PROMINENCE_SPEEDUP_FLOOR = 5.0
+#: Prominence distance cap, as in the paper's §5.3 ("0 to tuples more
+#: than 50 miles away" — a small fraction of the service region).
+PROMINENCE_CAP = 8.0
 
 
 def _best_of(fn, repeats):
@@ -77,6 +83,26 @@ def run_bench(quick: bool = False, k: int = K, db_size: int = DB_SIZE) -> dict:
             "brute_batch": n_queries / t_brute,
         }
 
+    # Prominence ranking: pruned batch kernel vs the per-point fallback
+    # (full-database scoring pass per query) it replaced.
+    pts = _uniform_points(rng, db_size)
+    tuples = [LbsTuple(i, Point(x, y), {"popularity": float(rng.random())})
+              for x, y, i in pts]
+    prom = ProminenceRanking(
+        tuples, {t.tid: t.location for t in tuples}, "popularity",
+        weight_distance=0.7, weight_static=0.3, distance_cap=PROMINENCE_CAP,
+        index=GridIndex(pts),
+    )
+    qpoints = [Point(x, y) for x, y in queries]
+    t_loop, ref_prom = _best_of(lambda: [prom.rank(p, k) for p in qpoints], repeats)
+    t_batch_prom, got_prom = _best_of(lambda: prom.rank_batch(qpoints, k), repeats)
+    if got_prom != ref_prom:
+        raise AssertionError("prominence rank_batch diverges from the scalar kernel")
+    report["prominence"] = {
+        "rank_single": n_queries / t_loop,
+        "rank_batch": n_queries / t_batch_prom,
+    }
+
     # End-to-end interface path on the uniform database: batch + cache.
     region = Rect(0.0, 0.0, 400.0, 400.0)
     db = SpatialDatabase(
@@ -116,6 +142,13 @@ def test_query_engine_speedup(pytestconfig):
     )
     # The clustered shape must at least not regress behind the KD-tree.
     assert report["clustered"]["grid_batch"] >= report["clustered"]["kdtree_single"]
+    # Prominence: the pruned batch kernel must crush the per-point
+    # full-scan fallback it replaced (same floor in --quick).
+    prom_speedup = report["prominence"]["rank_batch"] / report["prominence"]["rank_single"]
+    assert prom_speedup >= PROMINENCE_SPEEDUP_FLOOR, (
+        f"prominence rank_batch only {prom_speedup:.1f}x over the per-point "
+        f"fallback (floor {PROMINENCE_SPEEDUP_FLOOR}x)"
+    )
     # Cached replay must beat even the cold batch by a wide margin.
     assert (
         report["interface"]["query_batch_cached"]
@@ -132,5 +165,8 @@ if __name__ == "__main__":
     result = run_bench(quick=args.quick)
     _print_report(result)
     speedup = result["uniform"]["grid_batch"] / result["uniform"]["kdtree_single"]
+    prom = result["prominence"]["rank_batch"] / result["prominence"]["rank_single"]
     print(f"\nuniform grid-batch speedup: {speedup:.1f}x (floor {SPEEDUP_FLOOR}x)")
-    raise SystemExit(0 if speedup >= SPEEDUP_FLOOR else 1)
+    print(f"prominence rank_batch speedup: {prom:.1f}x (floor {PROMINENCE_SPEEDUP_FLOOR}x)")
+    ok = speedup >= SPEEDUP_FLOOR and prom >= PROMINENCE_SPEEDUP_FLOOR
+    raise SystemExit(0 if ok else 1)

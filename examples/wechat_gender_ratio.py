@@ -3,28 +3,23 @@
 WeChat's "people nearby" returns ranked user profiles without
 coordinates and with deliberately obfuscated positions.  The paper's
 LNR-LBS-AGG estimates both the number of location-enabled users and the
-male/female ratio from 10000 such queries (reporting 67.1 : 32.9 for
-WeChat).  Same pipeline here, against the simulated service.
+male/female ratio from such queries (reporting 67.1 : 32.9 for WeChat).
 
-Obfuscation is an interface-construction knob the declarative spec does
-not model, so this example stays on the driver classes — note they share
-the session API's stopping rules and streaming machinery.
+The whole scenario is declarative here: the service's capabilities —
+rank-only answers, per-user position jitter, and the profile attributes
+it actually shows — live in the ``InterfaceSpec`` embedded in the run's
+``EstimationSpec``, so the run serializes to JSON, pauses, and resumes
+bit-identically (demonstrated below mid-run).
 
 Run:  python examples/wechat_gender_ratio.py
 """
 
+import json
+
 import numpy as np
 
-from repro import (
-    AggregateQuery,
-    LnrAggConfig,
-    LnrLbsAgg,
-    LnrLbsInterface,
-    MaxQueries,
-    ObfuscationModel,
-    UniformSampler,
-    generate_user_database,
-)
+from repro import MaxQueries, ObfuscationModel, Session, generate_user_database
+from repro.core import LnrAggConfig
 from repro.datasets import UserConfig
 from repro.geometry import Rect
 
@@ -36,25 +31,37 @@ def main() -> None:
         region, rng, UserConfig(n_users=300, male_fraction=0.671)
     )
 
-    # WeChat-style service: rank-only answers, obfuscated positions.
-    obfuscation = ObfuscationModel(sigma=1.0, seed=0)
-    sampler = UniformSampler(region)
+    # WeChat-style service, fully in the spec: rank-only (lnr), top-10,
+    # obfuscated positions, and only the profile fields WeChat shows.
+    session = (
+        Session(db)
+        .lnr(k=10, config=LnrAggConfig(h=1))
+        .service(
+            obfuscation=ObfuscationModel(sigma=1.0, seed=0),
+            visible_attrs=("gender", "is_male", "location_enabled"),
+        )
+    )
     budget = MaxQueries(6000)
 
-    count_api = LnrLbsInterface(db, k=10, obfuscation=obfuscation)
-    count_agg = LnrLbsAgg(
-        count_api, sampler, AggregateQuery.count(), LnrAggConfig(h=1), seed=1
-    )
-    count_res = count_agg.run(budget)
+    count_session = session.count().seed(1)
+    print("spec:", count_session.spec.to_json())
 
-    ratio_api = LnrLbsInterface(db, k=10, obfuscation=obfuscation)
-    ratio_agg = LnrLbsAgg(
-        ratio_api, sampler, AggregateQuery.avg("is_male"), LnrAggConfig(h=1), seed=2
-    )
-    ratio_res = ratio_agg.run(budget)
+    # Pause the COUNT run mid-flight, push it through JSON, resume — the
+    # resumed run is bit-identical to never having stopped.
+    run = count_session.start(budget)
+    for checkpoint in run:
+        if checkpoint.samples >= 25:
+            break
+    state = json.loads(json.dumps(run.to_state()))
+    count_res = Session.resume(db, state).run()
+    straight = count_session.run(budget)
+    assert count_res.estimate == straight.estimate, "resume must be bit-identical"
+
+    ratio_res = session.avg("is_male").seed(2).run(budget)
 
     male_truth = db.ground_truth_avg("is_male")
     print(f"COUNT(users)  estimate: {count_res.estimate:7.1f}   truth: {len(db)}")
+    print("              (paused at 25 samples, resumed from JSON — identical)")
     print(f"male fraction estimate: {ratio_res.estimate:7.3f}   truth: {male_truth:.3f}")
     m = ratio_res.estimate * 100
     print(f"estimated gender ratio: {m:.1f} : {100 - m:.1f}")

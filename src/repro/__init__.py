@@ -63,12 +63,15 @@ from .datasets import (
 from .geometry import Point, Rect
 from .lbs import (
     BudgetExhausted,
+    InterfaceSpec,
     KnnInterface,
     LbsTuple,
     LnrLbsInterface,
     LrLbsInterface,
     ObfuscationModel,
+    ProminenceRanking,
     QueryBudget,
+    RankingSpec,
     SpatialDatabase,
 )
 from .sampling import GridWeightedSampler, UniformSampler
@@ -127,6 +130,9 @@ __all__ = [
     "QueryBudget",
     "BudgetExhausted",
     "ObfuscationModel",
+    "ProminenceRanking",
+    "InterfaceSpec",
+    "RankingSpec",
     "CityModel",
     "PopulationGrid",
     "PoiConfig",

@@ -34,6 +34,7 @@ from ..core.stopping import (
     TargetRelativeCI,
     stopping_rule_from_dict,
 )
+from ..lbs import InterfaceSpec, ObfuscationModel, RankingSpec
 from ..stats import Checkpoint, EstimationResult
 from .session import Session, SessionRun, estimate, run_many
 from .spec import AggregateSpec, EstimationSpec
@@ -43,6 +44,9 @@ __all__ = [
     "SessionRun",
     "EstimationSpec",
     "AggregateSpec",
+    "InterfaceSpec",
+    "RankingSpec",
+    "ObfuscationModel",
     "StoppingRule",
     "MaxQueries",
     "MaxSamples",

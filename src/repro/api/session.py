@@ -13,6 +13,17 @@ The front door of the library::
         .run(MaxQueries(4000) | TargetRelativeCI(0.05))
     )
 
+``service(...)`` describes the interface's capability surface — coverage
+radius, disclosed attributes, position obfuscation, prominence ranking —
+as a declarative :class:`~repro.lbs.InterfaceSpec` embedded in the run's
+spec, so a WeChat-style obfuscated LNR scenario serializes, pauses, and
+resumes like any other run::
+
+    Session(world).lnr(k=10).service(
+        obfuscation=ObfuscationModel(sigma=1.0),
+        visible_attrs=("gender",),
+    ).count().run(MaxQueries(6000))
+
 ``Session`` is an immutable builder over an
 :class:`~repro.api.EstimationSpec` — every fluent call returns a new
 session, so partial configurations can be shared and forked.  ``world``
@@ -46,15 +57,14 @@ from ..core import (
     stopping_rule_from_dict,
 )
 from ..core._driver import EstimationDriver, build_result
-from ..lbs import LnrLbsInterface, LrLbsInterface, SpatialDatabase
+from ..lbs import InterfaceSpec, ObfuscationModel, RankingSpec, SpatialDatabase
 from ..sampling import GridWeightedSampler, UniformSampler
 from ..stats import Checkpoint, EstimationResult
-from .spec import AggregateSpec, EstimationSpec
+from .spec import AggregateSpec, EstimationSpec, interface_kind
 
 __all__ = ["Session", "SessionRun", "run_many", "estimate"]
 
 _DRIVERS = {"lr": LrLbsAgg, "lnr": LnrLbsAgg, "nno": LrLbsNno}
-_INTERFACES = {"lr": LrLbsInterface, "lnr": LnrLbsInterface, "nno": LrLbsInterface}
 
 
 def _resolve_world(world) -> tuple[SpatialDatabase, object]:
@@ -79,7 +89,16 @@ class Session:
         self.spec = spec if spec is not None else EstimationSpec()
 
     def _with(self, **changes) -> "Session":
-        return Session(self.world, self.spec.replace(**changes))
+        spec = self.spec
+        # Keep an embedded interface spec in lockstep with method/k: the
+        # service's family and top-k are the estimator's family and
+        # top-k; only the extra capabilities are free-standing.
+        iface = changes.get("interface", spec.interface)
+        if iface is not None and "interface" not in changes:
+            method = changes.get("method", spec.method)
+            k = changes.get("k", spec.k)
+            changes["interface"] = iface.replace(kind=interface_kind(method), k=k)
+        return Session(self.world, spec.replace(**changes))
 
     # -- interface / method -------------------------------------------
     def lr(self, k: int = 5, config: Optional[LrAggConfig] = None) -> "Session":
@@ -93,6 +112,39 @@ class Session:
     def nno(self, k: int = 5, config: Optional[NnoConfig] = None) -> "Session":
         """The nearest-neighbour-oracle baseline (biased; for comparison)."""
         return self._with(method="nno", k=k, config=config)
+
+    # -- service capabilities -----------------------------------------
+    def service(
+        self,
+        interface: Optional[InterfaceSpec] = None,
+        *,
+        max_radius: Optional[float] = None,
+        visible_attrs: Optional[Sequence[str]] = None,
+        obfuscation: Optional[ObfuscationModel] = None,
+        ranking: Optional[RankingSpec] = None,
+    ) -> "Session":
+        """Describe the service's capability surface declaratively.
+
+        Either pass a full :class:`~repro.lbs.InterfaceSpec`, or the
+        individual capabilities — coverage radius (§5.3), disclosed
+        attributes, position obfuscation (§6.3), ranking policy (§5.3
+        prominence) — and the session derives kind/k from the current
+        method.  The capabilities serialize with the spec, so
+        WeChat-style obfuscated LNR scenarios checkpoint and resume like
+        any other run.
+        """
+        if interface is None:
+            interface = InterfaceSpec(
+                kind=interface_kind(self.spec.method),
+                k=self.spec.k,
+                max_radius=max_radius,
+                visible_attrs=tuple(visible_attrs) if visible_attrs is not None else None,
+                obfuscation=obfuscation,
+                ranking=ranking if ranking is not None else RankingSpec(),
+            )
+        elif any(v is not None for v in (max_radius, visible_attrs, obfuscation, ranking)):
+            raise ValueError("pass either a full InterfaceSpec or capability kwargs, not both")
+        return self._with(interface=interface)
 
     # -- sampling ------------------------------------------------------
     def uniform(self) -> "Session":
@@ -141,7 +193,7 @@ class Session:
         """Construct the estimator this session describes."""
         spec = self.spec
         db, census = _resolve_world(self.world)
-        interface = _INTERFACES[spec.method](db, spec.k, engine=spec.engine)
+        interface = spec.interface_spec().build(db, engine=spec.engine)
         agg = spec.aggregate
         if agg.pass_through:
             # Push the condition into the service (§5.1): the estimator

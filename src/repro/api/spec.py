@@ -26,6 +26,7 @@ from ..core import (
     NnoConfig,
     QueryEngineConfig,
 )
+from ..lbs import InterfaceSpec
 
 __all__ = ["AggregateSpec", "EstimationSpec"]
 
@@ -35,6 +36,11 @@ SAMPLERS = ("uniform", "census")
 AGGREGATES = ("count", "sum", "avg")
 
 _CONFIG_TYPES = {"lr": LrAggConfig, "lnr": LnrAggConfig, "nno": NnoConfig}
+
+
+def interface_kind(method: str) -> str:
+    """The interface family a method queries (NNO reads locations too)."""
+    return "lnr" if method == "lnr" else "lr"
 
 
 @dataclass(frozen=True)
@@ -109,6 +115,13 @@ class EstimationSpec:
     sampler:
         ``"uniform"`` or ``"census"`` (population-raster weighted,
         §5.2; requires a world that carries a census grid).
+    interface:
+        Optional :class:`~repro.lbs.InterfaceSpec` describing the full
+        service capability surface — max_radius, visible attributes,
+        obfuscation, ranking policy.  ``None`` = a plain top-k service
+        of the kind ``method`` implies.  When given, its ``kind`` and
+        ``k`` must agree with ``method``/``k`` (the
+        :class:`~repro.api.Session` builder keeps them in sync).
     engine:
         :class:`~repro.core.QueryEngineConfig` — index backend, answer
         cache, snapping.  ``None`` = engine defaults.
@@ -124,6 +137,7 @@ class EstimationSpec:
     k: int = 5
     aggregate: AggregateSpec = field(default_factory=AggregateSpec)
     sampler: str = "uniform"
+    interface: Optional[InterfaceSpec] = None
     engine: Optional[QueryEngineConfig] = None
     config: Optional[Union[LrAggConfig, LnrAggConfig, NnoConfig]] = None
     seed: int = 0
@@ -145,6 +159,24 @@ class EstimationSpec:
                     f"method {self.method!r} takes a {expected.__name__}, "
                     f"got {type(self.config).__name__}"
                 )
+        if self.interface is not None:
+            expected_kind = interface_kind(self.method)
+            if self.interface.kind != expected_kind:
+                raise ValueError(
+                    f"method {self.method!r} runs against a {expected_kind!r} "
+                    f"interface, but the interface spec says {self.interface.kind!r}"
+                )
+            if self.interface.k != self.k:
+                raise ValueError(
+                    f"interface spec k={self.interface.k} disagrees with "
+                    f"estimation k={self.k}"
+                )
+
+    def interface_spec(self) -> InterfaceSpec:
+        """The service this spec runs against (default: plain top-k)."""
+        if self.interface is not None:
+            return self.interface
+        return InterfaceSpec(kind=interface_kind(self.method), k=self.k)
 
     def replace(self, **changes) -> "EstimationSpec":
         """A copy with the given fields changed (specs are frozen)."""
@@ -158,6 +190,7 @@ class EstimationSpec:
             "k": self.k,
             "aggregate": self.aggregate.to_dict(),
             "sampler": self.sampler,
+            "interface": self.interface.to_dict() if self.interface is not None else None,
             "engine": asdict(self.engine) if self.engine is not None else None,
             "config": asdict(self.config) if self.config is not None else None,
             "seed": self.seed,
@@ -169,11 +202,13 @@ class EstimationSpec:
         method = data["method"]
         config = data.get("config")
         engine = data.get("engine")
+        interface = data.get("interface")
         return cls(
             method=method,
             k=data["k"],
             aggregate=AggregateSpec.from_dict(data["aggregate"]),
             sampler=data.get("sampler", "uniform"),
+            interface=InterfaceSpec.from_dict(interface) if interface is not None else None,
             engine=QueryEngineConfig(**engine) if engine is not None else None,
             config=_CONFIG_TYPES[method](**config) if config is not None else None,
             seed=data.get("seed", 0),

@@ -4,11 +4,14 @@ LR-LBS-AGG, LNR-LBS-AGG, and the NNO baseline all run the same outer
 loop: draw sample points, evaluate each through the estimator's
 ``_sample_at``, push the contribution, trace progress, stop when a
 :class:`~repro.core.stopping.StoppingRule` fires.  Batching
-(``batch_size > 1``) additionally prefetches the kNN answers of whole
-blocks of points through the vectorized ``query_batch`` before
-evaluating them one by one against the warm cache.  Keeping the loop in
-one place keeps the subtle parts — budget clamping, mid-batch
-exhaustion, per-sample stop re-checks — in sync across drivers.
+(``batch_size > 1``) additionally pays for the kNN answers of whole
+blocks of points through the history's lazy-reveal ``prefetch`` before
+evaluating them one by one — each answer is only *revealed* (absorbed
+into history) when its sample is evaluated, so a batched run's knowledge
+at every sample is identical to the unbatched run's and estimates match
+bit for bit.  Keeping the loop in one place keeps the subtle parts —
+budget clamping, mid-batch exhaustion, per-sample stop re-checks — in
+sync across drivers.
 
 The loop is a *generator*: :func:`run_iter` yields a
 :class:`~repro.stats.Checkpoint` after every completed sample, so a
@@ -89,13 +92,13 @@ def run_iter(
     ``est`` supplies: ``interface``, ``sampler``, ``rng``, ``samples``,
     ``estimate()``, ``_sample_at(q)``, the ``_stat``/``_ratio``/``_trace``
     accumulators, and ``query.is_ratio``.  Prefetching requires an
-    ``est.history`` with ``query_batch``; drivers without one (NNO) pass
-    ``batch_size=1``.
+    ``est.history`` with the lazy-reveal ``prefetch``; drivers without
+    one (NNO) pass ``batch_size=1``.
 
     A sample interrupted by budget exhaustion is discarded (its partial
     queries still count, as they would against a real rate limit).  On
-    mid-prefetch exhaustion the paid prefix is already cached, so the
-    per-point loop below replays it for free and stops at the first
+    mid-prefetch exhaustion the paid prefix is already staged, so the
+    per-point loop below reveals it for free and stops at the first
     unpaid point — exactly like a sequential run.
 
     ``state_every=N`` attaches a full :meth:`~EstimationDriver.to_state`
@@ -140,7 +143,7 @@ def _drive(est, until, batch_size, state_every, start):
                 points = est.sampler.sample_batch(est.rng, b)
                 pending.extend(points)
                 try:
-                    est.history.query_batch(points)
+                    est.history.prefetch(points)
                 except BudgetExhausted:
                     pass
             else:
@@ -172,9 +175,9 @@ class EstimationDriver:
 
     Subclasses provide ``kind`` (the state tag), ``_sample_at``, the
     constructor wiring, optionally ``_effective_batch_size`` (LR
-    degrades batches under adaptive h, NNO cannot prefetch at all), and
-    the ``_state_extra``/``_load_state_extra`` pair for driver-specific
-    state.
+    degrades batches when history is off, NNO cannot prefetch at all),
+    and the ``_state_extra``/``_load_state_extra`` pair for
+    driver-specific state.
     """
 
     kind: str = ""
@@ -252,11 +255,17 @@ class EstimationDriver:
         spent inside cell computations.
 
         ``batch_size > 1`` draws that many sample points at once and
-        prefetches their kNN answers through the interface's vectorized
-        ``query_batch`` before evaluating them one by one (each
-        evaluation then hits the history cache).  Estimates change only
-        through the random stream (points are drawn up front); each
-        sample's contribution is computed by the same code path.
+        pays for their kNN answers through the interface's vectorized
+        ``query_batch``, revealing each answer only when its sample is
+        evaluated (the history's lazy-reveal split).  Because sample
+        points replay the single-draw stream and the oracles run on
+        their own RNG streams, every evaluated sample contributes
+        exactly what it would in an unbatched run, and sample-bound
+        runs (``MaxSamples``) are bit-identical to sequential ones.
+        Batching never changes what a sample means — but it does pay a
+        batch's queries up front, so a *query*-bound run (``MaxQueries``
+        or an interface budget) can stop up to a batch earlier than its
+        sequential twin.
 
         The pre-stopping-rule signature ``run(max_queries=...,
         n_samples=...)`` still works but is deprecated.
@@ -302,7 +311,9 @@ class EstimationDriver:
         """
         state = {
             "kind": self.kind,
-            "version": 1,
+            # v2: lazy-reveal prefetch (staged answers in the history
+            # state) and the LR oracle's own RNG stream.
+            "version": 2,
             "queries_start": queries_start,
             "rng": self.rng.bit_generator.state,
             "stat": self._stat.state_dict(),
@@ -325,6 +336,16 @@ class EstimationDriver:
         if state.get("kind") != self.kind:
             raise ValueError(
                 f"state is for a {state.get('kind')!r} driver, not {self.kind!r}"
+            )
+        version = state.get("version", 1)
+        if version != 2:
+            # v1 snapshots predate the lazy-reveal prefetch and the LR
+            # oracle's own RNG stream; resuming one here would silently
+            # diverge from its original run instead of being
+            # bit-identical, so refuse loudly.
+            raise ValueError(
+                f"cannot resume a version-{version} snapshot with this release "
+                "(state format v2); rerun from the spec instead"
             )
         self.rng.bit_generator.state = state["rng"]
         self._stat = RunningStat.from_state(state["stat"])

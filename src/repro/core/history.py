@@ -12,6 +12,22 @@ radius is ``max_radius`` itself.
 the exact location so repeated Theorem-1 vertex tests are free, which is
 legitimate "leveraging history" and is counted the way the paper counts
 queries (only network calls cost budget).
+
+The history is split into two views of a batch:
+
+* **draw points now** — :meth:`ObservationHistory.prefetch` pays for a
+  whole batch of answers through the interface's vectorized
+  ``query_batch`` and *stages* them, without absorbing anything;
+* **reveal answers lazily** — :meth:`ObservationHistory.query` consumes
+  a staged answer the moment its sample is actually evaluated, only then
+  recording what it reveals.
+
+The split makes a batched run's knowledge at every sample identical to
+the unbatched run's — which is what lets the LR adaptive-h rule (whose
+λ_h signal may only see *past* answers) prefetch batches soundly, and
+what makes batched estimates bit-identical to sequential ones.
+:meth:`query_batch` remains the absorb-immediately form for callers that
+want a batch's knowledge up front.
 """
 
 from __future__ import annotations
@@ -21,7 +37,7 @@ from collections import defaultdict
 from typing import Iterable, Optional
 
 from ..geometry import Disk, Point, distance
-from ..lbs import KnnInterface, QueryAnswer
+from ..lbs import BudgetExhausted, KnnInterface, QueryAnswer
 
 __all__ = ["DiskLedger", "ObservationHistory"]
 
@@ -76,6 +92,8 @@ class ObservationHistory:
         region = interface.region
         self.disks = DiskLedger(cell_size=max(region.width, region.height) / 64.0)
         self._cache: dict[tuple[float, float], QueryAnswer] = {}
+        #: Paid-for answers not yet revealed (see :meth:`prefetch`).
+        self._staged: dict[tuple[float, float], QueryAnswer] = {}
 
     # ------------------------------------------------------------------
     @property
@@ -90,15 +108,57 @@ class ObservationHistory:
 
     # ------------------------------------------------------------------
     def query(self, point: Point) -> QueryAnswer:
-        """Issue (or replay) a query and absorb everything it reveals."""
+        """Issue (or replay) a query and absorb everything it reveals.
+
+        A staged answer (paid for by :meth:`prefetch`) is *revealed*
+        here: recorded into the history at the moment its sample is
+        evaluated, exactly when an unbatched run would have learned it.
+        """
         key = (point.x, point.y)
         hit = self._cache.get(key)
         if hit is not None:
             return hit
-        answer = self.interface.query(point)
+        answer = self._staged.pop(key, None)
+        if answer is None:
+            answer = self.interface.query(point)
+        # Cache under the *queried* point too: the interface's snapped
+        # cache may return an answer computed for a nearby exact point
+        # (answer.query != point), and record() alone would key only by
+        # answer.query — the repeat query would then re-record and pile
+        # up duplicate known-disks.
         self._cache[key] = answer
         self.record(answer)
         return answer
+
+    def prefetch(self, points: Iterable[Point]) -> None:
+        """Draw-points-now half of the lazy-reveal split.
+
+        Pays for every genuinely new point through one vectorized
+        ``query_batch`` call, then stages the answers *without*
+        recording them — nothing is revealed until :meth:`query`
+        consumes each point.  When the budget cannot cover the whole
+        batch, exactly the affordable prefix is queried and staged (the
+        answers survive regardless of the interface cache's capacity)
+        before :class:`~repro.lbs.BudgetExhausted` is raised — the same
+        points a sequential loop would have answered before hitting the
+        first unpayable one.
+        """
+        pts = []
+        seen = set()
+        for p in points:
+            p = Point(*p)
+            key = (p.x, p.y)
+            if key not in self._cache and key not in self._staged and key not in seen:
+                seen.add(key)
+                pts.append(p)
+        if not pts:
+            return
+        paid = self.interface.affordable_prefix(pts)
+        if paid:
+            for p, answer in zip(pts[:paid], self.interface.query_batch(pts[:paid])):
+                self._staged[(p.x, p.y)] = answer
+        if paid < len(pts):
+            raise BudgetExhausted(self.interface.budget.limit)
 
     def query_batch(self, points: Iterable[Point]) -> list[QueryAnswer]:
         """Issue (or replay) a batch of queries through one engine call.
@@ -115,6 +175,14 @@ class ObservationHistory:
         seen = set()
         for p in pts:
             key = (p.x, p.y)
+            if key in self._staged:
+                # Reveal exactly like query(): cache under the requested
+                # key too (the staged answer may carry a snapped
+                # neighbour's query point), so the point never re-enters
+                # the miss list and never re-records.
+                answer = self._staged.pop(key)
+                self._cache[key] = answer
+                self.record(answer)
             if key not in self._cache and key not in seen:
                 seen.add(key)
                 missing.append(p)
@@ -139,6 +207,11 @@ class ObservationHistory:
     def _certified_radius(self, answer: QueryAnswer) -> Optional[float]:
         """Radius around the query point within which *all* tuples are
         among the returned (None when nothing can be certified)."""
+        if not self.interface.nearest_first:
+            # Prominence order: neither the k-th distance nor a short
+            # answer says anything about which tuples are *near* the
+            # query — certifying a disk here would record a falsehood.
+            return None
         k = self.interface.k
         max_radius = self.interface.max_radius
         if len(answer.results) < k:
@@ -159,20 +232,34 @@ class ObservationHistory:
         answer sequence, so :meth:`load_state_dict` rebuilds it by
         replaying :meth:`record` — reproducing even the dict insertion
         orders a resumed run's geometry code will iterate in.
+
+        Staged (paid-but-unrevealed) answers ride along separately —
+        keyed by the *requested* point, which can differ from the
+        answer's own query point when the interface's snapped cache
+        served a neighbour's answer — so a run paused mid-batch keeps
+        its prefetched answers even if the interface's LRU cache would
+        have evicted them.
         """
-        return {"answers": [a.to_state() for a in self._cache.values()]}
+        return {
+            "answers": [a.to_state() for a in self._cache.values()],
+            "staged": [[list(key), a.to_state()] for key, a in self._staged.items()],
+        }
 
     def load_state_dict(self, state: dict) -> None:
         """Restore :meth:`state_dict` onto a fresh (empty) history."""
         for entry in state["answers"]:
             self.record(QueryAnswer.from_state(entry))
+        for key, entry in state.get("staged", []):
+            self._staged[(key[0], key[1])] = QueryAnswer.from_state(entry)
 
     # ------------------------------------------------------------------
     def cached_answers(self) -> Iterable[QueryAnswer]:
         return self._cache.values()
 
     def reset_sample(self) -> None:
-        """Forget everything (used between samples when history is off)."""
+        """Forget everything learned (used between samples when history
+        is off).  Staged answers survive: they are paid-for service
+        replies, not knowledge — nothing was revealed yet."""
         if not self.enabled:
             self.locations.clear()
             self.attrs.clear()

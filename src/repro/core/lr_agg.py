@@ -64,7 +64,16 @@ class LrLbsAgg(EstimationDriver):
         self.config = config if config is not None else LrAggConfig()
         self.rng = np.random.default_rng(seed)
         self.history = ObservationHistory(interface, enabled=self.config.use_history)
-        self.oracle = TopHCellOracle(self.history, sampler, self.config, self.rng)
+        # The oracle's randomness (MC-bound probes) runs on its own
+        # stream: the sample-point stream then advances identically
+        # whether points are drawn one at a time or prefetched in
+        # batches, which makes batched estimates bit-identical to
+        # sequential ones.  (seed=None means entropy-seeded, as for
+        # the main stream.)
+        self.oracle_rng = np.random.default_rng(
+            [seed, 0x0AC1E] if seed is not None else None
+        )
+        self.oracle = TopHCellOracle(self.history, sampler, self.config, self.oracle_rng)
         self.selector = AdaptiveHSelector(self.oracle, interface.k, self.config)
         self._stat = RunningStat()
         self._ratio = RatioStat()
@@ -121,10 +130,12 @@ class LrLbsAgg(EstimationDriver):
     # ------------------------------------------------------------------
     def _effective_batch_size(self, batch_size: int) -> int:
         """Prefetch is skipped — batches degrade to size 1 — when history
-        is off (answers would be wiped between samples) or adaptive h is
-        on (its rule may only see *past* answers; prefetched ones would
-        leak)."""
-        if self.config.adaptive_h or not self.config.use_history:
+        is off (the ablation variants model an estimator that retains
+        nothing, so paying for whole batches up front would distort
+        their per-sample cost accounting).  Adaptive h batches soundly:
+        the history's lazy-reveal split keeps prefetched answers out of
+        the past-only snapshot until each sample is evaluated."""
+        if not self.config.use_history:
             return 1
         return batch_size
 
@@ -135,6 +146,7 @@ class LrLbsAgg(EstimationDriver):
             "h_cache": [[tid, h] for tid, h in self._h_cache.items()],
             "cell_cache": [[tid, h, v] for (tid, h), v in self._cell_cache.items()],
             "selector_observed": self.selector._observed.state_dict(),
+            "oracle_rng": self.oracle_rng.bit_generator.state,
         }
 
     def _load_state_extra(self, state: dict) -> None:
@@ -142,3 +154,4 @@ class LrLbsAgg(EstimationDriver):
         self._h_cache = {int(tid): int(h) for tid, h in state["h_cache"]}
         self._cell_cache = {(int(tid), int(h)): v for tid, h, v in state["cell_cache"]}
         self.selector._observed = RunningStat.from_state(state["selector_observed"])
+        self.oracle_rng.bit_generator.state = state["oracle_rng"]

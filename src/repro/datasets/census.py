@@ -103,13 +103,14 @@ class PopulationGrid:
         return cell.sample(rng)
 
     def sample_points(self, rng: np.random.Generator, n: int) -> list[Point]:
-        """Draw ``n`` points from the grid density (vectorized: one cell
-        choice and one in-cell uniform draw for the whole batch)."""
-        flats = rng.choice(self.nx * self.ny, size=n, p=self._flat_probs)
-        u = rng.random((n, 2))
-        out = []
-        for flat, (ux, uy) in zip(flats.tolist(), u):
-            i, j = divmod(flat, self.ny)
-            cell = self.cell_rect(i, j)
-            out.append(Point(cell.x0 + ux * self.cell_w, cell.y0 + uy * self.cell_h))
-        return out
+        """Draw ``n`` points, consuming the generator stream exactly like
+        ``n`` single :meth:`sample_point` draws.
+
+        The batched estimators' bit-identity guarantee (a sample-bound
+        batched run reproduces the sequential run) rests on the batch
+        draw replaying the single-draw stream; a vectorized layout
+        (one ``choice(size=n)`` + one ``random((n, 2))``) consumes the
+        stream differently and would silently change every sample.
+        Sampling is nowhere near the hot path — each sample point costs
+        multiple kNN queries and cell computations downstream."""
+        return [self.sample_point(rng) for _ in range(n)]

@@ -19,7 +19,7 @@ import numpy as np
 from ..core import LnrCellOracle, ObservationHistory, TupleLocalizer
 from ..core.config import LnrAggConfig
 from ..geometry import distance
-from ..lbs import LnrLbsInterface, ObfuscationModel
+from ..lbs import InterfaceSpec, ObfuscationModel
 from ..sampling import UniformSampler
 from .harness import ExperimentTable, World, poi_world
 
@@ -35,12 +35,18 @@ def localization_errors(
     seed: int = 3,
 ) -> np.ndarray:
     """Distances between inferred and *true* positions for sampled tuples."""
-    obf = (
-        ObfuscationModel(sigma=obfuscation_sigma, seed=seed)
-        if obfuscation_sigma > 0.0
-        else None
+    # The two services differ only in their declarative capability spec:
+    # a Places-like plain LNR vs a WeChat-like obfuscating one.
+    spec = InterfaceSpec(
+        kind="lnr",
+        k=k,
+        obfuscation=(
+            ObfuscationModel(sigma=obfuscation_sigma, seed=seed)
+            if obfuscation_sigma > 0.0
+            else None
+        ),
     )
-    api = LnrLbsInterface(world.db, k=k, obfuscation=obf)
+    api = spec.build(world.db)
     sampler = UniformSampler(world.region)
     history = ObservationHistory(api, enabled=True)
     config = LnrAggConfig(h=1, edge_error=edge_error)

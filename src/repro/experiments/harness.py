@@ -173,13 +173,14 @@ def cost_to_reach(
     stop at the budget).
 
     ``batch_size`` makes hot loops submit query batches through the
-    vectorized engine instead of single points.  Note that prefetching
-    shifts query *accounting*: a batch's kNN queries are all paid
-    before its first sample is traced, so trace-based costs read up to
-    ``batch_size`` queries higher (and end-of-run prefetched-but-
-    unevaluated points can go unused).  Keep the default of 1 when
-    reproducing the paper's cost curves exactly; use larger batches for
-    throughput studies.
+    vectorized engine instead of single points.  Since the lazy-reveal
+    history split, every evaluated sample contributes exactly what it
+    would sequentially; what shifts is payment *timing* — a batch's kNN
+    queries are all paid before its first sample is traced, so
+    trace-based cost readings run up to ``batch_size`` queries early
+    and a query-bound run can stop up to a batch sooner.  Keep the
+    default of 1 when reproducing the paper's cost curves exactly; use
+    larger batches for throughput studies.
     """
     per_target: dict[float, list[float]] = {t: [] for t in targets}
     for run in range(n_runs):

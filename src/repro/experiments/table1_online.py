@@ -30,7 +30,7 @@ from ..datasets import (
     is_category,
     subrect,
 )
-from ..lbs import LnrLbsInterface, LrLbsInterface, ObfuscationModel
+from ..lbs import InterfaceSpec, LrLbsInterface, ObfuscationModel
 from ..sampling import UniformSampler
 from .harness import ExperimentTable, World, poi_world, user_world
 
@@ -98,8 +98,12 @@ def run(
     truths["open_sunday"] = (res2.estimate, truth2)
 
     # -- WeChat: COUNT(users) and gender ratio (obfuscated LNR) ---------
-    obf = ObfuscationModel(sigma=1.0, seed=seed)
-    wechat_api = LnrLbsInterface(wechat.db, k=10, obfuscation=obf)
+    # The service itself is declarative: a rank-only top-10 interface
+    # with per-user position jitter (InterfaceSpec → build).
+    wechat_spec = InterfaceSpec(
+        kind="lnr", k=10, obfuscation=ObfuscationModel(sigma=1.0, seed=seed)
+    )
+    wechat_api = wechat_spec.build(wechat.db)
     wechat_sampler = UniformSampler(wechat.region)
     count_agg = LnrLbsAgg(wechat_api, wechat_sampler, AggregateQuery.count(),
                           LnrAggConfig(h=1), seed=seed)
@@ -108,7 +112,7 @@ def run(
     table.add("WeChat (sim)", "COUNT(users)", round(res3.estimate, 1), truth3, budget_social)
     truths["wechat_count"] = (res3.estimate, truth3)
 
-    ratio_agg = LnrLbsAgg(LnrLbsInterface(wechat.db, k=10, obfuscation=obf),
+    ratio_agg = LnrLbsAgg(wechat_spec.build(wechat.db),
                           wechat_sampler, AggregateQuery.avg("is_male"),
                           LnrAggConfig(h=1), seed=seed)
     res4 = ratio_agg.run(MaxQueries(budget_social), batch_size=batch_size)
@@ -119,7 +123,8 @@ def run(
 
     # -- Sina Weibo: same aggregates, max-radius limited -----------------
     weibo_radius = 0.25 * max(weibo.region.width, weibo.region.height)
-    weibo_api = LnrLbsInterface(weibo.db, k=20, max_radius=weibo_radius)
+    weibo_spec = InterfaceSpec(kind="lnr", k=20, max_radius=weibo_radius)
+    weibo_api = weibo_spec.build(weibo.db)
     weibo_sampler = UniformSampler(weibo.region)
     count5 = LnrLbsAgg(weibo_api, weibo_sampler, AggregateQuery.count(),
                        LnrAggConfig(h=1), seed=seed)
@@ -128,7 +133,7 @@ def run(
     table.add("Sina Weibo (sim)", "COUNT(users)", round(res5.estimate, 1), truth5, budget_social)
     truths["weibo_count"] = (res5.estimate, truth5)
 
-    ratio6 = LnrLbsAgg(LnrLbsInterface(weibo.db, k=20, max_radius=weibo_radius),
+    ratio6 = LnrLbsAgg(weibo_spec.build(weibo.db),
                        weibo_sampler, AggregateQuery.avg("is_male"),
                        LnrAggConfig(h=1), seed=seed)
     res6 = ratio6.run(MaxQueries(budget_social), batch_size=batch_size)

@@ -31,7 +31,9 @@ from __future__ import annotations
 from dataclasses import dataclass
 from typing import Hashable, Optional, Protocol, Sequence, runtime_checkable
 
-__all__ = ["SpatialIndex", "QueryEngineConfig", "make_index"]
+import numpy as np
+
+__all__ = ["SpatialIndex", "QueryEngineConfig", "make_index", "csr_from_range_lists"]
 
 #: One kNN / radius answer: ``(distance, item)``.
 Neighbor = tuple[float, Hashable]
@@ -61,6 +63,12 @@ class SpatialIndex(Protocol):
         self, points: Sequence[tuple[float, float]], radius: float
     ) -> list[list[Neighbor]]:
         """Per-point radius answers, identical to looped ``within_radius``."""
+
+    def range_batch_ids(self, points: Sequence[tuple[float, float]], radius: float):
+        """CSR form of ``range_batch``: ``(counts, items)`` NumPy arrays —
+        per-point in-radius item ids concatenated in answer order, with
+        no ``(distance, item)`` tuples materialized.  The candidate feed
+        for vectorized ranking kernels that re-score in bulk."""
 
 
 @dataclass(frozen=True)
@@ -101,6 +109,19 @@ class QueryEngineConfig:
             raise ValueError("cache_size must be non-negative")
         if self.snap_resolution is not None and self.snap_resolution <= 0.0:
             raise ValueError("snap_resolution must be positive")
+
+
+def csr_from_range_lists(lists: Sequence[Sequence[Neighbor]]) -> tuple:
+    """``(counts, items)`` CSR form of a ``range_batch`` result.
+
+    The shared adapter behind ``range_batch_ids`` on backends without a
+    native CSR kernel (KdTree, BruteForceIndex); GridIndex owns a
+    vectorized implementation that never builds the tuple lists.
+    """
+    counts = np.array([len(lst) for lst in lists], dtype=np.int64)
+    items = np.empty(int(counts.sum()), dtype=object)
+    items[:] = [item for lst in lists for _d, item in lst]
+    return counts, items
 
 
 def _backends() -> dict:

@@ -116,3 +116,12 @@ class BruteForceIndex:
                 )
                 results.append([(d, item) for _d2, item, d in seg])
         return results
+
+    def range_batch_ids(
+        self, points: Sequence[tuple[float, float]], radius: float
+    ) -> tuple[np.ndarray, np.ndarray]:
+        """CSR ``(counts, items)`` form of :meth:`range_batch` — per-point
+        in-radius item ids concatenated, no distance tuples built."""
+        from .base import csr_from_range_lists
+
+        return csr_from_range_lists(self.range_batch(points, radius))

@@ -358,8 +358,34 @@ class GridIndex:
             out.extend(self._range_chunk(pts[i : i + self._CHUNK], radius))
         return out
 
-    def _range_chunk(self, pts: list, radius: float) -> list[list[tuple[float, Hashable]]]:
-        m = len(pts)
+    def range_batch_ids(
+        self, points: Sequence[tuple[float, float]], radius: float
+    ) -> tuple[np.ndarray, np.ndarray]:
+        """CSR form of :meth:`range_batch`: ``(counts, items)``.
+
+        ``items`` concatenates every point's in-radius item ids in the
+        same per-point order as :meth:`range_batch`; ``counts[i]`` is
+        point *i*'s segment length.  No ``(distance, item)`` tuples are
+        materialized — this is the candidate-retrieval feed of
+        vectorized ranking kernels (e.g. prominence), which recompute
+        whatever scores they need in bulk.
+        """
+        pts = [(float(px), float(py)) for px, py in points]
+        if not pts or self._size == 0 or radius < 0.0:
+            return np.zeros(len(pts), dtype=np.int64), np.empty(0, dtype=object)
+        counts_parts, item_parts = [], []
+        for i in range(0, len(pts), self._CHUNK):
+            pq, prk, _d = self._range_chunk_raw(pts[i : i + self._CHUNK], radius)
+            counts_parts.append(np.bincount(pq, minlength=len(pts[i : i + self._CHUNK])))
+            item_parts.append(self._items_arr[prk])
+        return (
+            np.concatenate(counts_parts).astype(np.int64),
+            np.concatenate(item_parts) if item_parts else np.empty(0, dtype=object),
+        )
+
+    def _range_chunk_raw(self, pts: list, radius: float):
+        """Shared range kernel: per-point-grouped ``(qid, storage-rank,
+        distance)`` arrays in final answer order."""
         g = self._g
         qx = np.array([p[0] for p in pts], dtype=np.float64)
         qy = np.array([p[1] for p in pts], dtype=np.float64)
@@ -378,8 +404,13 @@ class GridIndex:
         pd2 = d2[keep]
         prk = self._rank[cand[keep]]
         order = np.lexsort((prk, pd2, pq))
-        ed = d[keep][order].tolist()
-        eit = [self._items[r] for r in prk[order].tolist()]
+        return pq[order], prk[order], d[keep][order]
+
+    def _range_chunk(self, pts: list, radius: float) -> list[list[tuple[float, Hashable]]]:
+        m = len(pts)
+        pq, prk, d = self._range_chunk_raw(pts, radius)
+        ed = d.tolist()
+        eit = [self._items[r] for r in prk.tolist()]
         ends = np.cumsum(np.bincount(pq, minlength=m)).tolist()
         out = []
         lo = 0

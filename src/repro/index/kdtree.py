@@ -23,6 +23,8 @@ import heapq
 import math
 from typing import Hashable, Sequence
 
+import numpy as np
+
 __all__ = ["KdTree"]
 
 
@@ -155,6 +157,15 @@ class KdTree:
         self, points: Sequence[tuple[float, float]], radius: float
     ) -> list[list[tuple[float, Hashable]]]:
         return [self.within_radius(x, y, radius) for x, y in points]
+
+    def range_batch_ids(
+        self, points: Sequence[tuple[float, float]], radius: float
+    ) -> tuple[np.ndarray, np.ndarray]:
+        """CSR ``(counts, items)`` form of :meth:`range_batch` (adapter
+        over the looped kernel; GridIndex owns the vectorized one)."""
+        from .base import csr_from_range_lists
+
+        return csr_from_range_lists(self.range_batch(points, radius))
 
     @staticmethod
     def _box_distance_sq(node: _Node, x: float, y: float) -> float:

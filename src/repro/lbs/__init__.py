@@ -11,7 +11,9 @@ from .interface import (
     QueryAnswer,
     ReturnedTuple,
 )
-from .ranking import ObfuscationModel, ProminenceRanking
+from .pipeline import AnswerPipeline, AttributeProjection
+from .ranking import DistanceRanking, ObfuscationModel, ProminenceRanking, RankingPolicy
+from .spec import InterfaceSpec, RankingSpec
 from .tuples import LbsTuple
 
 __all__ = [
@@ -26,6 +28,12 @@ __all__ = [
     "LnrLbsInterface",
     "QueryAnswer",
     "ReturnedTuple",
+    "AnswerPipeline",
+    "AttributeProjection",
+    "RankingPolicy",
+    "DistanceRanking",
     "ObfuscationModel",
     "ProminenceRanking",
+    "InterfaceSpec",
+    "RankingSpec",
 ]

@@ -14,25 +14,32 @@ radius ``max_radius`` (§5.3) outside which tuples are never returned.
 ``filtered`` produces a pass-through-condition view (§5.1) that shares the
 parent's budget, exactly like appending ``name=Starbucks`` to an API call.
 
-Each interface runs on a pluggable query engine
-(:class:`~repro.index.QueryEngineConfig`): a spatial-index backend picked
-by name or database size, a per-interface LRU answer cache (cache hits
-cost no budget — only network calls count, §2.1), and a vectorized
-``query_batch`` entry point used by the samplers and estimators' hot
-loops.
+Answers are computed by a composable
+:class:`~repro.lbs.pipeline.AnswerPipeline` — ranking policy
+(:class:`~repro.lbs.ranking.DistanceRanking` or
+:class:`~repro.lbs.ranking.ProminenceRanking`), radius truncation,
+attribute projection — every stage with matching scalar and batch
+kernels, so batched answers are bit-identical to looped ones for every
+capability combination.  This class keeps what the pipeline does not:
+the pluggable query engine (:class:`~repro.index.QueryEngineConfig` —
+spatial-index backend, per-interface LRU answer cache where hits cost no
+budget, §2.1) and the budget bookkeeping around ``query``/``query_batch``.
+
+The declarative description of an interface — all capabilities as one
+frozen JSON value — is :class:`~repro.lbs.spec.InterfaceSpec`.
 """
 
 from __future__ import annotations
 
-from dataclasses import dataclass
 from typing import Callable, Iterable, Optional, Sequence
 
-from ..geometry import Point, distance
+from ..geometry import Point
 from ..index import QueryEngineConfig, make_index
 from .budget import BudgetExhausted, QueryBudget
 from .cache import QueryAnswerCache
 from .database import SpatialDatabase
-from .ranking import ObfuscationModel, ProminenceRanking
+from .pipeline import AnswerPipeline, AttributeProjection, QueryAnswer, ReturnedTuple
+from .ranking import DistanceRanking, ObfuscationModel, ProminenceRanking
 from .tuples import LbsTuple
 
 __all__ = [
@@ -44,102 +51,6 @@ __all__ = [
 ]
 
 Predicate = Callable[[LbsTuple], bool]
-
-
-@dataclass(frozen=True)
-class ReturnedTuple:
-    """One entry of a kNN answer.
-
-    ``location``/``distance`` are ``None`` for LNR services.  ``attrs``
-    exposes the non-spatial attributes the service discloses (name,
-    gender, rating, ...).
-    """
-
-    rank: int
-    tid: int
-    attrs: dict
-    location: Optional[Point] = None
-    distance: Optional[float] = None
-
-    def to_state(self) -> dict:
-        """JSON-serializable form (attrs must hold JSON-safe values)."""
-        return {
-            "rank": self.rank,
-            "tid": self.tid,
-            "attrs": dict(self.attrs),
-            "loc": [self.location.x, self.location.y] if self.location is not None else None,
-            "dist": self.distance,
-        }
-
-    @classmethod
-    def from_state(cls, state: dict) -> "ReturnedTuple":
-        loc = state["loc"]
-        return cls(
-            rank=state["rank"],
-            tid=state["tid"],
-            attrs=dict(state["attrs"]),
-            location=Point(loc[0], loc[1]) if loc is not None else None,
-            distance=state["dist"],
-        )
-
-
-@dataclass(frozen=True)
-class QueryAnswer:
-    """A ranked kNN answer for one query location."""
-
-    query: Point
-    results: tuple[ReturnedTuple, ...]
-
-    def __len__(self) -> int:
-        return len(self.results)
-
-    def __iter__(self):
-        return iter(self.results)
-
-    def is_empty(self) -> bool:
-        return not self.results
-
-    def tids(self) -> list[int]:
-        return [r.tid for r in self.results]
-
-    def top(self) -> Optional[ReturnedTuple]:
-        return self.results[0] if self.results else None
-
-    def rank_of(self, tid: int) -> Optional[int]:
-        """1-based rank of ``tid`` in this answer, or ``None``."""
-        for r in self.results:
-            if r.tid == tid:
-                return r.rank
-        return None
-
-    def contains(self, tid: int) -> bool:
-        return self.rank_of(tid) is not None
-
-    def ranked_before(self, a: int, b: int) -> bool:
-        """True when tuple ``a`` appears and is ranked above ``b``.
-
-        If ``b`` is absent while ``a`` is present, ``a`` counts as ranked
-        before ``b`` (``b`` must then be farther than the k-th answer).
-        """
-        ra = self.rank_of(a)
-        rb = self.rank_of(b)
-        if ra is None:
-            return False
-        return rb is None or ra < rb
-
-    def to_state(self) -> dict:
-        """JSON-serializable form; floats round-trip exactly."""
-        return {
-            "q": [self.query.x, self.query.y],
-            "results": [r.to_state() for r in self.results],
-        }
-
-    @classmethod
-    def from_state(cls, state: dict) -> "QueryAnswer":
-        return cls(
-            Point(state["q"][0], state["q"][1]),
-            tuple(ReturnedTuple.from_state(r) for r in state["results"]),
-        )
 
 
 class KnnInterface:
@@ -159,6 +70,7 @@ class KnnInterface:
         prominence: Optional[dict] = None,
         visible_attrs: Optional[Sequence[str]] = None,
         engine: Optional[QueryEngineConfig] = None,
+        effective_locations: Optional[dict] = None,
     ):
         if k < 1:
             raise ValueError("k must be >= 1")
@@ -171,7 +83,12 @@ class KnnInterface:
         self.engine = engine if engine is not None else QueryEngineConfig()
 
         tuples = database.tuples()
-        if obfuscation is not None:
+        if effective_locations is not None:
+            # Pre-realized positions (a filtered() view inheriting its
+            # parent's jitters — the service drew each tuple's jitter
+            # once; a narrowed candidate set must not re-roll it).
+            self._locations = {t.tid: effective_locations[t.tid] for t in tuples}
+        elif obfuscation is not None:
             # Jitter, clamped to the service region: obfuscated positions
             # still live in the service's world.
             region = database.region
@@ -181,13 +98,25 @@ class KnnInterface:
             }
         else:
             self._locations = {t.tid: t.location for t in tuples}
-        self._prominence: Optional[ProminenceRanking] = None
-        if prominence is not None:
-            self._prominence = ProminenceRanking(tuples, self._locations, **prominence)
         self._index = make_index(
             [(p.x, p.y, tid) for tid, p in self._locations.items()],
             self.engine.index_backend,
             auto_brute_max=self.engine.auto_brute_max,
+        )
+        self._prominence_config = dict(prominence) if prominence is not None else None
+        if self._prominence_config is not None:
+            ranking = ProminenceRanking(
+                tuples, self._locations, index=self._index, **self._prominence_config
+            )
+        else:
+            ranking = DistanceRanking(self._index)
+        self.pipeline = AnswerPipeline(
+            ranking,
+            k,
+            max_radius,
+            AttributeProjection(
+                database, self._locations, self.visible_attrs, self.returns_location
+            ),
         )
         region = database.region
         resolution = (
@@ -207,6 +136,21 @@ class KnnInterface:
     @property
     def region(self):
         return self.database.region
+
+    @property
+    def ranking(self):
+        """The interface's ranking policy (the pipeline's first stage)."""
+        return self.pipeline.ranking
+
+    @property
+    def nearest_first(self) -> bool:
+        """Whether answers are ranked purely by distance.
+
+        The paper's estimators and the history's known-disk
+        certification (§3.2.4) rely on this: a prominence-ranked answer
+        says nothing about which tuples are *near* the query point.
+        """
+        return self._prominence_config is None
 
     def effective_location(self, tid: int) -> Point:
         """The position the service *ranks* with (tests/ground truth only)."""
@@ -241,8 +185,8 @@ class KnnInterface:
         Answers are identical to looping :meth:`query` (regression-tested
         in ``tests/lbs/test_query_cache.py``): cache hits are free,
         duplicate locations within the batch are answered once, and the
-        kNN search for all misses runs through the index's vectorized
-        ``knn_batch``.  If the budget cannot cover every miss, the
+        ranking for all misses runs through the pipeline's vectorized
+        batch kernels.  If the budget cannot cover every miss, the
         affordable prefix is answered (and cached — those queries *were*
         spent) before :class:`BudgetExhausted` is raised, exactly as a
         sequential loop would behave.
@@ -286,45 +230,44 @@ class KnnInterface:
             raise BudgetExhausted(self.budget.limit)
         return [answers[key] for key in keys]
 
+    def affordable_prefix(self, points: Iterable[Point]) -> int:
+        """How many leading ``points`` :meth:`query_batch` can answer in
+        full with the remaining budget.
+
+        Counts genuine misses only (cache hits and within-batch
+        duplicates of a hit are free; with the cache disabled every
+        point is a network call), without touching the budget, the
+        cache order, or its statistics — so callers can pay for exactly
+        the affordable prefix and preserve sequential-loop semantics
+        even when a batch would overrun the budget.
+        """
+        pts = [Point(*p) for p in points]
+        remaining = self.budget.remaining
+        if remaining is None:
+            return len(pts)
+        n = 0
+        misses = 0
+        seen: set = set()
+        for p in pts:
+            if self._cache.capacity == 0:
+                cost = 1
+            else:
+                key = self._cache.key(p.x, p.y)
+                cost = 0 if key in seen or self._cache.peek(key) is not None else 1
+                seen.add(key)
+            if misses + cost > remaining:
+                break
+            misses += cost
+            n += 1
+        return n
+
     def _answer(self, point: Point) -> QueryAnswer:
         """Compute one answer (no budget, no cache — plumbing only)."""
-        if self._prominence is not None:
-            ranked = self._prominence.rank(point, self.k)
-        else:
-            ranked = self._index.knn(point.x, point.y, self.k)
-        return self._build_answer(point, ranked)
+        return self.pipeline.answer(point)
 
     def _answer_batch(self, points: Sequence[Point]) -> list[QueryAnswer]:
         """Compute answers for many points (no budget, no cache)."""
-        if self._prominence is not None:
-            # Prominence re-ranking has no vectorized kernel.
-            return [self._answer(p) for p in points]
-        ranked_lists = self._index.knn_batch([(p.x, p.y) for p in points], self.k)
-        return [
-            self._build_answer(p, ranked) for p, ranked in zip(points, ranked_lists)
-        ]
-
-    def _build_answer(self, point: Point, ranked) -> QueryAnswer:
-        if self.max_radius is not None:
-            ranked = [(d, tid) for d, tid in ranked if d <= self.max_radius]
-        results = tuple(
-            self._make_result(rank, d, tid)
-            for rank, (d, tid) in enumerate(ranked, start=1)
-        )
-        return QueryAnswer(point, results)
-
-    def _make_result(self, rank: int, dist: float, tid: int) -> ReturnedTuple:
-        t = self.database.get(tid)
-        if self.visible_attrs is None:
-            attrs = dict(t.attrs)
-        else:
-            attrs = {a: t.attrs[a] for a in self.visible_attrs if a in t.attrs}
-        if self.returns_location:
-            return ReturnedTuple(
-                rank=rank, tid=tid, attrs=attrs,
-                location=self._locations[tid], distance=dist,
-            )
-        return ReturnedTuple(rank=rank, tid=tid, attrs=attrs)
+        return self.pipeline.answer_batch(points)
 
     # ------------------------------------------------------------------
     def engine_state(self) -> dict:
@@ -360,16 +303,28 @@ class KnnInterface:
         budget — like adding a keyword filter to the Places API call.
         The view gets its *own* answer cache (its answers come from a
         different database, so reusing the parent's would serve stale
-        results) but shares the engine configuration.
+        results) but shares the engine configuration and every service
+        capability: max_radius, obfuscation, visible attributes, and the
+        ranking policy — a prominence-ranked service keeps its scoring
+        function (including the popularity normalization observed on the
+        *full* database), and an obfuscating one keeps the *realized*
+        per-tuple jitters (each was drawn once, for good) when a filter
+        narrows the candidate set.
         """
+        prominence = None
+        if self._prominence_config is not None:
+            prominence = dict(self._prominence_config)
+            prominence["static_range"] = self.pipeline.ranking.static_range
         view = type(self)(
             self.database.filtered(predicate),
             self.k,
             budget=self.budget,
             max_radius=self.max_radius,
             obfuscation=self.obfuscation,
+            prominence=prominence,
             visible_attrs=self.visible_attrs,
             engine=self.engine,
+            effective_locations=self._locations,
         )
         return view
 

@@ -1,0 +1,218 @@
+"""The composable query-answering pipeline of a simulated service.
+
+A kNN answer is produced in three stages, each with a scalar and a batch
+kernel that return bit-identical results:
+
+1. **Ranking** — a :class:`~repro.lbs.ranking.RankingPolicy` produces the
+   top-k ``(distance, tid)`` candidates (Euclidean order or §5.3
+   prominence order, over true or obfuscated positions);
+2. **Radius truncation** — tuples beyond the service's ``max_radius``
+   (§5.3) are cut;
+3. **Projection / obfuscated reporting** — each survivor is rendered as a
+   :class:`ReturnedTuple`: attributes restricted to what the service
+   discloses (``visible_attrs``), locations/distances exposed only by
+   location-returning services — and always the *effective* (possibly
+   jittered) position, never the hidden truth.
+
+:class:`KnnInterface` composes these into its budget/cache machinery;
+capability combinations (prominence × max_radius × obfuscation ×
+visible_attrs) all flow through the same three stages, so the batched
+hot path never falls back to per-point Python.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Optional, Sequence
+
+from ..geometry import Point
+from .ranking import Ranked, RankingPolicy
+
+__all__ = [
+    "ReturnedTuple",
+    "QueryAnswer",
+    "AttributeProjection",
+    "AnswerPipeline",
+    "truncate_ranked",
+]
+
+
+@dataclass(frozen=True)
+class ReturnedTuple:
+    """One entry of a kNN answer.
+
+    ``location``/``distance`` are ``None`` for LNR services.  ``attrs``
+    exposes the non-spatial attributes the service discloses (name,
+    gender, rating, ...).
+    """
+
+    rank: int
+    tid: int
+    attrs: dict
+    location: Optional[Point] = None
+    distance: Optional[float] = None
+
+    def to_state(self) -> dict:
+        """JSON-serializable form (attrs must hold JSON-safe values)."""
+        return {
+            "rank": self.rank,
+            "tid": self.tid,
+            "attrs": dict(self.attrs),
+            "loc": [self.location.x, self.location.y] if self.location is not None else None,
+            "dist": self.distance,
+        }
+
+    @classmethod
+    def from_state(cls, state: dict) -> "ReturnedTuple":
+        loc = state["loc"]
+        return cls(
+            rank=state["rank"],
+            tid=state["tid"],
+            attrs=dict(state["attrs"]),
+            location=Point(loc[0], loc[1]) if loc is not None else None,
+            distance=state["dist"],
+        )
+
+
+@dataclass(frozen=True)
+class QueryAnswer:
+    """A ranked kNN answer for one query location."""
+
+    query: Point
+    results: tuple[ReturnedTuple, ...]
+
+    def __len__(self) -> int:
+        return len(self.results)
+
+    def __iter__(self):
+        return iter(self.results)
+
+    def is_empty(self) -> bool:
+        return not self.results
+
+    def tids(self) -> list[int]:
+        return [r.tid for r in self.results]
+
+    def top(self) -> Optional[ReturnedTuple]:
+        return self.results[0] if self.results else None
+
+    def rank_of(self, tid: int) -> Optional[int]:
+        """1-based rank of ``tid`` in this answer, or ``None``."""
+        for r in self.results:
+            if r.tid == tid:
+                return r.rank
+        return None
+
+    def contains(self, tid: int) -> bool:
+        return self.rank_of(tid) is not None
+
+    def ranked_before(self, a: int, b: int) -> bool:
+        """True when tuple ``a`` appears and is ranked above ``b``.
+
+        If ``b`` is absent while ``a`` is present, ``a`` counts as ranked
+        before ``b`` (``b`` must then be farther than the k-th answer).
+        """
+        ra = self.rank_of(a)
+        rb = self.rank_of(b)
+        if ra is None:
+            return False
+        return rb is None or ra < rb
+
+    def to_state(self) -> dict:
+        """JSON-serializable form; floats round-trip exactly."""
+        return {
+            "q": [self.query.x, self.query.y],
+            "results": [r.to_state() for r in self.results],
+        }
+
+    @classmethod
+    def from_state(cls, state: dict) -> "QueryAnswer":
+        return cls(
+            Point(state["q"][0], state["q"][1]),
+            tuple(ReturnedTuple.from_state(r) for r in state["results"]),
+        )
+
+
+def truncate_ranked(ranked: Sequence[Ranked], max_radius: Optional[float]) -> Sequence[Ranked]:
+    """The radius-truncation stage (§5.3): cut answers beyond the cap."""
+    if max_radius is None:
+        return ranked
+    return [(d, tid) for d, tid in ranked if d <= max_radius]
+
+
+class AttributeProjection:
+    """The projection / obfuscated-reporting stage.
+
+    Renders ranked ``(distance, tid)`` pairs as the service's public
+    answer: attributes filtered to ``visible_attrs``, locations and
+    distances exposed only when ``returns_location`` — and the exposed
+    location is always the *effective* one (obfuscated services report
+    their jittered positions, §6.3).
+    """
+
+    def __init__(
+        self,
+        database,
+        locations: dict[int, Point],
+        visible_attrs: Optional[tuple[str, ...]],
+        returns_location: bool,
+    ):
+        self.database = database
+        self.locations = locations
+        self.visible_attrs = visible_attrs
+        self.returns_location = returns_location
+
+    def result(self, rank: int, dist: float, tid: int) -> ReturnedTuple:
+        t = self.database.get(tid)
+        if self.visible_attrs is None:
+            attrs = dict(t.attrs)
+        else:
+            attrs = {a: t.attrs[a] for a in self.visible_attrs if a in t.attrs}
+        if self.returns_location:
+            return ReturnedTuple(
+                rank=rank, tid=tid, attrs=attrs,
+                location=self.locations[tid], distance=dist,
+            )
+        return ReturnedTuple(rank=rank, tid=tid, attrs=attrs)
+
+    def report(self, point: Point, ranked: Sequence[Ranked]) -> QueryAnswer:
+        results = tuple(
+            self.result(rank, d, tid) for rank, (d, tid) in enumerate(ranked, start=1)
+        )
+        return QueryAnswer(point, results)
+
+    def report_batch(
+        self, points: Sequence[Point], ranked_lists: Sequence[Sequence[Ranked]]
+    ) -> list[QueryAnswer]:
+        return [self.report(p, ranked) for p, ranked in zip(points, ranked_lists)]
+
+
+class AnswerPipeline:
+    """Ranking → radius truncation → projection, scalar and batched.
+
+    Pure answer computation: budget accounting and the LRU answer cache
+    stay in :class:`~repro.lbs.interface.KnnInterface`, which owns one
+    pipeline per interface (and one per ``filtered()`` view).
+    """
+
+    def __init__(
+        self,
+        ranking: RankingPolicy,
+        k: int,
+        max_radius: Optional[float],
+        projection: AttributeProjection,
+    ):
+        self.ranking = ranking
+        self.k = k
+        self.max_radius = max_radius
+        self.projection = projection
+
+    def answer(self, point: Point) -> QueryAnswer:
+        ranked = self.ranking.rank(point, self.k)
+        return self.projection.report(point, truncate_ranked(ranked, self.max_radius))
+
+    def answer_batch(self, points: Sequence[Point]) -> list[QueryAnswer]:
+        ranked_lists = self.ranking.rank_batch(points, self.k)
+        return self.projection.report_batch(
+            points, [truncate_ranked(r, self.max_radius) for r in ranked_lists]
+        )

@@ -1,27 +1,47 @@
-"""Ranking functions and location obfuscation for the simulated services.
+"""Ranking policies and location obfuscation for the simulated services.
 
-The default service ranks by Euclidean distance on *effective* locations.
+The answering pipeline's *ranking* stage is pluggable: every policy
+implements :class:`RankingPolicy` — top-k for one query point (``rank``)
+and for a whole batch (``rank_batch``), with the guarantee that the two
+kernels return bit-identical answers.
+
+* :class:`DistanceRanking` — the default Euclidean order, a thin wrapper
+  over the interface's spatial index (which already owns exact scalar
+  and vectorized kNN kernels).
+* :class:`ProminenceRanking` — the Google-Places "prominence" order of
+  paper §5.3: a weighted mix of a distance score and a static popularity
+  score.  Its batch kernel prunes candidates through the index's
+  ``range_batch`` and scores the survivors in one NumPy pass (see
+  :meth:`ProminenceRanking.rank_batch` for the exactness argument).
+
 Effective locations differ from true ones when the service obfuscates
 (WeChat-style, paper §6.3 "Localization Accuracy"): each tuple gets one
 fixed jitter, drawn once, so repeated queries are consistent — which is
 exactly what makes localization attacks *almost* work against WeChat and
 why Fig. 21 shows a bounded but non-zero error floor.
-
-:class:`ProminenceRanking` models the Google-Places "prominence" order of
-§5.3: a mix of a distance score and a static popularity score.
 """
 
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Optional, Sequence
+from typing import Optional, Protocol, Sequence, runtime_checkable
 
 import numpy as np
 
 from ..geometry import Point
+from ..index import SpatialIndex
 from .tuples import LbsTuple
 
-__all__ = ["ObfuscationModel", "ProminenceRanking"]
+__all__ = [
+    "ObfuscationModel",
+    "RankingPolicy",
+    "DistanceRanking",
+    "ProminenceRanking",
+]
+
+#: One ranked answer entry: ``(distance, tid)`` — the pair the pipeline's
+#: truncation and projection stages consume.
+Ranked = tuple[float, int]
 
 
 @dataclass(frozen=True)
@@ -37,17 +57,60 @@ class ObfuscationModel:
     clip: Optional[float] = None
 
     def effective_locations(self, tuples: Sequence[LbsTuple]) -> dict[int, Point]:
+        ordered = sorted(tuples, key=lambda t: t.tid)
         rng = np.random.default_rng(self.seed)
-        out: dict[int, Point] = {}
-        for t in sorted(tuples, key=lambda t: t.tid):
-            dx, dy = rng.normal(0.0, self.sigma, size=2)
-            if self.clip is not None:
-                norm = float(np.hypot(dx, dy))
-                if norm > self.clip > 0.0:
-                    dx *= self.clip / norm
-                    dy *= self.clip / norm
-            out[t.tid] = Point(t.location.x + float(dx), t.location.y + float(dy))
-        return out
+        # One (N, 2) draw.  The generator fills C-order, consuming the
+        # stream exactly like the historical per-tuple size-2 draws, so
+        # jitters are bit-identical to the pre-vectorization loop
+        # (regression-tested against an inline reference in
+        # tests/lbs/test_lbs.py).
+        offsets = rng.normal(0.0, self.sigma, size=(len(ordered), 2))
+        if self.clip is not None and self.clip > 0.0:
+            norms = np.hypot(offsets[:, 0], offsets[:, 1])
+            safe = np.where(norms > 0.0, norms, 1.0)
+            scale = np.where(norms > self.clip, self.clip / safe, 1.0)
+            offsets = offsets * scale[:, None]
+        return {
+            t.tid: Point(t.location.x + float(dx), t.location.y + float(dy))
+            for t, (dx, dy) in zip(ordered, offsets)
+        }
+
+    # ------------------------------------------------------------------
+    def to_dict(self) -> dict:
+        return {"sigma": self.sigma, "seed": self.seed, "clip": self.clip}
+
+    @classmethod
+    def from_dict(cls, data: dict) -> "ObfuscationModel":
+        return cls(sigma=data["sigma"], seed=data.get("seed", 0), clip=data.get("clip"))
+
+
+@runtime_checkable
+class RankingPolicy(Protocol):
+    """The pipeline's ranking stage: top-k candidates for query points."""
+
+    def rank(self, point: Point, k: int) -> list[Ranked]:
+        """Top-k as ``(distance, tid)`` pairs in service order."""
+
+    def rank_batch(self, points: Sequence[Point], k: int) -> list[list[Ranked]]:
+        """Per-point answers, bit-identical to looping :meth:`rank`."""
+
+
+class DistanceRanking:
+    """Euclidean nearest-first order (the default service ranking).
+
+    Delegates both kernels to the spatial index, which realizes the one
+    exact metric of :mod:`repro.index.base` — so looped and batched
+    answers are bit-identical by construction.
+    """
+
+    def __init__(self, index: SpatialIndex):
+        self.index = index
+
+    def rank(self, point: Point, k: int) -> list[Ranked]:
+        return self.index.knn(point.x, point.y, k)
+
+    def rank_batch(self, points: Sequence[Point], k: int) -> list[list[Ranked]]:
+        return self.index.knn_batch([(p.x, p.y) for p in points], k)
 
 
 class ProminenceRanking:
@@ -56,7 +119,14 @@ class ProminenceRanking:
     ``distance_score`` decays linearly from 1 at distance 0 to 0 at
     ``distance_cap`` (and stays 0 beyond — the paper's "0 to tuples more
     than 50 miles away").  ``static_attr`` supplies the popularity score,
-    normalized to [0, 1] over the database.
+    normalized to [0, 1] over ``static_range`` (by default the observed
+    attribute range of the database; ``filtered()`` views pass the
+    parent's range so a narrowed candidate set keeps the service's fixed
+    scoring function).
+
+    Distances use the index contract's exact metric — ``sqrt`` of
+    ``dx*dx + dy*dy`` (see :mod:`repro.index.base`) — which is what makes
+    the pruned batch kernel bit-identical to the full scalar scan.
     """
 
     def __init__(
@@ -67,28 +137,125 @@ class ProminenceRanking:
         weight_distance: float = 0.5,
         weight_static: float = 0.5,
         distance_cap: float = 50.0,
+        static_range: Optional[tuple[float, float]] = None,
+        index: Optional[SpatialIndex] = None,
     ):
+        if weight_distance < 0.0 or weight_static < 0.0:
+            raise ValueError("prominence weights must be non-negative")
+        if distance_cap <= 0.0:
+            raise ValueError("distance_cap must be positive")
+        self.static_attr = static_attr
         self.tids = np.array(sorted(locations), dtype=np.int64)
         by_tid = {t.tid: t for t in tuples}
         self.xs = np.array([locations[tid].x for tid in self.tids])
         self.ys = np.array([locations[tid].y for tid in self.tids])
         raw = np.array([float(by_tid[int(tid)].get(static_attr, 0.0)) for tid in self.tids])
-        spread = raw.max() - raw.min() if len(raw) else 0.0
-        self.static_scores = (raw - raw.min()) / spread if spread > 0 else np.zeros_like(raw)
+        if static_range is None:
+            lo = float(raw.min()) if len(raw) else 0.0
+            hi = float(raw.max()) if len(raw) else 0.0
+        else:
+            lo, hi = float(static_range[0]), float(static_range[1])
+        self.static_range = (lo, hi)
+        spread = hi - lo
+        self.static_scores = (raw - lo) / spread if spread > 0 else np.zeros_like(raw)
         self.weight_distance = weight_distance
         self.weight_static = weight_static
         self.distance_cap = distance_cap
+        self._index = index
+        # All tuples ordered by static-only score (the score of anything
+        # beyond the cap), descending, ties by ascending tid — the batch
+        # kernel's guaranteed-candidate list.
+        self._static_order = np.lexsort(
+            (self.tids, -(self.weight_static * self.static_scores))
+        )
+        # Expected in-cap candidate fraction: when the cap disk covers a
+        # sizeable share of the point cloud, range pruning retrieves
+        # nearly everything through per-candidate CSR plumbing and loses
+        # to the pure-NumPy full scan — fall back past the crossover.
+        if len(self.tids):
+            span = (float(self.xs.max() - self.xs.min()),
+                    float(self.ys.max() - self.ys.min()))
+            bbox_area = span[0] * span[1]
+            self._cap_fraction = (
+                min(1.0, np.pi * distance_cap**2 / bbox_area) if bbox_area > 0 else 1.0
+            )
+        else:
+            self._cap_fraction = 1.0
 
-    def rank(self, point: Point, k: int) -> list[tuple[float, int]]:
+    # ------------------------------------------------------------------
+    def _scores(self, dist: np.ndarray, static: np.ndarray) -> np.ndarray:
+        dscore = np.clip(1.0 - dist / self.distance_cap, 0.0, 1.0)
+        return self.weight_distance * dscore + self.weight_static * static
+
+    def rank(self, point: Point, k: int) -> list[Ranked]:
         """Top-k as ``(distance, tid)`` pairs ordered by descending score.
 
         Note the returned pairs still carry the *distance* (the interface
         decides whether to expose it); the ordering is by prominence.
         """
-        dist = np.hypot(self.xs - point.x, self.ys - point.y)
-        dscore = np.clip(1.0 - dist / self.distance_cap, 0.0, 1.0)
-        score = self.weight_distance * dscore + self.weight_static * self.static_scores
+        dx = self.xs - point.x
+        dy = self.ys - point.y
+        dist = np.sqrt(dx * dx + dy * dy)
+        score = self._scores(dist, self.static_scores)
         # Deterministic order: descending score, then ascending tid.
         order = np.lexsort((self.tids, -score))
         top = order[: max(k, 0)]
         return [(float(dist[i]), int(self.tids[i])) for i in top]
+
+    def rank_batch(self, points: Sequence[Point], k: int) -> list[list[Ranked]]:
+        """The vectorized kernel: prune, then score in one NumPy pass.
+
+        Exactness: a tuple beyond ``distance_cap`` scores exactly
+        ``w_s * static`` (its distance score clips to 0), so any tuple
+        that is neither within the cap (``range_batch``) nor among the
+        top-k of the static-only order cannot enter the top-k — each of
+        those k static-order tuples already beats it (their final score
+        only *gains* from ``w_d * dscore >= 0``, and on equal score the
+        static order's tid tie-break is the final order's tie-break).
+        Scoring the candidate union with the same elementwise IEEE
+        operations as :meth:`rank` therefore reproduces the full scan
+        bit for bit.
+        """
+        pts = [(p.x, p.y) for p in points]
+        m = len(pts)
+        n = int(self.tids.size)
+        kk = min(max(k, 0), n)
+        if not pts:
+            return []
+        if kk == 0:
+            return [[] for _ in pts]
+        if self._index is None or kk >= n or n <= 64 or self._cap_fraction >= 0.15:
+            # No index to prune with, nothing worth pruning, or a cap so
+            # wide that "pruning" would gather most of the database
+            # through CSR plumbing: the exact per-point full scan (pure
+            # NumPy over flat arrays) is the faster kernel there.
+            return [self.rank(Point(x, y), k) for x, y in pts]
+
+        # Candidate retrieval: everything within the cap (CSR form — no
+        # per-candidate tuples), plus the guaranteed static top-k.
+        cap_counts, cap_items = self._index.range_batch_ids(pts, self.distance_cap)
+        cap_pos = np.searchsorted(self.tids, cap_items.astype(np.int64))
+        cap_pt = np.repeat(np.arange(m), cap_counts)
+        top_static = self._static_order[:kk]
+        # Disjoint union: drop the (few) static-top tuples from the
+        # in-cap candidates rather than dedup the concatenation — kk is
+        # small, so the membership mask is one cheap broadcast.
+        keep = ~(cap_pos[:, None] == top_static[None, :]).any(axis=1)
+        flat = np.concatenate([cap_pos[keep], np.tile(top_static, m)])
+        pt_ids = np.concatenate([cap_pt[keep], np.repeat(np.arange(m), kk)])
+        counts = np.bincount(pt_ids, minlength=m)
+
+        px = np.array([x for x, _y in pts])
+        py = np.array([y for _x, y in pts])
+        dx = self.xs[flat] - px[pt_ids]
+        dy = self.ys[flat] - py[pt_ids]
+        dist = np.sqrt(dx * dx + dy * dy)
+        score = self._scores(dist, self.static_scores[flat])
+        # One global ordering pass: by point, then score desc, then tid.
+        order = np.lexsort((self.tids[flat], -score, pt_ids))
+        offsets = np.concatenate(([0], np.cumsum(counts)))
+        out = []
+        for pid in range(m):
+            seg = order[offsets[pid] : offsets[pid + 1]][:kk]
+            out.append([(float(dist[i]), int(self.tids[flat[i]])) for i in seg])
+        return out

@@ -38,11 +38,13 @@ class PointSampler(abc.ABC):
 
     def sample_batch(self, rng: np.random.Generator, n: int) -> list[Point]:
         """Draw ``n`` locations at once (feeds the estimators' batched
-        query prefetch).  Subclasses override with a vectorized draw; the
-        fallback loops :meth:`sample`.  Implementations may consume the
-        generator stream differently from ``n`` single draws — callers
-        must not rely on cross-mode reproducibility of the stream, only
-        on the distribution."""
+        query prefetch).  Implementations MUST consume the generator
+        stream exactly like ``n`` single :meth:`sample` draws — the
+        batched estimators' bit-identity guarantee (a sample-bound
+        batched run reproduces the sequential run) rests on it.  The
+        fallback loops :meth:`sample`; overrides may vectorize only
+        when the vectorized layout provably replays the same stream
+        (see :class:`~repro.sampling.uniform.UniformSampler`)."""
         return [self.sample(rng) for _ in range(n)]
 
     @abc.abstractmethod

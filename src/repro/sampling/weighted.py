@@ -38,7 +38,8 @@ class GridWeightedSampler(PointSampler):
         return self.grid.sample_point(rng)
 
     def sample_batch(self, rng: np.random.Generator, n: int) -> list[Point]:
-        # Same density as n single draws, different generator-stream layout.
+        # Replays the single-draw stream exactly (see sample_points), so
+        # batched census-weighted runs reproduce sequential ones.
         return self.grid.sample_points(rng, n)
 
     def density(self, p: Point) -> float:

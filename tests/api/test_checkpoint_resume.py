@@ -11,7 +11,7 @@ import json
 
 import pytest
 
-from repro.api import MaxQueries, MaxSamples, Session
+from repro.api import MaxQueries, MaxSamples, ObfuscationModel, RankingSpec, Session
 from repro.core import (
     AggregateQuery,
     LnrLbsAgg,
@@ -57,13 +57,16 @@ class TestDriverRoundTrips:
         res = _round_trip(make, MaxSamples(30), batch_size)
         assert res.samples == 30
 
-    def test_lr_adaptive_h(self, small_db, box):
+    @pytest.mark.parametrize("batch_size", [1, 8])
+    def test_lr_adaptive_h(self, small_db, box, batch_size):
+        # Adaptive h now prefetches batches (lazy-reveal history); the
+        # paused-mid-batch state must carry the staged answers along.
         def make():
             return LrLbsAgg(LrLbsInterface(small_db, k=5), UniformSampler(box),
                             AggregateQuery.count(),
                             LrAggConfig(adaptive_h=True), seed=2)
 
-        _round_trip(make, MaxSamples(20), batch_size=1)
+        _round_trip(make, MaxSamples(20), batch_size=batch_size)
 
     @pytest.mark.parametrize("batch_size", [1, 8])
     def test_lr_query_budget(self, small_db, box, batch_size):
@@ -98,6 +101,20 @@ class TestDriverRoundTrips:
                             AggregateQuery.avg("value"), seed=0)
 
         _round_trip(make, MaxSamples(25), batch_size=8)
+
+    def test_state_rejects_stale_version(self, small_db, box):
+        # v1 snapshots predate the lazy-reveal prefetch and the LR
+        # oracle's private RNG stream; resuming one would silently
+        # diverge, so load_state must refuse.
+        est = LrLbsAgg(LrLbsInterface(small_db, k=5), UniformSampler(box),
+                       AggregateQuery.count(), seed=0)
+        est.run(MaxSamples(3))
+        state = est.to_state()
+        state["version"] = 1
+        fresh = LrLbsAgg(LrLbsInterface(small_db, k=5), UniformSampler(box),
+                         AggregateQuery.count(), seed=0)
+        with pytest.raises(ValueError, match="version"):
+            fresh.load_state(state)
 
     def test_state_rejects_wrong_driver(self, small_db, box):
         lr = LrLbsAgg(LrLbsInterface(small_db, k=5), UniformSampler(box),
@@ -155,3 +172,60 @@ class TestSessionRoundTrips:
         partial = run.result()
         assert partial.samples == 7
         assert partial.queries == run.queries_spent
+
+
+class TestCapabilitySessionRoundTrips:
+    """Pause/resume through interface capabilities held in the spec."""
+
+    def test_prominence_lnr_with_obfuscation_resumes_bit_identically(self, small_db):
+        # The full WeChat/Places-style surface: rank-only answers over a
+        # prominence order, obfuscated positions, projected attributes —
+        # all declarative, all restored from JSON on resume.
+        session = (
+            Session(small_db)
+            .lnr(k=4)
+            .service(
+                obfuscation=ObfuscationModel(sigma=1.5, seed=3),
+                visible_attrs=("category", "value"),
+                ranking=RankingSpec.prominence("value", 0.6, 0.4, 30.0),
+            )
+            .count()
+            .seed(11)
+            .batch(4)
+        )
+        straight = session.run(MaxSamples(12))
+
+        run = session.start(MaxSamples(12))
+        for cp in run:
+            if cp.samples >= 5:
+                break
+        state = json.loads(json.dumps(run.to_state()))
+        assert state["spec"]["interface"]["ranking"]["policy"] == "prominence"
+        resumed = Session.resume(small_db, state).run()
+        _assert_same_result(resumed, straight)
+
+    def test_max_radius_lr_resumes_bit_identically(self, small_db):
+        session = (
+            Session(small_db).lr(k=5).service(max_radius=25.0).count().seed(4)
+        )
+        straight = session.run(MaxSamples(15))
+        run = session.start(MaxSamples(15))
+        for cp in run:
+            if cp.samples >= 6:
+                break
+        state = json.loads(json.dumps(run.to_state()))
+        resumed = Session.resume(small_db, state).run()
+        _assert_same_result(resumed, straight)
+
+    def test_batched_session_equals_sequential_session(self, small_db):
+        # batch() is pure throughput: the spec's batch_size must not
+        # change the result, interface capabilities included.
+        base = (
+            Session(small_db).lr(k=5)
+            .service(max_radius=30.0)
+            .count().seed(9)
+        )
+        seq = base.run(MaxSamples(20))
+        bat = base.batch(8).run(MaxSamples(20))
+        assert bat.estimate == seq.estimate
+        assert bat.queries == seq.queries

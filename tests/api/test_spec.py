@@ -4,9 +4,17 @@ import json
 
 import pytest
 
-from repro.api import AggregateSpec, EstimationSpec, Session
+from repro.api import (
+    AggregateSpec,
+    EstimationSpec,
+    InterfaceSpec,
+    ObfuscationModel,
+    RankingSpec,
+    Session,
+)
 from repro.core import AttrEquals, LnrAggConfig, LrAggConfig, NnoConfig, QueryEngineConfig
 from repro.datasets import is_brand, is_category
+from repro.lbs import LnrLbsInterface, ProminenceRanking
 
 
 class TestAggregateSpec:
@@ -80,6 +88,36 @@ class TestEstimationSpec:
         spec = EstimationSpec()
         assert EstimationSpec.from_dict(spec.to_dict()) == spec
 
+    def test_interface_round_trip(self):
+        spec = EstimationSpec(
+            method="lnr",
+            k=8,
+            interface=InterfaceSpec(
+                kind="lnr", k=8, max_radius=9.0,
+                visible_attrs=("gender",),
+                obfuscation=ObfuscationModel(sigma=1.0, seed=2),
+                ranking=RankingSpec.prominence("rating"),
+            ),
+        )
+        assert EstimationSpec.from_json(spec.to_json()) == spec
+
+    def test_interface_kind_must_match_method(self):
+        with pytest.raises(ValueError, match="interface"):
+            EstimationSpec(method="lr", interface=InterfaceSpec(kind="lnr"))
+        # NNO reads locations, so it runs against an LR interface.
+        with pytest.raises(ValueError, match="interface"):
+            EstimationSpec(method="nno", interface=InterfaceSpec(kind="lnr"))
+
+    def test_interface_k_must_match_spec_k(self):
+        with pytest.raises(ValueError, match="k="):
+            EstimationSpec(method="lr", k=5, interface=InterfaceSpec(kind="lr", k=3))
+
+    def test_interface_spec_defaults_to_plain_service(self):
+        spec = EstimationSpec(method="lnr", k=7)
+        derived = spec.interface_spec()
+        assert derived.kind == "lnr" and derived.k == 7
+        assert derived.obfuscation is None and derived.max_radius is None
+
 
 class TestSessionBuilder:
     def test_fluent_chain_is_immutable(self, small_db):
@@ -131,6 +169,45 @@ class TestSessionBuilder:
         assert isinstance(est, LrLbsAgg) and est.interface.k == 3
         est = Session(small_db).lnr(k=4).count().build()
         assert isinstance(est, LnrLbsAgg)
+
+    def test_service_derives_kind_and_k(self, small_db):
+        spec = (
+            Session(small_db)
+            .lnr(k=6)
+            .service(obfuscation=ObfuscationModel(sigma=1.0), visible_attrs=["gender"])
+            .spec
+        )
+        assert spec.interface.kind == "lnr" and spec.interface.k == 6
+        assert spec.interface.visible_attrs == ("gender",)
+
+    def test_service_tracks_later_method_changes(self, small_db):
+        session = (
+            Session(small_db).lr(k=3)
+            .service(ranking=RankingSpec.prominence("value"))
+            .lnr(k=5)
+        )
+        iface = session.spec.interface
+        assert iface.kind == "lnr" and iface.k == 5
+        assert iface.ranking.policy == "prominence"
+
+    def test_service_rejects_spec_plus_kwargs(self, small_db):
+        with pytest.raises(ValueError, match="not both"):
+            Session(small_db).lr().service(InterfaceSpec(), max_radius=5.0)
+
+    def test_build_constructs_capability_interface(self, small_db):
+        est = (
+            Session(small_db)
+            .lnr(k=4)
+            .service(
+                obfuscation=ObfuscationModel(sigma=2.0, seed=1),
+                ranking=RankingSpec.prominence("value"),
+            )
+            .count()
+            .build()
+        )
+        assert isinstance(est.interface, LnrLbsInterface)
+        assert isinstance(est.interface.ranking, ProminenceRanking)
+        assert est.interface.obfuscation is not None
 
     def test_pass_through_builds_filtered_view(self, small_db):
         est = (

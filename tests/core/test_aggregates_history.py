@@ -90,6 +90,111 @@ class TestObservationHistory:
         hist.query(Point(50, 50))
         assert not hist.locations
 
+    def test_snapped_neighbour_point_cached_under_queried_key(self, small_db):
+        # The interface's snapped cache can serve a point an answer
+        # computed for a *different* exact location; the history must
+        # cache it under the queried key too, or every repeat would
+        # re-record the answer and pile up duplicate known-disks.
+        from repro.lbs import QueryEngineConfig
+
+        api = LrLbsInterface(
+            small_db, k=3, engine=QueryEngineConfig(snap_resolution=1.0)
+        )
+        hist = ObservationHistory(api)
+        p1, p2 = Point(10.0, 10.0), Point(10.2, 10.1)  # same snapped cell
+        a1 = hist.query(p1)
+        a2 = hist.query(p2)
+        assert a2 is a1  # served from the snapped interface cache
+        disks_before = hist.disks.count
+        hist.query(p2)  # repeat must hit the history cache...
+        hist.query(p2)
+        assert hist.disks.count == disks_before  # ...not re-record
+
+    def test_prefetch_stages_without_revealing(self, small_db):
+        hist = ObservationHistory(LrLbsInterface(small_db, k=3))
+        pts = [Point(10, 10), Point(60, 60)]
+        hist.prefetch(pts)
+        assert not hist.locations and hist.disks.count == 0  # nothing revealed
+        assert hist.queries_used == 2  # but fully paid for
+        hist.query(pts[0])
+        assert hist.locations and hist.disks.count == 1  # revealed on use
+        assert hist.queries_used == 2  # for free
+
+    def test_prefetch_exhaustion_stages_sequential_prefix(self, small_db):
+        # Mid-batch exhaustion must pay for — and keep — exactly the
+        # prefix a sequential loop would have afforded, even with the
+        # interface answer cache disabled (staging does not rely on it).
+        from repro.lbs import BudgetExhausted, QueryBudget, QueryEngineConfig
+
+        api = LrLbsInterface(small_db, k=3, budget=QueryBudget(2),
+                             engine=QueryEngineConfig(cache_size=0))
+        hist = ObservationHistory(api)
+        pts = [Point(10, 10), Point(60, 60), Point(30, 80)]
+        with pytest.raises(BudgetExhausted):
+            hist.prefetch(pts)
+        assert api.queries_used == 2
+        # The paid prefix is staged: revealing it costs nothing.
+        hist.query(pts[0])
+        hist.query(pts[1])
+        assert api.queries_used == 2
+        with pytest.raises(BudgetExhausted):
+            hist.query(pts[2])
+
+    def test_query_batch_reveals_staged_snapped_point_once(self, small_db):
+        # Revealing a staged answer through query_batch must behave like
+        # query(): cached under the requested key, recorded exactly once
+        # — even when the staged answer carries a snapped neighbour's
+        # query point.
+        from repro.lbs import QueryEngineConfig
+
+        api = LrLbsInterface(
+            small_db, k=3, engine=QueryEngineConfig(snap_resolution=1.0)
+        )
+        hist = ObservationHistory(api)
+        hist.query(Point(10.0, 10.0))
+        hist.prefetch([Point(10.2, 10.1)])  # snapped hit: staged, free
+        hist.query_batch([Point(10.2, 10.1), Point(10.2, 10.1)])
+        after_reveal = hist.disks.count  # reveal records (at most) once
+        hist.query_batch([Point(10.2, 10.1)])
+        hist.query_batch([Point(10.2, 10.1)])
+        assert hist.disks.count == after_reveal  # repeats never re-record
+        assert api.queries_used == 1  # and never re-pay
+
+    def test_staged_snapped_answer_survives_state_round_trip(self, small_db):
+        # Staged answers are keyed by the *requested* point; the state
+        # round trip must preserve that key even when it differs from
+        # the answer's own query point.
+        from repro.lbs import QueryEngineConfig
+
+        def make():
+            api = LrLbsInterface(
+                small_db, k=3, engine=QueryEngineConfig(snap_resolution=1.0)
+            )
+            return ObservationHistory(api)
+
+        hist = make()
+        hist.query(Point(10.0, 10.0))
+        hist.prefetch([Point(10.2, 10.1)])
+        state = hist.state_dict()
+        restored = make()
+        restored.load_state_dict(state)
+        assert set(restored._staged) == {(10.2, 10.1)}
+
+    def test_prominence_answers_certify_no_disks(self, small_db):
+        # A prominence-ranked answer is not nearest-first: its k-th
+        # distance (or a short answer) says nothing about which tuples
+        # are near the query, so no known disk may be recorded.
+        api = LrLbsInterface(
+            small_db, k=3,
+            prominence={"static_attr": "value", "weight_distance": 0.3,
+                        "weight_static": 0.7, "distance_cap": 20.0},
+        )
+        hist = ObservationHistory(api)
+        hist.query(Point(50, 50))
+        hist.query(Point(20, 80))
+        assert hist.disks.count == 0
+        assert hist.locations  # locations themselves are still truthful
+
     def test_known_disk_radius_is_kth_distance(self, small_db):
         api = LrLbsInterface(small_db, k=3)
         hist = ObservationHistory(api)

@@ -68,17 +68,22 @@ class TestLrCountBands:
         estimates = [self._run(batch_size=16, seed=s).estimate for s in range(4)]
         assert float(np.mean(estimates)) == pytest.approx(60, rel=0.15)
 
-    def test_batched_prefetch_never_costs_extra_queries(self):
-        # Prefetching records whole batches into history up front, which
-        # can only add knowledge — the paid query count must not grow.
+    def test_batched_matches_sequential_exactly(self):
+        # The lazy-reveal prefetch keeps a batched run's knowledge at
+        # every sample identical to the unbatched run's, and the oracle
+        # runs on its own RNG stream — so batching changes *nothing*
+        # observable but the timing of query spending.
         seq = self._run(batch_size=1)
         bat = self._run(batch_size=32)
-        assert bat.queries <= seq.queries
+        assert bat.estimate == seq.estimate
+        assert bat.samples == seq.samples
+        assert bat.queries == seq.queries
 
-    def test_adaptive_h_falls_back_to_sequential(self):
-        # With adaptive h the prefetch would leak future answers into the
-        # past-only snapshot; run() must degrade to batch_size=1 and
-        # produce the exact sequential result.
+    def test_adaptive_h_batches_bit_identically(self):
+        # Adaptive h may only see *past* answers; the lazy-reveal split
+        # keeps prefetched answers unrevealed until their sample runs,
+        # so batched adaptive-h runs reproduce the sequential run
+        # exactly instead of degrading to batch_size=1.
         db = make_db(60)
         config = LrAggConfig(adaptive_h=True)
 
@@ -88,7 +93,37 @@ class TestLrCountBands:
                            config=config, seed=2)
             return agg.run(n_samples=30, batch_size=bs)
 
-        assert run(16).estimate == run(1).estimate
+        seq = run(1)
+        bat = run(16)
+        assert bat.estimate == seq.estimate
+        assert bat.queries == seq.queries
+
+    @pytest.mark.parametrize("cache_size", [0, 4, 65536])
+    def test_batched_matches_sequential_whatever_the_cache(self, cache_size):
+        # The lazy-reveal staging must not depend on the interface's
+        # LRU cache: sample-bound batched runs reproduce sequential
+        # ones even with the cache disabled or tiny.
+        db = make_db(60)
+
+        def run(bs):
+            api = LrLbsInterface(
+                db, k=5, engine=QueryEngineConfig(cache_size=cache_size)
+            )
+            agg = LrLbsAgg(api, UniformSampler(BOX), AggregateQuery.count(), seed=1)
+            return agg.run(n_samples=10, batch_size=bs)
+
+        seq, bat = run(1), run(8)
+        assert bat.estimate == seq.estimate
+        assert bat.queries == seq.queries
+
+    def test_history_off_still_degrades_to_sequential(self):
+        # The ablation variants retain nothing between samples; batch
+        # prefetch stays disabled so their cost accounting is untouched.
+        db = make_db(60)
+        api = LrLbsInterface(db, k=5)
+        agg = LrLbsAgg(api, UniformSampler(BOX), AggregateQuery.count(),
+                       config=LrAggConfig(use_history=False), seed=2)
+        assert agg._effective_batch_size(16) == 1
 
 
 class TestLnrCountBands:
@@ -141,3 +176,36 @@ class TestRunArgumentValidation:
         rng = np.random.default_rng(7)
         singles = [sampler.sample(rng) for _ in range(20)]
         assert batch == singles
+
+    def test_census_sample_batch_replays_single_stream(self):
+        # The bit-identity guarantee covers census-weighted runs too:
+        # the weighted batch draw must consume the stream exactly like
+        # single draws.
+        from repro.datasets import PopulationGrid
+        from repro.sampling import GridWeightedSampler
+
+        weights = np.arange(1.0, 13.0).reshape(4, 3)
+        sampler = GridWeightedSampler(PopulationGrid(BOX, weights))
+        batch = sampler.sample_batch(np.random.default_rng(7), 20)
+        rng = np.random.default_rng(7)
+        singles = [sampler.sample(rng) for _ in range(20)]
+        assert batch == singles
+
+    def test_census_batched_run_matches_sequential(self):
+        # End to end: a census-weighted sample-bound batched run is
+        # bit-identical to its sequential twin.
+        from repro.datasets import PopulationGrid
+        from repro.sampling import GridWeightedSampler
+
+        db = make_db(60)
+        weights = 1.0 + np.random.default_rng(5).random((6, 5))
+        sampler = GridWeightedSampler(PopulationGrid(BOX, weights))
+
+        def run(bs):
+            api = LrLbsInterface(db, k=5)
+            agg = LrLbsAgg(api, sampler, AggregateQuery.count(), seed=3)
+            return agg.run(n_samples=12, batch_size=bs)
+
+        seq, bat = run(1), run(8)
+        assert bat.estimate == seq.estimate
+        assert bat.queries == seq.queries

@@ -126,6 +126,22 @@ class TestRadiusEquivalence:
             assert index.within_radius(0, 0, -1.0) == []
             assert index.range_batch([(0, 0)], -1.0) == [[]]
 
+    @given(
+        st.lists(st.tuples(coord, coord), min_size=1, max_size=40),
+        st.lists(st.tuples(coord, coord), max_size=8),
+        st.floats(min_value=0, max_value=120),
+    )
+    @settings(max_examples=40, deadline=None)
+    def test_range_batch_ids_matches_range_batch(self, raw, queries, r):
+        # The CSR form must carry exactly range_batch's items, in its
+        # per-point order — every backend, empty query lists included.
+        pts = [(x, y, i) for i, (x, y) in enumerate(raw)]
+        for index in build_all(pts):
+            lists = index.range_batch(queries, r)
+            counts, items = index.range_batch_ids(queries, r)
+            assert counts.tolist() == [len(lst) for lst in lists]
+            assert items.tolist() == [tid for lst in lists for _d, tid in lst]
+
 
 class TestClusteredEquivalence:
     """The estimator workloads are clustered; hammer that shape too."""

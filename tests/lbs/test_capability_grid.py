@@ -1,0 +1,167 @@
+"""Property-based capability grid: batched answers are bit-identical.
+
+Every combination of service capabilities — ranking policy (distance |
+prominence), ``max_radius``, obfuscation, ``visible_attrs`` — over both
+interface families (LR and LNR) must answer ``query_batch`` exactly as a
+loop of single ``query`` calls would: same tuples, same ranks, same
+attrs, same (possibly suppressed) locations and distances, bit for bit.
+This is the contract that lets the estimators prefetch whole batches
+through the vectorized pipeline without changing what any sample means.
+"""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.geometry import Point, Rect
+from repro.lbs import (
+    LbsTuple,
+    LnrLbsInterface,
+    LrLbsInterface,
+    ObfuscationModel,
+    ProminenceRanking,
+    SpatialDatabase,
+)
+
+BOX = Rect(0, 0, 100, 100)
+
+coord = st.floats(min_value=0, max_value=100, allow_nan=False)
+
+#: Cap small relative to the region (~4.5% coverage) so the *pruned*
+#: batch kernel — not its wide-cap full-scan fallback — is what the
+#: property grid exercises.
+PROMINENCE = {
+    "static_attr": "popularity",
+    "weight_distance": 0.6,
+    "weight_static": 0.4,
+    "distance_cap": 12.0,
+}
+
+#: The full capability grid (16 combinations), spelled out so a failure
+#: names its cell.
+GRID = [
+    pytest.param(prom, radius, obf, vis,
+                 id=f"prom={prom}-radius={radius}-obf={obf}-vis={vis}")
+    for prom in (False, True)
+    for radius in (False, True)
+    for obf in (False, True)
+    for vis in (False, True)
+]
+
+
+def make_db(n=70, seed=0):
+    rng = np.random.default_rng(seed)
+    return SpatialDatabase(
+        [
+            LbsTuple(
+                i,
+                Point(rng.random() * 100, rng.random() * 100),
+                {"idx": i, "popularity": float(rng.random()), "even": i % 2 == 0},
+            )
+            for i in range(n)
+        ],
+        BOX,
+    )
+
+
+DB = make_db()
+
+
+def interface_kwargs(prom, radius, obf, vis):
+    kwargs = {}
+    if prom:
+        kwargs["prominence"] = dict(PROMINENCE)
+    if radius:
+        kwargs["max_radius"] = 18.0
+    if obf:
+        kwargs["obfuscation"] = ObfuscationModel(sigma=2.0, seed=5)
+    if vis:
+        kwargs["visible_attrs"] = ("idx", "popularity")
+    return kwargs
+
+
+class TestCapabilityGridBatchEquivalence:
+    @pytest.mark.parametrize("cls", [LrLbsInterface, LnrLbsInterface])
+    @pytest.mark.parametrize("prom,radius,obf,vis", GRID)
+    @given(raw=st.lists(st.tuples(coord, coord), min_size=1, max_size=10))
+    @settings(max_examples=15, deadline=None)
+    def test_batched_equals_looped(self, cls, prom, radius, obf, vis, raw):
+        points = [Point(x, y) for x, y in raw]
+        kwargs = interface_kwargs(prom, radius, obf, vis)
+        loop_api = cls(DB, k=4, **kwargs)
+        looped = [loop_api.query(p) for p in points]
+        batched = cls(DB, k=4, **kwargs).query_batch(points)
+        assert batched == looped
+
+    @pytest.mark.parametrize("prom,radius,obf,vis", GRID)
+    def test_duplicates_and_revisits(self, prom, radius, obf, vis):
+        # Repeated locations inside and across batches must replay the
+        # identical answer object for free.
+        kwargs = interface_kwargs(prom, radius, obf, vis)
+        api = LrLbsInterface(DB, k=3, **kwargs)
+        p = Point(33.0, 41.0)
+        first = api.query(p)
+        used = api.queries_used
+        again = api.query_batch([p, Point(70.0, 9.0), p])
+        assert again[0] == first == again[2]
+        assert api.queries_used == used + 1  # only the new point paid
+
+
+class TestProminenceKernel:
+    """The vectorized prominence kernel vs the scalar full scan."""
+
+    @given(
+        raw=st.lists(st.tuples(coord, coord), min_size=1, max_size=15),
+        k=st.integers(min_value=1, max_value=8),
+    )
+    @settings(max_examples=40, deadline=None)
+    def test_rank_batch_matches_rank(self, raw, k):
+        api = LrLbsInterface(DB, k=5, prominence=dict(PROMINENCE))
+        ranking = api.ranking
+        assert isinstance(ranking, ProminenceRanking)
+        points = [Point(x, y) for x, y in raw]
+        assert ranking.rank_batch(points, k) == [ranking.rank(p, k) for p in points]
+
+    @given(
+        raw=st.lists(st.tuples(coord, coord), min_size=1, max_size=10),
+        k=st.integers(min_value=1, max_value=6),
+    )
+    @settings(max_examples=20, deadline=None)
+    def test_region_covering_cap_matches_too(self, raw, k):
+        # A cap wider than the region routes rank_batch through its
+        # full-scan crossover path — answers must stay identical.
+        api = LrLbsInterface(
+            DB, k=5,
+            prominence={"static_attr": "popularity", "weight_distance": 0.6,
+                        "weight_static": 0.4, "distance_cap": 500.0},
+        )
+        ranking = api.ranking
+        points = [Point(x, y) for x, y in raw]
+        assert ranking.rank_batch(points, k) == [ranking.rank(p, k) for p in points]
+
+    def test_far_but_popular_tuples_survive_pruning(self):
+        # A tuple far beyond distance_cap but with the top static score
+        # must still appear — pruning may not lose it.
+        rng = np.random.default_rng(1)
+        tuples = [
+            LbsTuple(i, Point(rng.random() * 10, rng.random() * 10),
+                     {"popularity": 0.1})
+            for i in range(80)
+        ]
+        tuples.append(LbsTuple(99, Point(95.0, 95.0), {"popularity": 1.0}))
+        db = SpatialDatabase(tuples, BOX)
+        api = LrLbsInterface(
+            db, k=3,
+            prominence={"static_attr": "popularity", "weight_distance": 0.2,
+                        "weight_static": 0.8, "distance_cap": 5.0},
+        )
+        points = [Point(2.0, 2.0), Point(8.0, 3.0)]
+        for answer in api.query_batch(points):
+            assert 99 in answer.tids()
+        fresh = LrLbsInterface(
+            db, k=3,
+            prominence={"static_attr": "popularity", "weight_distance": 0.2,
+                        "weight_static": 0.8, "distance_cap": 5.0},
+        )
+        assert [fresh.query(p) for p in points] == api.query_batch(points)

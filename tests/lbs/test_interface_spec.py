@@ -1,0 +1,153 @@
+"""InterfaceSpec / RankingSpec: validation, serde, and build()."""
+
+import json
+
+import numpy as np
+import pytest
+
+from repro.geometry import Point, Rect
+from repro.lbs import (
+    DistanceRanking,
+    InterfaceSpec,
+    LbsTuple,
+    LnrLbsInterface,
+    LrLbsInterface,
+    ObfuscationModel,
+    ProminenceRanking,
+    QueryBudget,
+    QueryEngineConfig,
+    RankingSpec,
+    SpatialDatabase,
+)
+
+BOX = Rect(0, 0, 100, 100)
+
+
+def make_db(n=40, seed=0):
+    rng = np.random.default_rng(seed)
+    return SpatialDatabase(
+        [
+            LbsTuple(i, Point(rng.random() * 100, rng.random() * 100),
+                     {"idx": i, "popularity": float(rng.random())})
+            for i in range(n)
+        ],
+        BOX,
+    )
+
+
+class TestRankingSpec:
+    def test_defaults_are_distance(self):
+        assert RankingSpec().policy == "distance"
+        assert RankingSpec.distance().prominence_kwargs() is None
+
+    def test_prominence_requires_static_attr(self):
+        with pytest.raises(ValueError, match="static_attr"):
+            RankingSpec(policy="prominence")
+
+    def test_unknown_policy_rejected(self):
+        with pytest.raises(ValueError):
+            RankingSpec(policy="alphabetical")
+
+    def test_negative_weight_rejected(self):
+        with pytest.raises(ValueError):
+            RankingSpec.prominence("popularity", weight_distance=-0.1)
+
+    def test_nonpositive_cap_rejected(self):
+        with pytest.raises(ValueError):
+            RankingSpec.prominence("popularity", distance_cap=0.0)
+
+    def test_round_trip(self):
+        spec = RankingSpec.prominence("popularity", 0.7, 0.3, 25.0)
+        assert RankingSpec.from_dict(spec.to_dict()) == spec
+
+
+class TestInterfaceSpecValidation:
+    def test_bad_kind(self):
+        with pytest.raises(ValueError):
+            InterfaceSpec(kind="rest")
+
+    def test_bad_k(self):
+        with pytest.raises(ValueError):
+            InterfaceSpec(k=0)
+
+    def test_bad_max_radius(self):
+        with pytest.raises(ValueError):
+            InterfaceSpec(max_radius=-1.0)
+
+    def test_visible_attrs_normalized_to_tuple(self):
+        spec = InterfaceSpec(visible_attrs=["a", "b"])
+        assert spec.visible_attrs == ("a", "b")
+
+    def test_returns_location(self):
+        assert InterfaceSpec(kind="lr").returns_location
+        assert not InterfaceSpec(kind="lnr").returns_location
+
+
+class TestInterfaceSpecSerde:
+    def test_full_round_trip(self):
+        spec = InterfaceSpec(
+            kind="lnr",
+            k=7,
+            max_radius=12.5,
+            visible_attrs=("gender", "idx"),
+            obfuscation=ObfuscationModel(sigma=2.0, seed=3, clip=5.0),
+            ranking=RankingSpec.prominence("popularity", 0.6, 0.4, 30.0),
+        )
+        text = spec.to_json()
+        json.loads(text)  # valid JSON
+        assert InterfaceSpec.from_json(text) == spec
+
+    def test_minimal_round_trip(self):
+        spec = InterfaceSpec()
+        assert InterfaceSpec.from_dict(spec.to_dict()) == spec
+
+
+class TestInterfaceSpecBuild:
+    def test_kind_picks_interface_class(self):
+        db = make_db()
+        assert isinstance(InterfaceSpec(kind="lr").build(db), LrLbsInterface)
+        assert isinstance(InterfaceSpec(kind="lnr").build(db), LnrLbsInterface)
+
+    def test_capabilities_wired_through(self):
+        db = make_db()
+        api = InterfaceSpec(
+            kind="lr",
+            k=3,
+            max_radius=20.0,
+            visible_attrs=("idx",),
+            obfuscation=ObfuscationModel(sigma=1.0, seed=1),
+            ranking=RankingSpec.prominence("popularity", distance_cap=40.0),
+        ).build(db)
+        assert api.k == 3
+        assert api.max_radius == 20.0
+        assert api.visible_attrs == ("idx",)
+        assert isinstance(api.ranking, ProminenceRanking)
+        answer = api.query(Point(50, 50))
+        assert all(set(r.attrs) <= {"idx"} for r in answer)
+        # Obfuscation: the service ranks by jittered positions.
+        some = next(iter(db))
+        assert api.effective_location(some.tid) != some.location
+
+    def test_default_ranking_is_distance(self):
+        api = InterfaceSpec(kind="lr", k=4).build(make_db())
+        assert isinstance(api.ranking, DistanceRanking)
+
+    def test_build_equals_hand_construction(self):
+        db = make_db()
+        spec = InterfaceSpec(kind="lnr", k=5,
+                             obfuscation=ObfuscationModel(sigma=1.5, seed=2))
+        by_spec = spec.build(db)
+        by_hand = LnrLbsInterface(db, k=5,
+                                  obfuscation=ObfuscationModel(sigma=1.5, seed=2))
+        points = [Point(10, 10), Point(80, 20), Point(40, 70)]
+        assert [by_spec.query(p) for p in points] == [by_hand.query(p) for p in points]
+
+    def test_budget_and_engine_forwarded(self):
+        db = make_db()
+        budget = QueryBudget(5)
+        api = InterfaceSpec(kind="lr").build(
+            db, budget=budget, engine=QueryEngineConfig(index_backend="brute")
+        )
+        api.query(Point(1, 1))
+        assert budget.used == 1
+        assert api.engine.index_backend == "brute"

@@ -224,6 +224,39 @@ class TestObfuscation:
         for t in db:
             assert distance(eff[t.tid], t.location) <= 1.0 + 1e-9
 
+    def test_vectorized_jitter_matches_scalar_reference(self):
+        # The (N, 2) normal draw must replay the historical per-tuple
+        # size-2 stream bit for bit, clipping included.
+        db = make_db(80, seed=4)
+        for clip in (None, 3.0):
+            m = ObfuscationModel(sigma=4.0, seed=7, clip=clip)
+            eff = m.effective_locations(db.tuples())
+            rng = np.random.default_rng(7)
+            for t in sorted(db.tuples(), key=lambda t: t.tid):
+                dx, dy = rng.normal(0.0, 4.0, size=2)
+                if clip is not None:
+                    norm = float(np.hypot(dx, dy))
+                    if norm > clip > 0.0:
+                        dx *= clip / norm
+                        dy *= clip / norm
+                expected = Point(t.location.x + float(dx), t.location.y + float(dy))
+                assert eff[t.tid] == expected
+
+    def test_serde_round_trip(self):
+        m = ObfuscationModel(sigma=2.5, seed=9, clip=1.5)
+        assert ObfuscationModel.from_dict(m.to_dict()) == m
+
+    def test_filtered_view_keeps_realized_jitters(self):
+        # The service drew each tuple's jitter once; a filtered view must
+        # rank by the same effective positions, not re-roll them over
+        # the narrowed tuple set.
+        db = make_db(30)
+        api = LnrLbsInterface(db, k=3, obfuscation=ObfuscationModel(sigma=2.0, seed=5))
+        view = api.filtered(lambda t: t["idx"] % 2 == 0)
+        for t in db:
+            if t["idx"] % 2 == 0:
+                assert view.effective_location(t.tid) == api.effective_location(t.tid)
+
     def test_interface_ranks_by_effective(self):
         db = make_db()
         api = LnrLbsInterface(db, k=3, obfuscation=ObfuscationModel(sigma=5.0, seed=1))
@@ -257,3 +290,34 @@ class TestProminence:
         )
         q = Point(42, 17)
         assert plain.query(q).tids() == prom.query(q).tids()
+
+    def test_filtered_view_keeps_prominence_ranking(self):
+        # Regression: filtered() used to drop the prominence config, so
+        # views silently reverted to distance order.
+        db = make_db(30)
+        api = LrLbsInterface(
+            db, k=3,
+            prominence={"static_attr": "popularity", "weight_distance": 0.0,
+                        "weight_static": 1.0, "distance_cap": 50.0},
+        )
+        view = api.filtered(lambda t: t["idx"] % 2 == 0)
+        ans1 = view.query(Point(10, 10))
+        ans2 = view.query(Point(90, 90))
+        # Pure popularity order is location-independent...
+        assert ans1.tids() == ans2.tids()
+        # ...and is exactly the parent's order restricted to the view.
+        pops = {t.tid: t["popularity"] for t in db if t.tid % 2 == 0}
+        expect = sorted(pops, key=lambda tid: (-pops[tid], tid))[:3]
+        assert ans1.tids() == expect
+
+    def test_filtered_view_keeps_parent_normalization(self):
+        # The service's scoring function is fixed: a narrowed candidate
+        # set keeps the popularity normalization of the full database.
+        db = make_db(30)
+        api = LrLbsInterface(
+            db, k=4,
+            prominence={"static_attr": "popularity", "weight_distance": 0.5,
+                        "weight_static": 0.5, "distance_cap": 40.0},
+        )
+        view = api.filtered(lambda t: t["idx"] < 15)
+        assert view.ranking.static_range == api.ranking.static_range

@@ -136,8 +136,8 @@ class TestQueryBatchRegression:
         assert got[0] == got[1] == got[2]
 
     def test_batch_with_prominence_ranking(self):
-        # Prominence has no vectorized kernel; the batch path must still
-        # answer identically through its fallback.
+        # Prominence batches through the pruned vectorized rank_batch;
+        # answers must still match the looped scalar path exactly.
         db = make_db(30, seed=3)
         prominence = {
             "static_attr": "idx", "weight_distance": 1.0,
