@@ -6,11 +6,14 @@ from repro.experiments import fig12_unbiasedness
 
 
 def test_fig12(benchmark, bench_world):
+    # 5000 queries: enough for LR-AGG to settle well inside the 0.35
+    # band on this clustered world (rel-err <= 0.1 across seeds 1-3;
+    # at 1500 queries single-seed draws still swing past 0.35).
     truth, results = run_once(
         benchmark,
-        lambda: fig12_unbiasedness.traces(bench_world, max_queries=1500, seed=1),
+        lambda: fig12_unbiasedness.traces(bench_world, max_queries=5000, seed=1),
     )
-    table = fig12_unbiasedness.run(bench_world, max_queries=1500, seed=1)
+    table = fig12_unbiasedness.run(bench_world, max_queries=5000, seed=1)
     table.show()
     lr_err = abs(results["LR-LBS-AGG"].estimate - truth) / truth
     nno_err = abs(results["LR-LBS-NNO"].estimate - truth) / truth

@@ -15,7 +15,12 @@ def test_fig15(benchmark, bench_world):
         lambda: cost_vs_error_table(
             "Figure 15 (bench) — COUNT(restaurants)",
             bench_world, query, truth,
-            targets=(0.5, 0.3, 0.2), n_runs=3, max_queries=2500,
+            # 6000 queries de-saturates the budget cap: LR actually
+            # reaches every target (sum ~8.9k) while the biased NNO
+            # stalls outside the tighter bands and gets charged the full
+            # budget (sum ~14.9k) — at 2500 both series pinned at the
+            # cap and the comparison degenerated to a coin flip.
+            targets=(0.5, 0.3, 0.2), n_runs=3, max_queries=6000,
             lnr_max_queries=8000,
         ),
     )

@@ -1,0 +1,214 @@
+"""Scaling trajectory: registry worlds × sizes × backends × batch sizes.
+
+Sweeps every ``repro.worlds`` registry scenario across population sizes
+(10k → 1M generated tuples), spatial-index backends, and query batch
+sizes, and writes the measurements to ``BENCH_scaling.json`` — the
+bench trajectory every later perf PR (hierarchical grid, distance-
+matrix prominence) is measured against.  Recorded per combination:
+
+* world build time (sampling + tuple synthesis + census raster),
+* index build time per backend,
+* kNN throughput at each batch size (``1`` = the scalar single-query
+  path; larger sizes go through the vectorized ``knn_batch`` kernel in
+  chunks of that size).
+
+Backends that cannot sensibly run a size are *skipped and recorded*
+(no silent caps): the pure-Python KD-tree build and the O(n)-per-query
+brute scan are excluded at 1M.
+
+Runs standalone (``python benchmarks/bench_scaling.py [--quick] [--out
+PATH]``) or under pytest (the ``--quick`` CI smoke asserts the sweep's
+structure and a modest batched-vs-scalar floor; absolute throughput
+regressions are ``bench_query_engine.py``'s job).
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import time
+from pathlib import Path
+
+import numpy as np
+
+from repro import worlds
+from repro.index import make_index
+
+K = 5
+#: Query batch sizes: the scalar path, a driver-sized batch, an
+#: ingest-sized batch.
+BATCH_SIZES = (1, 64, 512)
+FULL_SIZES = {"10k": 10_000, "100k": 100_000, "1m": 1_000_000}
+QUICK_SIZES = {"10k": 10_000}
+#: Per-(backend, size) caps, recorded in the report when they bite.
+BACKEND_MAX_N = {"grid": 1_000_000, "kdtree": 100_000, "brute": 100_000}
+#: Rough per-query cost ratios used to budget query counts so the full
+#: sweep stays in minutes: brute is O(n) per query, the KD-tree batch
+#: path just loops the scalar search.
+_QUERY_BUDGET = {"grid": 4_000, "kdtree": 2_000, "brute": 2_000}
+#: The CI floor: on every world the grid's batched kernel must beat its
+#: own scalar path by this factor at 10k points (a lost batch kernel
+#: drops to ~1x; normal runs sit far above).
+QUICK_BATCH_FLOOR = 2.0
+
+_REPO_ROOT = Path(__file__).resolve().parent.parent
+DEFAULT_OUT = _REPO_ROOT / "BENCH_scaling.json"
+#: Quick runs default elsewhere so a smoke run (local or the CI step,
+#: which uploads this path as its artifact) never clobbers the committed
+#: full-scale trajectory.
+DEFAULT_QUICK_OUT = _REPO_ROOT / "BENCH_scaling_quick.json"
+
+
+def _n_queries(backend: str, n: int, batch: int, quick: bool) -> int:
+    budget = _QUERY_BUDGET[backend] // (4 if quick else 1)
+    if backend == "brute":
+        # O(n) per query: hold point-ops roughly constant across sizes —
+        # and the interpreted scalar loop pays ~10x the batch kernel's
+        # per-query cost, so it gets a 10x smaller budget.
+        ops = 2e7 if batch == 1 else 2e8
+        return max(100, min(budget, int(ops / max(n, 1))))
+    if backend == "kdtree" and n > 10_000:
+        return max(200, budget // 4)
+    return budget
+
+
+def bench_world(name: str, n: int, quick: bool, rng: np.random.Generator) -> dict:
+    """One world at one size: build it, then sweep backends × batches."""
+    spec = worlds.get(name).with_size(n)
+    t0 = time.perf_counter()
+    world = spec.build()
+    build_s = time.perf_counter() - t0
+    region = world.region
+    points = [(t.location.x, t.location.y, t.tid) for t in world.db]
+
+    row = {
+        "world": name,
+        "n": n,
+        "n_visible": len(world.db),
+        "world_build_seconds": round(build_s, 4),
+        "backends": {},
+        "skipped": [],
+    }
+    for backend, max_n in BACKEND_MAX_N.items():
+        if n > max_n:
+            row["skipped"].append({
+                "backend": backend,
+                "reason": f"{backend} capped at {max_n:,} points "
+                          f"(build/query cost is super-linear in wall-clock)",
+            })
+            continue
+        t0 = time.perf_counter()
+        index = make_index(points, backend)
+        index_s = time.perf_counter() - t0
+        qps: dict[str, float] = {}
+        n_queries: dict[str, int] = {}
+        for batch in BATCH_SIZES:
+            nq = _n_queries(backend, n, batch, quick)
+            u = rng.random((nq, 2))
+            queries = [
+                (float(region.x0 + ux * region.width),
+                 float(region.y0 + uy * region.height))
+                for ux, uy in u
+            ]
+            t0 = time.perf_counter()
+            if batch == 1:
+                for x, y in queries:
+                    index.knn(x, y, K)
+            else:
+                for i in range(0, nq, batch):
+                    index.knn_batch(queries[i:i + batch], K)
+            dt = time.perf_counter() - t0
+            qps[str(batch)] = round(nq / dt, 1)
+            n_queries[str(batch)] = nq
+        row["backends"][backend] = {
+            "index_build_seconds": round(index_s, 4),
+            "n_queries": n_queries,
+            "qps": qps,
+        }
+    return row
+
+
+def run_bench(quick: bool = False) -> dict:
+    sizes = QUICK_SIZES if quick else FULL_SIZES
+    rng = np.random.default_rng(20150810)  # the paper's PVLDB issue date
+    results = []
+    for name in worlds.names():
+        for label, n in sizes.items():
+            t0 = time.perf_counter()
+            row = bench_world(name, n, quick, rng)
+            print(f"  {name:24s} {label:>5s}  "
+                  f"build {row['world_build_seconds']:7.2f}s  "
+                  f"{len(row['backends'])} backends  "
+                  f"({time.perf_counter() - t0:6.1f}s total)")
+            results.append(row)
+    return {
+        "meta": {
+            "k": K,
+            "quick": quick,
+            "batch_sizes": list(BATCH_SIZES),
+            "sizes": sizes,
+            "backend_max_n": BACKEND_MAX_N,
+            "worlds": worlds.names(),
+        },
+        "results": results,
+    }
+
+
+def check_report(report: dict) -> None:
+    """Structural floor shared by CI and the standalone run."""
+    meta = report["meta"]
+    world_names = set(meta["worlds"])
+    assert len(world_names) >= 6, "registry must offer >= 6 worlds"
+    seen = {(r["world"], r["n"]) for r in report["results"]}
+    for name in world_names:
+        for n in meta["sizes"].values():
+            assert (name, n) in seen, f"missing sweep cell {name}@{n}"
+    for row in report["results"]:
+        assert row["backends"], f"{row['world']}@{row['n']}: no backend ran"
+        for backend, data in row["backends"].items():
+            for batch, qps in data["qps"].items():
+                assert qps > 0, f"{row['world']}@{row['n']}:{backend}:{batch}"
+        if row["n"] == 10_000 and "grid" in row["backends"]:
+            g = row["backends"]["grid"]["qps"]
+            top_batch = str(max(map(int, g)))
+            assert g[top_batch] >= QUICK_BATCH_FLOOR * g["1"], (
+                f"{row['world']}: grid batch kernel only "
+                f"{g[top_batch] / g['1']:.1f}x its scalar path "
+                f"(floor {QUICK_BATCH_FLOOR}x)"
+            )
+
+
+def write_report(report: dict, out: Path) -> None:
+    out.write_text(json.dumps(report, indent=2, sort_keys=True) + "\n")
+    print(f"wrote {out} ({len(report['results'])} sweep cells)")
+
+
+def test_scaling_bench_quick(tmp_path):
+    """CI smoke: the quick sweep runs, covers every world, and the grid
+    batch kernel clears the floor; the JSON artifact is well-formed.
+
+    Always the quick sweep under pytest — the full 10k/100k/1M sweep is
+    the standalone script's job (``python benchmarks/bench_scaling.py``)
+    and would turn a minutes-scale figure-benchmark run into a long,
+    memory-heavy one if it piggybacked on ``pytest benchmarks/bench_*``.
+    """
+    report = run_bench(quick=True)
+    out = tmp_path / "BENCH_scaling.json"
+    write_report(report, out)
+    check_report(json.loads(out.read_text()))
+
+
+if __name__ == "__main__":
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("--quick", action="store_true",
+                        help="10k-only sweep with fewer queries (CI smoke)")
+    parser.add_argument("--out", type=Path, default=None,
+                        help=f"output JSON path (default {DEFAULT_OUT}, or "
+                             f"{DEFAULT_QUICK_OUT} with --quick)")
+    args = parser.parse_args()
+    out = args.out if args.out is not None else (
+        DEFAULT_QUICK_OUT if args.quick else DEFAULT_OUT
+    )
+    report = run_bench(quick=args.quick)
+    check_report(report)
+    write_report(report, out)

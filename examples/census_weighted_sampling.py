@@ -6,26 +6,19 @@ spread of inverse selection probabilities and cuts the query cost at
 any target error — without ever biasing the estimate, even when the
 raster is noisy.
 
-The two strategies differ by exactly one fluent call on an otherwise
-shared ``repro.api`` session: ``.uniform()`` vs ``.census_weighted()``.
+Worlds from the scenario registry carry their census raster with them
+(rasterized from the spatial model's own density, with configurable
+noise — see ``CensusSpec``), so the two strategies differ by exactly
+one fluent call on an otherwise shared ``repro.api`` session:
+``.uniform()`` vs ``.census_weighted()``.
 
 Run:  python examples/census_weighted_sampling.py
 """
 
-from types import SimpleNamespace
-
 import numpy as np
 
-from repro import (
-    MaxQueries,
-    PoiConfig,
-    PopulationGrid,
-    Session,
-    generate_poi_database,
-    is_category,
-)
-from repro.datasets import CityModel
-from repro.geometry import Rect
+from repro import MaxQueries, Session, worlds
+from repro.datasets import is_category
 
 
 def run(session: Session, truth: int, seeds, budget: int = 2500):
@@ -37,21 +30,18 @@ def run(session: Session, truth: int, seeds, budget: int = 2500):
 
 
 def main() -> None:
-    region = Rect(0, 0, 400, 300)
-    rng = np.random.default_rng(19)
-    cities = CityModel.generate(region, n_cities=12, rng=rng,
-                                base_sigma_fraction=0.02, rural_fraction=0.12)
-    db = generate_poi_database(
-        region, rng,
-        PoiConfig(n_restaurants=100, n_schools=140, n_banks=10, n_cafes=10),
-        cities,
+    # The registry's clustered world, with the spatial model swapped for
+    # a sharper one (specs are frozen values — surgery is a .replace):
+    # a dozen tight metros and a thin rural floor is where weighted
+    # sampling visibly pays; the noisy census raster rides along
+    # (external knowledge is never perfect).
+    spec = worlds.get("paper/clustered").with_size(260).replace(
+        spatial=worlds.ZipfHotspots(n_hotspots=12, sigma_fraction=0.006,
+                                    background=0.1),
+        census=worlds.CensusSpec(nx=24, ny=18, noise=0.2),
     )
-    census = PopulationGrid.from_city_model(
-        cities, nx=24, ny=18, noise=0.2, rng=rng  # noisy external knowledge
-    )
-    # Anything with .db (+ .census for weighted sampling) is a world.
-    world = SimpleNamespace(db=db, census=census)
-    truth = db.ground_truth_count(is_category("school"))
+    world = spec.build()
+    truth = world.db.ground_truth_count(is_category("school"))
 
     base = Session(world).lr(k=5).count(is_category("school"))
     seeds = range(5)

@@ -1,61 +1,54 @@
 """Quickstart: estimate COUNT(*) over a hidden LBS with LR-LBS-AGG.
 
-Builds a synthetic POI database, hides it behind a Google-Maps-style
-kNN interface, and estimates the total number of POIs with the paper's
-unbiased estimator — comparing against the (normally unknowable)
-ground truth.  Everything runs through the high-level ``repro.api``
-session facade: describe the run fluently, stop on a composable rule,
-stream checkpoints if you want progress.
+Picks a world from the scenario registry (``repro.worlds``), hides it
+behind a Google-Maps-style kNN interface, and estimates the total
+number of POIs with the paper's unbiased estimator — comparing against
+the (normally unknowable) ground truth.  Everything runs through the
+high-level ``repro.api`` session facade: describe the run fluently,
+stop on a composable rule, stream checkpoints if you want progress.
+
+Because the world itself is a declarative spec, the session's JSON is a
+*complete* experiment — world, interface, and run in one document.
 
 Run:  python examples/quickstart.py
 """
 
-import numpy as np
-
-from repro import MaxQueries, PoiConfig, Session, TargetRelativeCI, generate_poi_database
-from repro.datasets import CityModel
-from repro.geometry import Rect
+from repro import MaxQueries, Session, TargetRelativeCI, worlds
 
 
 def main() -> None:
-    # 1. A hidden database: ~500 POIs on a 400 x 300 km plane with mild
-    #    urban clustering (crank base_sigma_fraction down for US-grade
-    #    skew — and switch to .census_weighted(), see the census
-    #    example, because uniform sampling then needs far more queries).
-    region = Rect(0, 0, 400, 300)
-    rng = np.random.default_rng(7)
-    cities = CityModel.generate(
-        region, n_cities=12, rng=rng, base_sigma_fraction=0.06, rural_fraction=0.35
-    )
-    db = generate_poi_database(
-        region, rng,
-        PoiConfig(n_restaurants=260, n_schools=160, n_banks=40, n_cafes=40),
-        cities,
-    )
+    # 1. A hidden database from the scenario registry: the paper's
+    #    clustered-POI shape (Zipf-weighted metro areas over a rural
+    #    floor), scaled to ~500 tuples for a quick demo.  Try any name
+    #    from worlds.names() — "ring-city", "mixture-metro-rural", ...
+    world_spec = worlds.get("paper/clustered").with_size(500)
 
     # 2. Describe the estimation: a top-5 location-returning interface,
-    #    uniform sampling, COUNT(*).  The session is a frozen spec —
-    #    session.spec.to_json() is what a service front door would log.
-    session = Session(db).lr(k=5).count().seed(42)
+    #    uniform sampling, COUNT(*).  Passing the *spec* (not a built
+    #    database) embeds the world in the session's own spec —
+    #    session.spec.to_json() reproduces the entire experiment.
+    session = Session(world_spec).lr(k=5).count().seed(42)
+    truth = len(session.world.db)
 
     # 3. Run until 2000 queries are spent or the 95% CI tightens to
     #    ±10% of the estimate, whichever happens first.
     result = session.run(MaxQueries(2000) | TargetRelativeCI(0.10))
 
     print(f"estimate : {result.estimate:8.1f}")
-    print(f"truth    : {len(db):8d}")
-    print(f"rel. err : {result.relative_error(len(db)):8.3f}")
+    print(f"truth    : {truth:8d}")
+    print(f"rel. err : {result.relative_error(truth):8.3f}")
     print(f"queries  : {result.queries:8d}  samples: {result.samples}")
     lo, hi = result.confidence_interval(0.95)
     print(f"95% CI   : [{lo:.1f}, {hi:.1f}]")
 
     # 4. The same run as a stream: pause at 40 samples, persist, resume.
+    #    The state embeds the world spec, so resume needs nothing else.
     run = session.start(MaxQueries(2000))
     for checkpoint in run:
         if checkpoint.samples >= 40:
             break
     state = run.to_state()  # JSON-serializable; survives a process restart
-    resumed = Session.resume(db, state).run()
+    resumed = Session.resume(None, state).run()
     print(f"paused at 40 samples, resumed to {resumed.samples} — "
           f"estimate {resumed.estimate:.1f} (bit-identical to a straight run)")
 

@@ -5,60 +5,64 @@ coordinates and with deliberately obfuscated positions.  The paper's
 LNR-LBS-AGG estimates both the number of location-enabled users and the
 male/female ratio from such queries (reporting 67.1 : 32.9 for WeChat).
 
-The whole scenario is declarative here: the service's capabilities —
-rank-only answers, per-user position jitter, and the profile attributes
-it actually shows — live in the ``InterfaceSpec`` embedded in the run's
-``EstimationSpec``, so the run serializes to JSON, pauses, and resumes
-bit-identically (demonstrated below mid-run).
+The whole scenario is declarative here, down to the *population*: the
+world is the registry's ``wechat-like-1m`` scenario (67.1% male, 10%
+of accounts location-disabled and invisible) scaled to demo size, and
+the service's capabilities — rank-only answers, per-user position
+jitter, the profile fields WeChat shows — live in the ``InterfaceSpec``.
+World + service + run serialize as ONE JSON document that pauses and
+resumes bit-identically (demonstrated below mid-run).
 
 Run:  python examples/wechat_gender_ratio.py
 """
 
 import json
 
-import numpy as np
-
-from repro import MaxQueries, ObfuscationModel, Session, generate_user_database
+from repro import MaxQueries, ObfuscationModel, RegionSpec, Session, worlds
 from repro.core import LnrAggConfig
-from repro.datasets import UserConfig
-from repro.geometry import Rect
 
 
 def main() -> None:
-    region = Rect(0, 0, 400, 300)
-    rng = np.random.default_rng(11)
-    db = generate_user_database(
-        region, rng, UserConfig(n_users=300, male_fraction=0.671)
+    # The registry's WeChat-scale world, scaled down for a quick demo
+    # (the full scenario is a million users over China-scale metros).
+    # Spatial models are fractional, so swapping the region rescales the
+    # same metro layout onto a demo-sized plane.
+    world_spec = (
+        worlds.get("wechat-like-1m")
+        .with_size(300)
+        .replace(region=RegionSpec.named("small"))
     )
 
     # WeChat-style service, fully in the spec: rank-only (lnr), top-10,
     # obfuscated positions, and only the profile fields WeChat shows.
     session = (
-        Session(db)
+        Session(world_spec)
         .lnr(k=10, config=LnrAggConfig(h=1))
         .service(
             obfuscation=ObfuscationModel(sigma=1.0, seed=0),
-            visible_attrs=("gender", "is_male", "location_enabled"),
+            visible_attrs=("gender", "is_male"),
         )
     )
     budget = MaxQueries(6000)
 
     count_session = session.count().seed(1)
-    print("spec:", count_session.spec.to_json())
+    print("spec:", count_session.spec.to_json()[:160], "...")
 
     # Pause the COUNT run mid-flight, push it through JSON, resume — the
+    # state embeds the world spec, so nothing else is needed, and the
     # resumed run is bit-identical to never having stopped.
     run = count_session.start(budget)
     for checkpoint in run:
         if checkpoint.samples >= 25:
             break
     state = json.loads(json.dumps(run.to_state()))
-    count_res = Session.resume(db, state).run()
+    count_res = Session.resume(None, state).run()
     straight = count_session.run(budget)
     assert count_res.estimate == straight.estimate, "resume must be bit-identical"
 
     ratio_res = session.avg("is_male").seed(2).run(budget)
 
+    db = session.world.db
     male_truth = db.ground_truth_avg("is_male")
     print(f"COUNT(users)  estimate: {count_res.estimate:7.1f}   truth: {len(db)}")
     print("              (paused at 25 samples, resumed from JSON — identical)")

@@ -76,6 +76,8 @@ from .lbs import (
 )
 from .sampling import GridWeightedSampler, UniformSampler
 from .stats import Checkpoint, EstimationResult
+from . import worlds
+from .worlds import RegionSpec, WorldSpec
 from . import api
 from .api import (
     AggregateSpec,
@@ -95,6 +97,9 @@ __version__ = "1.1.0"
 __all__ = [
     "__version__",
     "api",
+    "worlds",
+    "WorldSpec",
+    "RegionSpec",
     "Session",
     "SessionRun",
     "EstimationSpec",

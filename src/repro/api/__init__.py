@@ -36,6 +36,7 @@ from ..core.stopping import (
 )
 from ..lbs import InterfaceSpec, ObfuscationModel, RankingSpec
 from ..stats import Checkpoint, EstimationResult
+from ..worlds import WorldSpec
 from .session import Session, SessionRun, estimate, run_many
 from .spec import AggregateSpec, EstimationSpec
 
@@ -44,6 +45,7 @@ __all__ = [
     "SessionRun",
     "EstimationSpec",
     "AggregateSpec",
+    "WorldSpec",
     "InterfaceSpec",
     "RankingSpec",
     "ObfuscationModel",

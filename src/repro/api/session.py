@@ -60,6 +60,8 @@ from ..core._driver import EstimationDriver, build_result
 from ..lbs import InterfaceSpec, ObfuscationModel, RankingSpec, SpatialDatabase
 from ..sampling import GridWeightedSampler, UniformSampler
 from ..stats import Checkpoint, EstimationResult
+from ..worlds import WorldSpec
+from ..worlds import registry as world_registry
 from .spec import AggregateSpec, EstimationSpec, interface_kind
 
 __all__ = ["Session", "SessionRun", "run_many", "estimate"]
@@ -81,9 +83,31 @@ def _resolve_world(world) -> tuple[SpatialDatabase, object]:
 
 
 class Session:
-    """Immutable fluent builder of one estimation run over a world."""
+    """Immutable fluent builder of one estimation run over a world.
+
+    ``world`` may be a live world object (anything with ``.db``), a
+    declarative :class:`~repro.worlds.WorldSpec`, or a registry name
+    like ``"paper/clustered"``.  Declarative worlds are built on the
+    spot *and embedded in the run's spec*, so the session's
+    ``spec.to_json()`` is a complete experiment document that
+    :meth:`from_spec` reproduces bit-identically.
+    """
 
     def __init__(self, world, spec: Optional[EstimationSpec] = None):
+        if isinstance(world, str):
+            world = world_registry.get(world)
+        if isinstance(world, WorldSpec):
+            spec = (spec if spec is not None else EstimationSpec()).replace(world=world)
+            world = world.build()
+        elif spec is None or spec.world is None:
+            # A built repro.worlds.World still carries its spec — embed
+            # it, so worlds.build(...) sessions stay one-document
+            # reproducible/resumable just like WorldSpec sessions.
+            world_spec = getattr(world, "spec", None)
+            if isinstance(world_spec, WorldSpec):
+                spec = (spec if spec is not None else EstimationSpec()).replace(
+                    world=world_spec
+                )
         _resolve_world(world)  # fail fast on an unusable world
         self.world = world
         self.spec = spec if spec is not None else EstimationSpec()
@@ -232,24 +256,66 @@ class Session:
         return self.start(until).run()
 
     # ------------------------------------------------------------------
+    @classmethod
+    def from_spec(cls, spec, world=None) -> "Session":
+        """Reconstruct a session from a complete experiment document.
+
+        ``spec`` is an :class:`EstimationSpec` or its JSON text.  When
+        it embeds a :class:`~repro.worlds.WorldSpec`, the world is
+        rebuilt from the spec alone (deterministically — same database,
+        bit for bit); pass ``world`` only to run the document against
+        an externally supplied world instead — the embedded world spec
+        is then discarded (re-embedded from the override's own spec when
+        it has one), so later checkpoints describe the world the run
+        actually ran over.
+        """
+        if isinstance(spec, str):
+            spec = EstimationSpec.from_json(spec)
+        if world is None:
+            if spec.world is None:
+                raise ValueError(
+                    "spec embeds no WorldSpec; pass world= to run it"
+                )
+            world = spec.world.build()
+        elif spec.world is not None:
+            spec = spec.replace(world=None)  # stale: describes another world
+        return cls(world, spec)
+
+    # ------------------------------------------------------------------
     @staticmethod
     def resume(world, state: dict, until: Optional[StoppingRule] = None,
                *, state_every: Optional[int] = None) -> "SessionRun":
         """Continue a run from a :meth:`SessionRun.to_state` snapshot.
 
         ``world`` must be the same world the original session ran over
-        (the state stores what the run *learned*, not the database).
+        (the state stores what the run *learned*, not the database) —
+        or ``None`` when the state's spec embeds a
+        :class:`~repro.worlds.WorldSpec`, which then rebuilds it.
         ``until`` defaults to the rule serialized in the state.  The
         resumed run is bit-identical to never having paused: same RNG
         stream, same cached knowledge, same query accounting.
         """
         spec = EstimationSpec.from_dict(state["spec"])
+        if world is None:
+            if spec.world is None:
+                raise ValueError(
+                    "state embeds no WorldSpec; pass the world it ran over"
+                )
+            world = spec.world.build()
+        elif spec.world is not None:
+            # An explicitly supplied world wins: drop the embedded spec
+            # (the Session constructor re-embeds the override's own spec
+            # when it carries one), so a later pause/resume cannot
+            # silently continue over a rebuilt *different* world.
+            spec = spec.replace(world=None)
         if until is None:
             rule = state.get("until")
             if rule is None:
                 raise ValueError("state carries no stopping rule; pass until=")
             until = stopping_rule_from_dict(rule)
-        est = Session(world, spec).build()
+        session = Session(world, spec)
+        spec = session.spec  # may have re-embedded the override's spec
+        est = session.build()
         est.load_state(state["driver"])
         start = state["driver"].get("queries_start") or 0
         return SessionRun(spec, est, until, batch_size=spec.batch_size,

@@ -27,6 +27,7 @@ from ..core import (
     QueryEngineConfig,
 )
 from ..lbs import InterfaceSpec
+from ..worlds import WorldSpec
 
 __all__ = ["AggregateSpec", "EstimationSpec"]
 
@@ -122,6 +123,12 @@ class EstimationSpec:
         of the kind ``method`` implies.  When given, its ``kind`` and
         ``k`` must agree with ``method``/``k`` (the
         :class:`~repro.api.Session` builder keeps them in sync).
+    world:
+        Optional :class:`~repro.worlds.WorldSpec` describing the hidden
+        database itself.  When set, the spec is a *complete* experiment
+        — world + interface + estimation in one serializable document —
+        and :meth:`~repro.api.Session.from_spec` reconstructs the whole
+        run bit-identically from the JSON alone.
     engine:
         :class:`~repro.core.QueryEngineConfig` — index backend, answer
         cache, snapping.  ``None`` = engine defaults.
@@ -138,6 +145,7 @@ class EstimationSpec:
     aggregate: AggregateSpec = field(default_factory=AggregateSpec)
     sampler: str = "uniform"
     interface: Optional[InterfaceSpec] = None
+    world: Optional[WorldSpec] = None
     engine: Optional[QueryEngineConfig] = None
     config: Optional[Union[LrAggConfig, LnrAggConfig, NnoConfig]] = None
     seed: int = 0
@@ -191,6 +199,7 @@ class EstimationSpec:
             "aggregate": self.aggregate.to_dict(),
             "sampler": self.sampler,
             "interface": self.interface.to_dict() if self.interface is not None else None,
+            "world": self.world.to_dict() if self.world is not None else None,
             "engine": asdict(self.engine) if self.engine is not None else None,
             "config": asdict(self.config) if self.config is not None else None,
             "seed": self.seed,
@@ -203,12 +212,14 @@ class EstimationSpec:
         config = data.get("config")
         engine = data.get("engine")
         interface = data.get("interface")
+        world = data.get("world")
         return cls(
             method=method,
             k=data["k"],
             aggregate=AggregateSpec.from_dict(data["aggregate"]),
             sampler=data.get("sampler", "uniform"),
             interface=InterfaceSpec.from_dict(interface) if interface is not None else None,
+            world=WorldSpec.from_dict(world) if world is not None else None,
             engine=QueryEngineConfig(**engine) if engine is not None else None,
             config=_CONFIG_TYPES[method](**config) if config is not None else None,
             seed=data.get("seed", 0),

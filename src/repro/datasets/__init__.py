@@ -3,10 +3,11 @@
 from .census import PopulationGrid
 from .cities import City, CityModel
 from .pois import PoiConfig, generate_poi_database, is_brand, is_category
-from .regions import AUSTIN_BOX, CHINA_BOX, UNIT_BOX, US_BOX, subrect
+from .regions import AUSTIN_BOX, CHINA_BOX, SMALL_BOX, UNIT_BOX, US_BOX, subrect
 from .users import WECHAT_LIKE, WEIBO_LIKE, UserConfig, generate_user_database
 
 __all__ = [
+    "SMALL_BOX",
     "City",
     "CityModel",
     "PopulationGrid",

@@ -9,11 +9,12 @@ estimators must stay unbiased regardless; only variance changes).
 
 from __future__ import annotations
 
-from typing import Optional
+from typing import Optional, Union
 
 import numpy as np
 
 from ..geometry import Point, Rect
+from ..worlds.region import RegionSpec, resolve_region
 from .cities import CityModel
 
 __all__ = ["PopulationGrid"]
@@ -72,8 +73,31 @@ class PopulationGrid:
         return PopulationGrid(region, weights)
 
     @staticmethod
-    def uniform(region: Rect, nx: int = 1, ny: int = 1) -> "PopulationGrid":
-        return PopulationGrid(region, np.ones((nx, ny)))
+    def uniform(
+        region: Union[Rect, RegionSpec, None] = None, nx: int = 1, ny: int = 1
+    ) -> "PopulationGrid":
+        """A flat raster; ``region`` defaults to the library's standard
+        experiment box (:func:`repro.worlds.default_region`)."""
+        return PopulationGrid(resolve_region(region), np.ones((nx, ny)))
+
+    @staticmethod
+    def from_spatial_model(
+        model,
+        region: Union[Rect, RegionSpec],
+        nx: int = 64,
+        ny: int = 40,
+        noise: float = 0.0,
+        rng: Optional[np.random.Generator] = None,
+    ) -> "PopulationGrid":
+        """Rasterize a :class:`~repro.worlds.SpatialModel` density (the
+        vectorized sibling of :meth:`from_city_model`)."""
+        region = resolve_region(region)
+        weights = model.density_grid(region, nx, ny)
+        if noise > 0.0:
+            if rng is None:
+                rng = np.random.default_rng(0)
+            weights = weights * rng.lognormal(0.0, noise, size=weights.shape)
+        return PopulationGrid(region, weights)
 
     # ------------------------------------------------------------------
     def cell_of(self, p: Point) -> tuple[int, int]:

@@ -55,7 +55,12 @@ class CityModel:
         base_sigma_fraction: float = 0.012,
         rural_fraction: float = 0.15,
     ) -> "CityModel":
-        """Random model: centres uniform, weights ~ rank^-zipf, radii ~ weight^0.4."""
+        """Random model: centres uniform, weights ~ rank^-zipf, radii ~ weight^0.4.
+
+        The same layout law as ``repro.worlds.ZipfHotspots.materialize``
+        (kept as separate implementations: the RNG streams differ, and
+        unifying them would re-roll every seed-pinned realization) — a
+        change to the law here must be mirrored there."""
         if n_cities < 1:
             raise ValueError("n_cities must be >= 1")
         span = min(region.width, region.height)
@@ -85,6 +90,34 @@ class CityModel:
 
     def sample_points(self, n: int, rng: np.random.Generator) -> list[Point]:
         return [self.sample_point(rng) for _ in range(n)]
+
+    # ------------------------------------------------------------------
+    def to_spatial_model(self, region: Rect):
+        """The :mod:`repro.worlds` model equivalent to this city mixture.
+
+        Centres/radii are re-expressed fractionally relative to
+        ``region``, so the vectorized
+        :class:`~repro.worlds.GaussianClusters` sampler reproduces this
+        model's population shape (the dataset generators sample through
+        it).  Fully rural models degrade to a uniform field.
+        """
+        from ..worlds.spatial import GaussianClusters, UniformField
+
+        if not self.cities or self.rural_fraction >= 1.0:
+            return UniformField()
+        span = min(region.width, region.height)
+        return GaussianClusters(
+            centers=tuple(
+                (
+                    (c.center.x - region.x0) / region.width,
+                    (c.center.y - region.y0) / region.height,
+                )
+                for c in self.cities
+            ),
+            sigmas=tuple(c.sigma / span for c in self.cities),
+            weights=tuple(c.weight for c in self.cities),
+            background=self.rural_fraction,
+        )
 
     # ------------------------------------------------------------------
     def density(self, p: Point) -> float:

@@ -6,25 +6,41 @@ restaurants carry Google-Maps-style ``rating`` / ``open_sundays`` /
 ``enrollment``; banks and cafés pad the mix.  Locations follow the city
 mixture, so urban/rural skew matches the phenomenology the experiments
 depend on.
+
+This module is a thin wrapper over :mod:`repro.worlds`: the city model
+is converted to its vectorized :class:`~repro.worlds.GaussianClusters`
+equivalent and every category block synthesizes through the shared
+declarative attribute machinery.  For fully declarative worlds (and the
+registry gallery) use :mod:`repro.worlds` directly.
 """
 
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Optional
+from typing import Optional, Union
 
 import numpy as np
 
 from ..core.aggregates import AttrEquals
 from ..geometry import Rect
 from ..lbs import LbsTuple, SpatialDatabase
+from ..worlds.attrs import (
+    AttrSchema,
+    Bernoulli,
+    Categorical,
+    Constant,
+    Numeric,
+    synthesize_tuples,
+)
+from ..worlds.region import RegionSpec, resolve_region
+from ..worlds.registry import BRAND_PROBS, BRANDS
 from .cities import CityModel
 
 __all__ = ["PoiConfig", "generate_poi_database", "is_category", "is_brand"]
 
-_BRANDS = ("starbucks", "mozart", "bluebottle", "independent")
+_BRANDS = BRANDS
 #: Probability a restaurant belongs to each brand (last = independent).
-_BRAND_PROBS = (0.08, 0.05, 0.03, 0.84)
+_BRAND_PROBS = BRAND_PROBS
 
 
 @dataclass(frozen=True)
@@ -48,62 +64,56 @@ class PoiConfig:
         return self.n_restaurants + self.n_schools + self.n_banks + self.n_cafes
 
 
+def _category_blocks(config: PoiConfig) -> list[tuple[int, AttrSchema]]:
+    """One ``(count, schema)`` block per POI category."""
+    return [
+        (config.n_restaurants, AttrSchema(fields=(
+            Constant("category", "restaurant"),
+            Numeric("rating", "normal", config.rating_mean, config.rating_sigma,
+                    low=1.0, high=5.0, decimals=1),
+            Bernoulli("open_sundays", config.open_sundays_rate),
+            Categorical("brand", _BRANDS, _BRAND_PROBS),
+            Numeric("review_count", "lognormal", 3.0, 1.0, offset=1.0, integer=True),
+        ))),
+        (config.n_schools, AttrSchema(fields=(
+            Constant("category", "school"),
+            Numeric("enrollment", "lognormal", config.enrollment_mu,
+                    config.enrollment_sigma, offset=20.0, integer=True),
+        ))),
+        (config.n_banks, AttrSchema(fields=(Constant("category", "bank"),))),
+        (config.n_cafes, AttrSchema(fields=(Constant("category", "cafe"),))),
+    ]
+
+
 def generate_poi_database(
-    region: Rect,
-    rng: np.random.Generator,
+    region: Union[Rect, RegionSpec, None] = None,
+    rng: Optional[np.random.Generator] = None,
     config: Optional[PoiConfig] = None,
     city_model: Optional[CityModel] = None,
 ) -> SpatialDatabase:
-    """Generate a POI database; deterministic given ``rng`` state."""
+    """Generate a POI database; deterministic given ``rng`` state.
+
+    ``region`` defaults to the library's standard experiment box
+    (:func:`repro.worlds.default_region`); a
+    :class:`~repro.worlds.RegionSpec` is accepted as well.
+    """
+    region = resolve_region(region)
+    if rng is None:
+        rng = np.random.default_rng(0)
     if config is None:
         config = PoiConfig()
     if city_model is None:
         city_model = CityModel.generate(region, n_cities=40, rng=rng)
+    spatial = city_model.to_spatial_model(region)
 
     tuples: list[LbsTuple] = []
-    tid = 0
-
-    for _ in range(config.n_restaurants):
-        rating = float(np.clip(rng.normal(config.rating_mean, config.rating_sigma), 1.0, 5.0))
-        brand = _BRANDS[int(rng.choice(len(_BRANDS), p=_BRAND_PROBS))]
-        tuples.append(LbsTuple(
-            tid=tid,
-            location=city_model.sample_point(rng),
-            attrs={
-                "category": "restaurant",
-                "rating": round(rating, 1),
-                "open_sundays": bool(rng.random() < config.open_sundays_rate),
-                "brand": brand,
-                "review_count": int(rng.lognormal(3.0, 1.0)) + 1,
-            },
-        ))
-        tid += 1
-
-    for _ in range(config.n_schools):
-        enrollment = int(rng.lognormal(config.enrollment_mu, config.enrollment_sigma)) + 20
-        tuples.append(LbsTuple(
-            tid=tid,
-            location=city_model.sample_point(rng),
-            attrs={"category": "school", "enrollment": enrollment},
-        ))
-        tid += 1
-
-    for _ in range(config.n_banks):
-        tuples.append(LbsTuple(
-            tid=tid,
-            location=city_model.sample_point(rng),
-            attrs={"category": "bank"},
-        ))
-        tid += 1
-
-    for _ in range(config.n_cafes):
-        tuples.append(LbsTuple(
-            tid=tid,
-            location=city_model.sample_point(rng),
-            attrs={"category": "cafe"},
-        ))
-        tid += 1
-
+    for count, schema in _category_blocks(config):
+        if count == 0:
+            continue
+        xy, labels = spatial.sample(rng, count, region)
+        tuples.extend(
+            synthesize_tuples(rng, xy, labels, schema, tid_start=len(tuples))
+        )
     return SpatialDatabase(tuples, region)
 
 

@@ -2,6 +2,9 @@
 
 The paper works in longitude/latitude; we work on a planar box in
 kilometres (the algorithms only need a metric plane — see DESIGN.md §3).
+The canonical boxes are defined once, in
+:mod:`repro.worlds.region` (:data:`~repro.worlds.region.NAMED_REGIONS`);
+this module derives the legacy ``*_BOX`` constants from there.
 ``US_BOX`` approximates the continental US extent (~4500 x 2800 km),
 ``AUSTIN_BOX`` a metropolitan sub-rectangle used by the Fig-17 AVG query,
 and ``CHINA_BOX`` the WeChat/Weibo experiments' region.
@@ -10,19 +13,24 @@ and ``CHINA_BOX`` the WeChat/Weibo experiments' region.
 from __future__ import annotations
 
 from ..geometry import Rect
+from ..worlds.region import RegionSpec
 
-__all__ = ["US_BOX", "AUSTIN_BOX", "CHINA_BOX", "UNIT_BOX", "subrect"]
+__all__ = ["US_BOX", "AUSTIN_BOX", "CHINA_BOX", "UNIT_BOX", "SMALL_BOX", "subrect"]
 
-US_BOX = Rect(0.0, 0.0, 4500.0, 2800.0)
+US_BOX = RegionSpec.named("us").rect
 
 #: A metro-sized window placed in the south-central part of ``US_BOX``
 #: (stands in for Austin, TX in the AVG(rating) experiment).
-AUSTIN_BOX = Rect(2200.0, 600.0, 2360.0, 760.0)
+AUSTIN_BOX = RegionSpec.named("austin").rect
 
-CHINA_BOX = Rect(0.0, 0.0, 5000.0, 3500.0)
+CHINA_BOX = RegionSpec.named("china").rect
 
 #: Small box for unit tests.
-UNIT_BOX = Rect(0.0, 0.0, 100.0, 100.0)
+UNIT_BOX = RegionSpec.named("unit").rect
+
+#: The standard offline-experiment region (and the dataset generators'
+#: default when no region is passed).
+SMALL_BOX = RegionSpec.named("small").rect
 
 
 def subrect(region: Rect, fx0: float, fy0: float, fx1: float, fy1: float) -> Rect:

@@ -4,17 +4,26 @@ Only users with the location feature enabled are visible to the nearby-
 people kNN API — the paper's Table-1 caveat that its COUNT measures
 location-enabled users, not registered accounts.  We generate the full
 population and expose the visible subset.
+
+A thin wrapper over :mod:`repro.worlds`: the profile columns and the
+visibility rate live in a declarative
+:class:`~repro.worlds.AttrSchema` (the same one the registry's
+``wechat-like-1m`` / ``weibo-like-100k`` scenarios use), and locations
+sample through the city model's vectorized worlds equivalent.
 """
 
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Optional
+from typing import Optional, Union
 
 import numpy as np
 
 from ..geometry import Rect
-from ..lbs import LbsTuple, SpatialDatabase
+from ..lbs import SpatialDatabase
+from ..worlds.attrs import AttrSchema, synthesize_tuples
+from ..worlds.region import RegionSpec, resolve_region
+from ..worlds.registry import user_fields
 from .cities import CityModel
 
 __all__ = ["UserConfig", "generate_user_database", "WECHAT_LIKE", "WEIBO_LIKE"]
@@ -28,6 +37,13 @@ class UserConfig:
     male_fraction: float = 0.5
     location_enabled_rate: float = 1.0
 
+    def schema(self) -> AttrSchema:
+        """The declarative form of this population's profile columns."""
+        return AttrSchema(
+            fields=user_fields(self.male_fraction),
+            visible_rate=self.location_enabled_rate,
+        )
+
 
 #: Gender skews matching the paper's Table-1 estimates.
 WECHAT_LIKE = UserConfig(n_users=5000, male_fraction=0.671)
@@ -35,32 +51,22 @@ WEIBO_LIKE = UserConfig(n_users=5000, male_fraction=0.504)
 
 
 def generate_user_database(
-    region: Rect,
-    rng: np.random.Generator,
+    region: Union[Rect, RegionSpec, None] = None,
+    rng: Optional[np.random.Generator] = None,
     config: Optional[UserConfig] = None,
     city_model: Optional[CityModel] = None,
 ) -> SpatialDatabase:
-    """Generate the *visible* user database (location-enabled users only)."""
+    """Generate the *visible* user database (location-enabled users only).
+
+    ``region`` defaults to the library's standard experiment box
+    (:func:`repro.worlds.default_region`).
+    """
+    region = resolve_region(region)
+    if rng is None:
+        rng = np.random.default_rng(0)
     if config is None:
         config = UserConfig()
     if city_model is None:
         city_model = CityModel.generate(region, n_cities=60, rng=rng)
-
-    tuples: list[LbsTuple] = []
-    tid = 0
-    for _ in range(config.n_users):
-        if rng.random() >= config.location_enabled_rate:
-            continue  # invisible to the nearby-people API
-        gender = "m" if rng.random() < config.male_fraction else "f"
-        tuples.append(LbsTuple(
-            tid=tid,
-            location=city_model.sample_point(rng),
-            attrs={
-                "gender": gender,
-                # Numeric mirror so gender ratio = AVG(is_male).
-                "is_male": 1 if gender == "m" else 0,
-                "name": f"user{tid}",
-            },
-        ))
-        tid += 1
-    return SpatialDatabase(tuples, region)
+    xy, labels = city_model.to_spatial_model(region).sample(rng, config.n_users, region)
+    return SpatialDatabase(synthesize_tuples(rng, xy, labels, config.schema()), region)

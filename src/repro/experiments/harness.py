@@ -25,6 +25,7 @@ import numpy as np
 
 from ..core.stopping import MaxQueries
 from ..datasets import (
+    SMALL_BOX,
     CityModel,
     PoiConfig,
     PopulationGrid,
@@ -47,8 +48,8 @@ __all__ = [
     "median_or_none",
 ]
 
-#: Default experiment region (kilometre-scale plane, like a mid-size state).
-SMALL_BOX = Rect(0.0, 0.0, 400.0, 300.0)
+# SMALL_BOX (the default experiment region) is re-exported from
+# repro.datasets, which derives it from the RegionSpec named table.
 
 #: Relative-error targets on the x-axis of Figures 13-17 and 20.
 DEFAULT_TARGETS = (0.5, 0.4, 0.3, 0.2, 0.15, 0.1)

@@ -84,6 +84,15 @@ class QueryEngineConfig:
         dominates), the uniform grid wins everywhere else.
     auto_brute_max:
         Largest database size for which ``"auto"`` picks brute force.
+        The default is the crossover measured on the ``repro.worlds``
+        registry scenarios (points and queries drawn from the
+        ``wechat-like-1m`` Zipf-hotspot model; uniform queries agree):
+        single-query kNN throughput is brute 212k/122k/58k q/s vs grid
+        ~33-40k q/s at n=16/32/64, ties at n≈96 (38.3k vs 38.0k), and
+        grid wins from n=128 up (35.6k vs 27.2k, widening with n).  The
+        batched kernel prefers the grid at *every* size (~1.8x even at
+        n=16), but at sub-crossover sizes both clear 150k q/s, so the
+        scalar path — where the gap reaches 6x — decides the default.
     cache_size:
         Capacity of the per-interface LRU query-answer cache (number of
         distinct snapped query locations).  ``0`` disables caching.
@@ -95,7 +104,7 @@ class QueryEngineConfig:
     """
 
     index_backend: str = "auto"
-    auto_brute_max: int = 64
+    auto_brute_max: int = 96
     cache_size: int = 65536
     snap_resolution: Optional[float] = None
 
@@ -140,13 +149,15 @@ def make_index(
     points: Sequence[tuple[float, float, Hashable]],
     backend: str = "auto",
     *,
-    auto_brute_max: int = 64,
+    auto_brute_max: int = 96,
 ) -> SpatialIndex:
     """Build a spatial index over ``points``.
 
     ``backend`` is ``"kdtree"``, ``"grid"``, ``"brute"``, or ``"auto"``
     (brute force up to ``auto_brute_max`` points, uniform grid beyond —
-    the crossover where candidate-gathering overhead stops dominating).
+    the crossover where candidate-gathering overhead stops dominating,
+    measured on the worlds registry scenarios; see
+    :class:`QueryEngineConfig.auto_brute_max`).
     All backends return identical answers; only throughput differs.
     """
     registry = _backends()

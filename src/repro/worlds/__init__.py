@@ -1,0 +1,90 @@
+"""repro.worlds — declarative world and workload generation.
+
+The world is a first-class, frozen, JSON-round-tripping spec, exactly
+like :class:`~repro.api.EstimationSpec` (the run) and
+:class:`~repro.lbs.InterfaceSpec` (the service):
+
+* :class:`RegionSpec` — the bounding region, with the library's named
+  defaults (``small``/``us``/``china``/...);
+* :class:`SpatialModel` — where entities live: :class:`UniformField`,
+  :class:`GaussianClusters`, :class:`ZipfHotspots`, :class:`RingRoad`,
+  :class:`MixtureField`, all with fully vectorized NumPy samplers;
+* :class:`AttrSchema` — what entities carry: categorical / numeric /
+  boolean columns with per-cluster conditional skews, heavy-tailed
+  popularity models, and a visibility rate;
+* :class:`WorldSpec` — the whole world; ``build(seed)`` produces a
+  bit-identical :class:`~repro.lbs.SpatialDatabase` (+ census raster)
+  every time;
+* :mod:`~repro.worlds.registry` — named scenarios
+  (``"paper/clustered"``, ``"wechat-like-1m"``, ...)::
+
+      from repro import worlds
+
+      world = worlds.build("paper/clustered")            # live world
+      spec = worlds.get("wechat-like-1m").with_size(5000)  # rescale
+      Session(spec).lnr(k=10).count().run(MaxQueries(4000))
+
+An :class:`~repro.api.EstimationSpec` embeds a ``WorldSpec``, so a full
+scenario — world + interface + estimation — travels as ONE serializable
+document and ``Session.from_spec(json)`` reproduces the original run
+bit-identically.
+"""
+
+from .attrs import (
+    AttrField,
+    AttrSchema,
+    Bernoulli,
+    Categorical,
+    Constant,
+    Indicator,
+    Numeric,
+    Tag,
+    attr_field_from_dict,
+    synthesize_tuples,
+)
+from .region import NAMED_REGIONS, RegionSpec, default_region, resolve_region
+from .registry import build, get, names, poi_fields, register, specs, user_fields
+from .spatial import (
+    GaussianClusters,
+    MixtureField,
+    RingRoad,
+    SpatialModel,
+    UniformField,
+    ZipfHotspots,
+    spatial_model_from_dict,
+)
+from .spec import CensusSpec, World, WorldSpec
+
+__all__ = [
+    "RegionSpec",
+    "NAMED_REGIONS",
+    "default_region",
+    "resolve_region",
+    "SpatialModel",
+    "UniformField",
+    "GaussianClusters",
+    "ZipfHotspots",
+    "RingRoad",
+    "MixtureField",
+    "spatial_model_from_dict",
+    "AttrField",
+    "AttrSchema",
+    "Constant",
+    "Categorical",
+    "Numeric",
+    "Bernoulli",
+    "Indicator",
+    "Tag",
+    "attr_field_from_dict",
+    "synthesize_tuples",
+    "CensusSpec",
+    "WorldSpec",
+    "World",
+    "register",
+    "get",
+    "names",
+    "specs",
+    "build",
+    "poi_fields",
+    "user_fields",
+]

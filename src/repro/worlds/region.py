@@ -1,0 +1,114 @@
+"""Declarative experiment regions.
+
+A :class:`RegionSpec` is the serializable form of the bounding region
+``V0`` every world is generated in (and every estimator samples over).
+It is the single source of truth for the library's named default
+regions — ``repro.datasets.regions`` derives its ``*_BOX`` constants
+from here, and the dataset generators fall back to
+:func:`default_region` when no region is passed.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, replace
+from typing import Optional
+
+from ..geometry import Rect
+
+__all__ = ["RegionSpec", "default_region", "resolve_region", "NAMED_REGIONS"]
+
+#: The canonical named regions (kilometre-scale planes, see DESIGN.md §3):
+#: ``small`` is the standard offline-experiment box, ``us``/``china``
+#: approximate the paper's continental extents, ``austin`` the Fig-17
+#: metro window, ``unit`` the unit-test box.
+NAMED_REGIONS: dict[str, tuple[float, float, float, float]] = {
+    "small": (0.0, 0.0, 400.0, 300.0),
+    "us": (0.0, 0.0, 4500.0, 2800.0),
+    "austin": (2200.0, 600.0, 2360.0, 760.0),
+    "china": (0.0, 0.0, 5000.0, 3500.0),
+    "unit": (0.0, 0.0, 100.0, 100.0),
+}
+
+
+@dataclass(frozen=True)
+class RegionSpec:
+    """A frozen, JSON-round-tripping bounding region.
+
+    ``name`` is a purely descriptive tag (kept through serialization so
+    registry scenarios stay self-describing); the coordinates alone
+    define the geometry.
+    """
+
+    x0: float = 0.0
+    y0: float = 0.0
+    x1: float = 400.0
+    y1: float = 300.0
+    name: Optional[str] = None
+
+    def __post_init__(self) -> None:
+        if not (self.x1 > self.x0 and self.y1 > self.y0):
+            raise ValueError(f"degenerate region [{self.x0},{self.x1}]x[{self.y0},{self.y1}]")
+
+    # ------------------------------------------------------------------
+    @classmethod
+    def named(cls, name: str) -> "RegionSpec":
+        """One of the canonical regions (``small``/``us``/``austin``/...)."""
+        try:
+            coords = NAMED_REGIONS[name]
+        except KeyError:
+            raise ValueError(
+                f"unknown region {name!r}; expected one of {tuple(NAMED_REGIONS)}"
+            ) from None
+        return cls(*coords, name=name)
+
+    @classmethod
+    def from_rect(cls, rect: Rect, name: Optional[str] = None) -> "RegionSpec":
+        return cls(rect.x0, rect.y0, rect.x1, rect.y1, name=name)
+
+    # ------------------------------------------------------------------
+    @property
+    def rect(self) -> Rect:
+        return Rect(self.x0, self.y0, self.x1, self.y1)
+
+    @property
+    def width(self) -> float:
+        return self.x1 - self.x0
+
+    @property
+    def height(self) -> float:
+        return self.y1 - self.y0
+
+    @property
+    def area(self) -> float:
+        return self.width * self.height
+
+    def replace(self, **changes) -> "RegionSpec":
+        return replace(self, **changes)
+
+    # ------------------------------------------------------------------
+    def to_dict(self) -> dict:
+        return {"x0": self.x0, "y0": self.y0, "x1": self.x1, "y1": self.y1,
+                "name": self.name}
+
+    @classmethod
+    def from_dict(cls, data: dict) -> "RegionSpec":
+        return cls(
+            x0=data["x0"], y0=data["y0"], x1=data["x1"], y1=data["y1"],
+            name=data.get("name"),
+        )
+
+
+def default_region() -> Rect:
+    """The region dataset generators use when none is given."""
+    return RegionSpec.named("small").rect
+
+
+def resolve_region(region) -> Rect:
+    """Coerce a ``Rect`` / :class:`RegionSpec` / ``None`` region
+    parameter to a concrete ``Rect`` (``None`` → :func:`default_region`).
+    The one coercion shared by every dataset-generator entry point."""
+    if region is None:
+        return default_region()
+    if isinstance(region, RegionSpec):
+        return region.rect
+    return region

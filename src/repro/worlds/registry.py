@@ -1,0 +1,208 @@
+"""Named world scenarios — the library's workload gallery.
+
+Every entry is a complete :class:`~repro.worlds.WorldSpec`; nothing
+here is code, only declarative values, so any scenario serializes into
+an :class:`~repro.api.EstimationSpec` and rebuilds bit-identically
+anywhere.  ``build("paper/clustered")`` gives a live world;
+``get(name).with_size(1_000_000)`` is the scaling axis the
+``bench_scaling`` trajectory sweeps.
+
+The gallery spans the population-structure axes estimator behaviour
+hinges on: spatial skew (uniform → Zipf hotspots → road networks),
+attribute skew (per-cluster category mixes, heavy-tailed popularity),
+and visibility (location-enabled rates below 1).
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+from .attrs import (
+    AttrSchema,
+    Bernoulli,
+    Categorical,
+    Indicator,
+    Numeric,
+    Tag,
+)
+from .region import RegionSpec
+from .spatial import (
+    GaussianClusters,
+    MixtureField,
+    RingRoad,
+    UniformField,
+    ZipfHotspots,
+)
+from .spec import CensusSpec, WorldSpec
+
+__all__ = ["register", "get", "names", "specs", "build",
+           "poi_fields", "user_fields"]
+
+#: Restaurant brand mix shared with :mod:`repro.datasets.pois`.
+BRANDS = ("starbucks", "mozart", "bluebottle", "independent")
+BRAND_PROBS = (0.08, 0.05, 0.03, 0.84)
+
+
+def poi_fields(cluster_skew: float = 0.0) -> tuple:
+    """The OSM-like POI columns (paper §6.1): a category mix with
+    Maps-style restaurant attributes and Census-style enrollment."""
+    return (
+        Categorical("category", ("restaurant", "school", "bank", "cafe"),
+                    (0.5, 0.25, 0.125, 0.125), cluster_skew=cluster_skew),
+        Numeric("rating", "normal", 3.8, 0.7, low=1.0, high=5.0, decimals=1,
+                when=("category", "restaurant")),
+        Bernoulli("open_sundays", 0.6, when=("category", "restaurant")),
+        Categorical("brand", BRANDS, BRAND_PROBS, when=("category", "restaurant")),
+        Numeric("review_count", "lognormal", 3.0, 1.0, offset=1.0, integer=True,
+                when=("category", "restaurant")),
+        Numeric("enrollment", "lognormal", 6.2, 0.7, offset=20.0, integer=True,
+                when=("category", "school")),
+    )
+
+
+def user_fields(male_fraction: float) -> tuple:
+    """Social-network profile columns (WeChat / Weibo style, §6.3)."""
+    return (
+        Categorical("gender", ("m", "f"), (male_fraction, 1.0 - male_fraction)),
+        Indicator("is_male", source="gender", value="m"),
+        Tag("name", prefix="user"),
+    )
+
+
+_REGISTRY: dict[str, WorldSpec] = {}
+
+
+def register(spec: WorldSpec, *, replace: bool = False) -> WorldSpec:
+    """Add a named spec to the registry (``spec.name`` is the key)."""
+    if not spec.name:
+        raise ValueError("registry specs need a name")
+    if spec.name in _REGISTRY and not replace:
+        raise ValueError(f"world {spec.name!r} already registered")
+    _REGISTRY[spec.name] = spec
+    return spec
+
+
+def get(name: str) -> WorldSpec:
+    """The registered spec (frozen; ``.replace()``/``.with_size()`` to vary)."""
+    try:
+        return _REGISTRY[name]
+    except KeyError:
+        raise ValueError(
+            f"unknown world {name!r}; registered: {sorted(_REGISTRY)}"
+        ) from None
+
+
+def names() -> list[str]:
+    return sorted(_REGISTRY)
+
+
+def specs() -> list[WorldSpec]:
+    return [_REGISTRY[k] for k in sorted(_REGISTRY)]
+
+
+def build(name: str, *, seed: Optional[int] = None, n: Optional[int] = None):
+    """Build a registered world, optionally rescaled / reseeded."""
+    spec = get(name)
+    if n is not None:
+        spec = spec.with_size(n)
+    return spec.build(seed=seed)
+
+
+# ----------------------------------------------------------------------
+# The gallery.
+# ----------------------------------------------------------------------
+
+#: The paper's uniform synthetic baseline: no spatial structure at all —
+#: every Voronoi cell is about the same size, the easy case.
+register(WorldSpec(
+    name="paper/uniform-10k",
+    region=RegionSpec.named("small"),
+    n=10_000,
+    spatial=UniformField(),
+    attrs=AttrSchema(fields=poi_fields()),
+    census=CensusSpec(nx=24, ny=18, noise=0.0),
+))
+
+#: The paper's real workload shape: Zipf-weighted metro areas over a
+#: rural floor (Fig-11 skew — top-1 cells spanning orders of magnitude).
+register(WorldSpec(
+    name="paper/clustered",
+    region=RegionSpec.named("small"),
+    n=10_000,
+    spatial=ZipfHotspots(n_hotspots=40, sigma_fraction=0.015, background=0.2),
+    attrs=AttrSchema(fields=poi_fields()),
+    census=CensusSpec(nx=24, ny=18, noise=0.1),
+))
+
+#: Places-style prominence workload: hotspot POIs carrying a heavy-tailed
+#: popularity score for §5.3 prominence-ranked interfaces.
+register(WorldSpec(
+    name="paper/places-prominence",
+    region=RegionSpec.named("small"),
+    n=10_000,
+    spatial=ZipfHotspots(n_hotspots=25, sigma_fraction=0.02, background=0.15),
+    attrs=AttrSchema(fields=poi_fields() + (
+        Numeric("popularity", "pareto", 1.5, 1.0, decimals=3),
+    )),
+    census=CensusSpec(nx=24, ny=18, noise=0.1),
+))
+
+#: WeChat-scale social world: a million users over China-scale Zipf
+#: metros, 67.1% male (the paper's Table-1 estimate), 10% of accounts
+#: location-disabled and therefore invisible to the nearby-people API.
+register(WorldSpec(
+    name="wechat-like-1m",
+    region=RegionSpec.named("china"),
+    n=1_000_000,
+    spatial=ZipfHotspots(n_hotspots=60, sigma_fraction=0.008, background=0.1,
+                         layout_seed=1),
+    attrs=AttrSchema(fields=user_fields(0.671), visible_rate=0.9),
+    census=CensusSpec(nx=32, ny=22, noise=0.1),
+))
+
+#: Weibo-style counterpart: balanced genders, lower visibility.
+register(WorldSpec(
+    name="weibo-like-100k",
+    region=RegionSpec.named("china"),
+    n=100_000,
+    spatial=ZipfHotspots(n_hotspots=80, sigma_fraction=0.01, background=0.15,
+                         layout_seed=2),
+    attrs=AttrSchema(fields=user_fields(0.504), visible_rate=0.8),
+    census=CensusSpec(nx=32, ny=22, noise=0.1),
+))
+
+#: A ring city with two arterial roads — population on a transport
+#: skeleton, the degenerate-Voronoi stress shape no Gaussian mixture
+#: produces.
+register(WorldSpec(
+    name="ring-city",
+    region=RegionSpec.named("small"),
+    n=10_000,
+    spatial=RingRoad(
+        rings=((0.5, 0.5, 0.3),),
+        roads=((0.05, 0.05, 0.95, 0.95), (0.05, 0.95, 0.95, 0.05)),
+        width_fraction=0.012,
+        background=0.1,
+    ),
+    attrs=AttrSchema(fields=poi_fields()),
+    census=CensusSpec(nx=24, ny=18, noise=0.0),
+))
+
+#: Three explicit metros over a uniform rural floor, with per-cluster
+#: category skew: downtown mixes differ visibly from the countryside.
+register(WorldSpec(
+    name="mixture-metro-rural",
+    region=RegionSpec.named("small"),
+    n=10_000,
+    spatial=MixtureField(components=(
+        (0.65, GaussianClusters(
+            centers=((0.2, 0.3), (0.55, 0.7), (0.85, 0.25)),
+            sigmas=(0.03, 0.05, 0.02),
+            weights=(3.0, 2.0, 1.0),
+            background=0.0,
+        )),
+        (0.35, UniformField()),
+    )),
+    attrs=AttrSchema(fields=poi_fields(cluster_skew=0.35)),
+    census=CensusSpec(nx=24, ny=18, noise=0.05),
+))

@@ -1,0 +1,525 @@
+"""Pluggable spatial population models with vectorized NumPy samplers.
+
+Every model answers two questions for a bounding region:
+
+* :meth:`~SpatialModel.sample` — draw ``n`` points in one vectorized
+  pass, returning ``(xy, labels)`` where ``labels[i]`` identifies the
+  mixture component (cluster, ring, road...) that produced point ``i``
+  (``-1`` = diffuse background).  Labels feed the per-cluster attribute
+  skews of :mod:`repro.worlds.attrs`.
+* :meth:`~SpatialModel.density_grid` — rasterize the (un-normalized)
+  density at cell centres, the substrate of the world's census raster
+  (§5.2 external knowledge).
+
+Models are frozen dataclasses serializing through a ``kind``-tagged
+registry, so a :class:`~repro.worlds.spec.WorldSpec` embedding one
+round-trips through JSON.  All geometry is *fractional* (relative to
+the region's width/height, sigmas relative to the shorter side), so one
+model transfers between regions unchanged.
+
+Sampling determinism: every sampler consumes the generator stream as a
+fixed function of ``(model, n, region)`` — same spec + same seed is
+bit-identical, which :mod:`tests/worlds` enforces for every registered
+scenario.  Out-of-region draws are rejection-resampled in vectorized
+rounds (and clamped after a pathological number of rounds, e.g. a
+cluster centred far outside the region).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import ClassVar
+
+import numpy as np
+
+from ..geometry import Rect
+
+__all__ = [
+    "SpatialModel",
+    "UniformField",
+    "GaussianClusters",
+    "ZipfHotspots",
+    "RingRoad",
+    "MixtureField",
+    "spatial_model_from_dict",
+]
+
+#: Rejection-resampling rounds before clamping the stragglers.
+_MAX_RESAMPLE_ROUNDS = 64
+
+_KINDS: dict[str, type] = {}
+
+
+def _register(cls):
+    _KINDS[cls.kind] = cls
+    return cls
+
+
+def spatial_model_from_dict(data: dict) -> "SpatialModel":
+    """Inverse of ``model.to_dict()`` for every registered model kind."""
+    kind = data.get("kind")
+    try:
+        cls = _KINDS[kind]
+    except KeyError:
+        raise ValueError(
+            f"unknown spatial model kind {kind!r}; expected one of {tuple(_KINDS)}"
+        ) from None
+    return cls.from_dict(data)
+
+
+def _cell_centers(region: Rect, nx: int, ny: int) -> tuple[np.ndarray, np.ndarray]:
+    """``(cx, cy)`` meshgrids of cell centres, each shaped ``(nx, ny)``."""
+    cx = region.x0 + (np.arange(nx) + 0.5) * (region.width / nx)
+    cy = region.y0 + (np.arange(ny) + 0.5) * (region.height / ny)
+    return np.meshgrid(cx, cy, indexing="ij")
+
+
+class SpatialModel:
+    """Base class: shared resampling helper + serde entry points."""
+
+    kind: ClassVar[str] = "abstract"
+
+    def sample(self, rng: np.random.Generator, n: int,
+               region: Rect) -> tuple[np.ndarray, np.ndarray]:
+        raise NotImplementedError
+
+    def density_grid(self, region: Rect, nx: int, ny: int) -> np.ndarray:
+        raise NotImplementedError
+
+    def to_dict(self) -> dict:
+        raise NotImplementedError
+
+    @classmethod
+    def from_dict(cls, data: dict) -> "SpatialModel":
+        raise NotImplementedError
+
+    # ------------------------------------------------------------------
+    def _resample_into(self, rng: np.random.Generator, xy: np.ndarray,
+                       region: Rect, redraw) -> np.ndarray:
+        """Re-draw out-of-region rows via ``redraw(rng, bad_idx)`` until
+        all points are inside (clamping after `_MAX_RESAMPLE_ROUNDS`)."""
+        for _round in range(_MAX_RESAMPLE_ROUNDS):
+            bad = np.flatnonzero(
+                (xy[:, 0] < region.x0) | (xy[:, 0] > region.x1)
+                | (xy[:, 1] < region.y0) | (xy[:, 1] > region.y1)
+            )
+            if bad.size == 0:
+                return xy
+            xy[bad] = redraw(rng, bad)
+        np.clip(xy[:, 0], region.x0, region.x1, out=xy[:, 0])
+        np.clip(xy[:, 1], region.y0, region.y1, out=xy[:, 1])
+        return xy
+
+
+@_register
+@dataclass(frozen=True)
+class UniformField(SpatialModel):
+    """Points uniform over the whole region; no clusters, no labels."""
+
+    kind: ClassVar[str] = "uniform"
+
+    def sample(self, rng, n, region):
+        u = rng.random((n, 2))
+        xy = np.empty((n, 2))
+        xy[:, 0] = region.x0 + u[:, 0] * region.width
+        xy[:, 1] = region.y0 + u[:, 1] * region.height
+        return xy, np.full(n, -1, dtype=np.int64)
+
+    def density_grid(self, region, nx, ny):
+        return np.ones((nx, ny))
+
+    def to_dict(self):
+        return {"kind": self.kind}
+
+    @classmethod
+    def from_dict(cls, data):
+        return cls()
+
+
+@_register
+@dataclass(frozen=True)
+class GaussianClusters(SpatialModel):
+    """An explicit Gaussian-mixture of clusters over a diffuse background.
+
+    ``centers`` are fractional ``(fx, fy)`` positions, ``sigmas``
+    fractional of the shorter region side, ``weights`` relative cluster
+    masses; ``background`` is the fraction of total mass spread
+    uniformly (the rural floor of the paper's city phenomenology).
+    """
+
+    kind: ClassVar[str] = "gaussian"
+
+    centers: tuple[tuple[float, float], ...] = ((0.5, 0.5),)
+    sigmas: tuple[float, ...] = (0.05,)
+    weights: tuple[float, ...] = (1.0,)
+    background: float = 0.15
+
+    def __post_init__(self) -> None:
+        object.__setattr__(self, "centers", tuple(tuple(c) for c in self.centers))
+        object.__setattr__(self, "sigmas", tuple(self.sigmas))
+        object.__setattr__(self, "weights", tuple(self.weights))
+        k = len(self.centers)
+        if k == 0:
+            raise ValueError("need at least one cluster (use UniformField otherwise)")
+        if len(self.sigmas) != k or len(self.weights) != k:
+            raise ValueError("centers, sigmas, and weights must have equal length")
+        if any(s <= 0 for s in self.sigmas):
+            raise ValueError("sigmas must be positive")
+        if any(w <= 0 for w in self.weights):
+            raise ValueError("weights must be positive")
+        if not 0.0 <= self.background < 1.0:
+            raise ValueError("background must be in [0, 1)")
+
+    # ------------------------------------------------------------------
+    def _abs_params(self, region: Rect):
+        cx = region.x0 + np.array([c[0] for c in self.centers]) * region.width
+        cy = region.y0 + np.array([c[1] for c in self.centers]) * region.height
+        sig = np.array(self.sigmas) * min(region.width, region.height)
+        w = np.array(self.weights, dtype=float)
+        return cx, cy, sig, w / w.sum()
+
+    def sample(self, rng, n, region):
+        cx, cy, sig, probs = self._abs_params(region)
+        k = len(probs)
+        # Component -1 = background; clusters share (1 - background).
+        full = np.concatenate(([self.background], probs * (1.0 - self.background)))
+        comp = rng.choice(k + 1, size=n, p=full) - 1
+
+        def draw(rng, idx):
+            c = comp[idx]
+            out = np.empty((idx.size, 2))
+            bg = c < 0
+            if bg.any():
+                u = rng.random((int(bg.sum()), 2))
+                out[bg, 0] = region.x0 + u[:, 0] * region.width
+                out[bg, 1] = region.y0 + u[:, 1] * region.height
+            cl = ~bg
+            if cl.any():
+                z = rng.normal(size=(int(cl.sum()), 2))
+                cc = c[cl]
+                out[cl, 0] = cx[cc] + z[:, 0] * sig[cc]
+                out[cl, 1] = cy[cc] + z[:, 1] * sig[cc]
+            return out
+
+        xy = draw(rng, np.arange(n))
+        xy = self._resample_into(rng, xy, region, draw)
+        return xy, comp.astype(np.int64)
+
+    def density_grid(self, region, nx, ny):
+        cx, cy, sig, probs = self._abs_params(region)
+        gx, gy = _cell_centers(region, nx, ny)
+        dens = np.full((nx, ny), self.background / region.area)
+        urban = 1.0 - self.background
+        for i in range(len(probs)):
+            s2 = sig[i] * sig[i]
+            d2 = (gx - cx[i]) ** 2 + (gy - cy[i]) ** 2
+            dens += urban * probs[i] * np.exp(-d2 / (2.0 * s2)) / (2.0 * np.pi * s2)
+        return dens
+
+    def to_dict(self):
+        return {
+            "kind": self.kind,
+            "centers": [list(c) for c in self.centers],
+            "sigmas": list(self.sigmas),
+            "weights": list(self.weights),
+            "background": self.background,
+        }
+
+    @classmethod
+    def from_dict(cls, data):
+        return cls(
+            centers=tuple(tuple(c) for c in data["centers"]),
+            sigmas=tuple(data["sigmas"]),
+            weights=tuple(data["weights"]),
+            background=data.get("background", 0.15),
+        )
+
+
+@_register
+@dataclass(frozen=True)
+class ZipfHotspots(SpatialModel):
+    """Zipf-weighted hotspots: the declarative form of the city mixture.
+
+    ``n_hotspots`` centres are placed uniformly by a deterministic
+    ``layout_seed`` stream; hotspot ``rank`` carries weight
+    ``rank ** -zipf_exponent`` and radius
+    ``sigma_fraction * weight ** sigma_growth`` (radii grow sub-linearly
+    with mass, like real metro areas — the paper's Fig-11 skew).  The
+    layout is a pure function of the spec, so two builds of the same
+    spec share the exact same hotspot geometry.
+    """
+
+    kind: ClassVar[str] = "zipf"
+
+    n_hotspots: int = 40
+    zipf_exponent: float = 1.0
+    sigma_fraction: float = 0.012
+    sigma_growth: float = 0.4
+    background: float = 0.15
+    layout_seed: int = 0
+
+    def __post_init__(self) -> None:
+        if self.n_hotspots < 1:
+            raise ValueError("n_hotspots must be >= 1")
+        if self.sigma_fraction <= 0.0:
+            raise ValueError("sigma_fraction must be positive")
+        if not 0.0 <= self.background < 1.0:
+            raise ValueError("background must be in [0, 1)")
+
+    def materialize(self) -> GaussianClusters:
+        """The explicit cluster list this spec denotes (deterministic).
+
+        The layout law mirrors ``CityModel.generate``
+        (``repro.datasets.cities``): weight = rank**-zipf, radius =
+        sigma_fraction * weight**growth * U(0.7, 1.3).  The two are kept
+        as separate implementations on purpose — they consume their RNG
+        streams differently, and unifying them would re-roll every
+        seed-pinned dataset realization — so a change to the law here
+        must be mirrored there.
+        """
+        rng = np.random.default_rng([0x5EED, self.layout_seed])
+        centers = rng.random((self.n_hotspots, 2))
+        ranks = np.arange(1, self.n_hotspots + 1, dtype=float)
+        weights = ranks ** (-self.zipf_exponent)
+        sigmas = (
+            self.sigma_fraction
+            * weights ** self.sigma_growth
+            * rng.uniform(0.7, 1.3, self.n_hotspots)
+        )
+        return GaussianClusters(
+            centers=tuple(map(tuple, centers)),
+            sigmas=tuple(sigmas),
+            weights=tuple(weights),
+            background=self.background,
+        )
+
+    def sample(self, rng, n, region):
+        return self.materialize().sample(rng, n, region)
+
+    def density_grid(self, region, nx, ny):
+        return self.materialize().density_grid(region, nx, ny)
+
+    def to_dict(self):
+        return {
+            "kind": self.kind,
+            "n_hotspots": self.n_hotspots,
+            "zipf_exponent": self.zipf_exponent,
+            "sigma_fraction": self.sigma_fraction,
+            "sigma_growth": self.sigma_growth,
+            "background": self.background,
+            "layout_seed": self.layout_seed,
+        }
+
+    @classmethod
+    def from_dict(cls, data):
+        return cls(
+            n_hotspots=data["n_hotspots"],
+            zipf_exponent=data.get("zipf_exponent", 1.0),
+            sigma_fraction=data.get("sigma_fraction", 0.012),
+            sigma_growth=data.get("sigma_growth", 0.4),
+            background=data.get("background", 0.15),
+            layout_seed=data.get("layout_seed", 0),
+        )
+
+
+@_register
+@dataclass(frozen=True)
+class RingRoad(SpatialModel):
+    """Populations concentrated along a transport skeleton.
+
+    ``rings`` are ``(fcx, fcy, fradius)`` ring roads (radius fractional
+    of the shorter side), ``roads`` are ``(fx0, fy0, fx1, fy1)``
+    segments; points sit on the skeleton with a Gaussian cross-section
+    of ``width_fraction``.  Component mass is proportional to skeleton
+    length, so linear density is uniform along the network.  Labels
+    number rings first, then roads.
+    """
+
+    kind: ClassVar[str] = "ringroad"
+
+    rings: tuple[tuple[float, float, float], ...] = ((0.5, 0.5, 0.3),)
+    roads: tuple[tuple[float, float, float, float], ...] = ()
+    width_fraction: float = 0.01
+    background: float = 0.1
+
+    def __post_init__(self) -> None:
+        object.__setattr__(self, "rings", tuple(tuple(r) for r in self.rings))
+        object.__setattr__(self, "roads", tuple(tuple(r) for r in self.roads))
+        if not self.rings and not self.roads:
+            raise ValueError("need at least one ring or road")
+        if any(r[2] <= 0 for r in self.rings):
+            raise ValueError("ring radii must be positive")
+        if any(r[0] == r[2] and r[1] == r[3] for r in self.roads):
+            raise ValueError("roads must have positive length")
+        if self.width_fraction <= 0.0:
+            raise ValueError("width_fraction must be positive")
+        if not 0.0 <= self.background < 1.0:
+            raise ValueError("background must be in [0, 1)")
+
+    # ------------------------------------------------------------------
+    def _skeleton(self, region: Rect):
+        """Absolute geometry + per-component length weights."""
+        span = min(region.width, region.height)
+        rings = [
+            (region.x0 + fx * region.width, region.y0 + fy * region.height, fr * span)
+            for fx, fy, fr in self.rings
+        ]
+        roads = [
+            (region.x0 + fx0 * region.width, region.y0 + fy0 * region.height,
+             region.x0 + fx1 * region.width, region.y0 + fy1 * region.height)
+            for fx0, fy0, fx1, fy1 in self.roads
+        ]
+        lengths = [2.0 * np.pi * r for _x, _y, r in rings]
+        lengths += [float(np.hypot(x1 - x0, y1 - y0)) for x0, y0, x1, y1 in roads]
+        probs = np.array(lengths) / sum(lengths)
+        return rings, roads, probs, self.width_fraction * span
+
+    def sample(self, rng, n, region):
+        rings, roads, probs, width = self._skeleton(region)
+        k = len(probs)
+        full = np.concatenate(([self.background], probs * (1.0 - self.background)))
+        comp = rng.choice(k + 1, size=n, p=full) - 1
+
+        def draw(rng, idx):
+            c = comp[idx]
+            out = np.empty((idx.size, 2))
+            bg = c < 0
+            if bg.any():
+                u = rng.random((int(bg.sum()), 2))
+                out[bg, 0] = region.x0 + u[:, 0] * region.width
+                out[bg, 1] = region.y0 + u[:, 1] * region.height
+            # One (t, offset) pair per non-background point, drawn in one
+            # pass and interpreted per component.
+            on = ~bg
+            if on.any():
+                m = int(on.sum())
+                t = rng.random(m)
+                off = rng.normal(0.0, width, m)
+                cc = c[on]
+                ox = np.empty(m)
+                oy = np.empty(m)
+                for j in range(k):
+                    sel = cc == j
+                    if not sel.any():
+                        continue
+                    if j < len(rings):
+                        cx, cy, r = rings[j]
+                        theta = t[sel] * 2.0 * np.pi
+                        rad = r + off[sel]
+                        ox[sel] = cx + rad * np.cos(theta)
+                        oy[sel] = cy + rad * np.sin(theta)
+                    else:
+                        x0, y0, x1, y1 = roads[j - len(rings)]
+                        dx, dy = x1 - x0, y1 - y0
+                        norm = float(np.hypot(dx, dy))
+                        ox[sel] = x0 + t[sel] * dx - off[sel] * dy / norm
+                        oy[sel] = y0 + t[sel] * dy + off[sel] * dx / norm
+                out[on, 0] = ox
+                out[on, 1] = oy
+            return out
+
+        xy = draw(rng, np.arange(n))
+        xy = self._resample_into(rng, xy, region, draw)
+        return xy, comp.astype(np.int64)
+
+    def density_grid(self, region, nx, ny):
+        rings, roads, probs, width = self._skeleton(region)
+        gx, gy = _cell_centers(region, nx, ny)
+        # Everything in per-cell MASS units (each term sums to its
+        # component's share), so background and skeleton combine on the
+        # same scale and the grid totals 1.
+        dens = np.full((nx, ny), self.background / (nx * ny))
+        scale = 1.0 - self.background
+        for j, (cx, cy, r) in enumerate(rings):
+            d = np.abs(np.hypot(gx - cx, gy - cy) - r)
+            line = np.exp(-(d * d) / (2.0 * width * width))
+            dens += scale * probs[j] * line / max(line.sum(), 1e-300)
+        for j, (x0, y0, x1, y1) in enumerate(roads):
+            dx, dy = x1 - x0, y1 - y0
+            L2 = dx * dx + dy * dy
+            t = np.clip(((gx - x0) * dx + (gy - y0) * dy) / L2, 0.0, 1.0)
+            d = np.hypot(gx - (x0 + t * dx), gy - (y0 + t * dy))
+            line = np.exp(-(d * d) / (2.0 * width * width))
+            dens += scale * probs[len(rings) + j] * line / max(line.sum(), 1e-300)
+        return dens
+
+    def to_dict(self):
+        return {
+            "kind": self.kind,
+            "rings": [list(r) for r in self.rings],
+            "roads": [list(r) for r in self.roads],
+            "width_fraction": self.width_fraction,
+            "background": self.background,
+        }
+
+    @classmethod
+    def from_dict(cls, data):
+        return cls(
+            rings=tuple(tuple(r) for r in data.get("rings", ())),
+            roads=tuple(tuple(r) for r in data.get("roads", ())),
+            width_fraction=data.get("width_fraction", 0.01),
+            background=data.get("background", 0.1),
+        )
+
+
+@_register
+@dataclass(frozen=True)
+class MixtureField(SpatialModel):
+    """A weighted mixture of sub-models (e.g. metro clusters + uniform
+    rural floor + a highway corridor).  Labels are the component index
+    in ``components`` order (sub-model cluster structure is flattened),
+    except that rows a sub-model itself labels as diffuse background
+    (``-1`` — a UniformField component, or a cluster model's rural
+    floor) stay ``-1``, preserving the "background is unskewed"
+    contract through the mixture."""
+
+    kind: ClassVar[str] = "mixture"
+
+    components: tuple[tuple[float, SpatialModel], ...] = field(
+        default_factory=lambda: ((1.0, UniformField()),)
+    )
+
+    def __post_init__(self) -> None:
+        object.__setattr__(
+            self, "components", tuple((float(w), m) for w, m in self.components)
+        )
+        if not self.components:
+            raise ValueError("mixture needs at least one component")
+        if any(w <= 0 for w, _m in self.components):
+            raise ValueError("component weights must be positive")
+
+    def sample(self, rng, n, region):
+        w = np.array([wi for wi, _m in self.components])
+        comp = rng.choice(len(w), size=n, p=w / w.sum())
+        xy = np.empty((n, 2))
+        labels = np.empty(n, dtype=np.int64)
+        # Fixed component order keeps the stream deterministic.
+        for i, (_w, model) in enumerate(self.components):
+            idx = np.flatnonzero(comp == i)
+            if idx.size:
+                xy[idx], sub = model.sample(rng, idx.size, region)
+                labels[idx] = np.where(sub < 0, -1, i)
+        return xy, labels
+
+    def density_grid(self, region, nx, ny):
+        w = np.array([wi for wi, _m in self.components])
+        w = w / w.sum()
+        dens = np.zeros((nx, ny))
+        for wi, model in zip(w, (m for _w, m in self.components)):
+            g = model.density_grid(region, nx, ny)
+            dens += wi * g / g.sum()
+        return dens
+
+    def to_dict(self):
+        return {
+            "kind": self.kind,
+            "components": [[w, m.to_dict()] for w, m in self.components],
+        }
+
+    @classmethod
+    def from_dict(cls, data):
+        return cls(
+            components=tuple(
+                (w, spatial_model_from_dict(m)) for w, m in data["components"]
+            )
+        )

@@ -1,0 +1,194 @@
+"""World specs: the declarative, frozen description of a whole world.
+
+A :class:`WorldSpec` is to the *data* what
+:class:`~repro.api.EstimationSpec` is to the run and
+:class:`~repro.lbs.InterfaceSpec` to the service: one frozen,
+JSON-round-tripping value pinning down everything about the hidden
+population — bounding region, spatial model, attribute schema, size,
+census rasterization, and the generation seed.  ``build()`` is
+deterministic: the same spec produces a bit-identical
+:class:`~repro.lbs.SpatialDatabase` (ids, locations, attributes) every
+time, on any machine — which is what lets an `EstimationSpec` embed a
+world and an entire experiment travel as one serializable document.
+"""
+
+from __future__ import annotations
+
+import json
+from dataclasses import dataclass, field, replace
+from typing import Optional
+
+import numpy as np
+
+from ..geometry import Rect
+from .attrs import AttrSchema, synthesize_tuples
+from .region import RegionSpec
+from .spatial import SpatialModel, UniformField, spatial_model_from_dict
+
+__all__ = ["CensusSpec", "WorldSpec", "World"]
+
+#: Stream-key prefix separating world generation from estimator RNG use.
+_WORLD_STREAM = 0x57D5
+
+
+@dataclass(frozen=True)
+class CensusSpec:
+    """External-knowledge raster of a world (§5.2).
+
+    The census grid is rasterized from the spatial model's density at
+    ``nx x ny`` cell centres; ``noise > 0`` multiplies each cell by
+    ``LogNormal(0, noise)`` — deliberately *inaccurate* external
+    knowledge (the estimators must stay unbiased regardless)."""
+
+    nx: int = 24
+    ny: int = 18
+    noise: float = 0.0
+
+    def __post_init__(self) -> None:
+        if self.nx < 1 or self.ny < 1:
+            raise ValueError("census grid must be at least 1x1")
+        if self.noise < 0.0:
+            raise ValueError("noise must be non-negative")
+
+    def to_dict(self) -> dict:
+        return {"nx": self.nx, "ny": self.ny, "noise": self.noise}
+
+    @classmethod
+    def from_dict(cls, data: dict) -> "CensusSpec":
+        return cls(nx=data.get("nx", 24), ny=data.get("ny", 18),
+                   noise=data.get("noise", 0.0))
+
+
+@dataclass(frozen=True)
+class WorldSpec:
+    """A complete, frozen description of one synthetic world.
+
+    Attributes
+    ----------
+    name:
+        Registry tag (descriptive; survives serialization).
+    region:
+        The bounding :class:`~repro.worlds.RegionSpec`.
+    n:
+        Number of *generated* entities (the built database holds the
+        visible subset per the schema's ``visible_rate``).
+    spatial:
+        The :class:`~repro.worlds.SpatialModel` placing entities.
+    attrs:
+        The :class:`~repro.worlds.AttrSchema` of every tuple.
+    census:
+        Optional :class:`CensusSpec`; ``None`` builds no raster (the
+        world then supports uniform sampling only).
+    seed:
+        Default generation seed of :meth:`build` — part of the spec, so
+        a serialized world reproduces exactly.
+    """
+
+    name: Optional[str] = None
+    region: RegionSpec = field(default_factory=RegionSpec)
+    n: int = 1000
+    spatial: SpatialModel = field(default_factory=UniformField)
+    attrs: AttrSchema = field(default_factory=AttrSchema)
+    census: Optional[CensusSpec] = None
+    seed: int = 0
+
+    def __post_init__(self) -> None:
+        if self.n < 1:
+            raise ValueError("n must be >= 1")
+
+    # ------------------------------------------------------------------
+    def replace(self, **changes) -> "WorldSpec":
+        """A copy with the given fields changed (specs are frozen)."""
+        return replace(self, **changes)
+
+    def with_size(self, n: int) -> "WorldSpec":
+        """The same world at a different population size (the scaling
+        axis of ``benchmarks/bench_scaling.py``)."""
+        return self.replace(n=n)
+
+    # ------------------------------------------------------------------
+    def build(self, seed: Optional[int] = None) -> "World":
+        """Generate the world; bit-identical for equal ``(spec, seed)``.
+
+        One generator stream, consumed in a fixed order (locations →
+        attribute columns → visibility → census noise), drives the whole
+        build; ``seed`` overrides the spec's own."""
+        # Imported lazily: datasets wraps worlds (not the other way
+        # round) — a top-level import here would be circular.
+        from ..datasets.census import PopulationGrid
+
+        if seed is None:
+            seed = self.seed
+        rng = np.random.default_rng([_WORLD_STREAM, seed])
+        rect = self.region.rect
+        xy, labels = self.spatial.sample(rng, self.n, rect)
+        tuples = synthesize_tuples(rng, xy, labels, self.attrs)
+        # SpatialDatabase imported via lbs at call time keeps the import
+        # graph one-directional too.
+        from ..lbs.database import SpatialDatabase
+
+        db = SpatialDatabase(tuples, rect)
+        census = None
+        if self.census is not None:
+            census = PopulationGrid.from_spatial_model(
+                self.spatial, rect, self.census.nx, self.census.ny,
+                noise=self.census.noise, rng=rng,
+            )
+        return World(spec=self.replace(seed=seed), db=db, census=census)
+
+    # ------------------------------------------------------------------
+    def to_dict(self) -> dict:
+        """JSON-serializable form; exact inverse of :meth:`from_dict`."""
+        return {
+            "name": self.name,
+            "region": self.region.to_dict(),
+            "n": self.n,
+            "spatial": self.spatial.to_dict(),
+            "attrs": self.attrs.to_dict(),
+            "census": self.census.to_dict() if self.census is not None else None,
+            "seed": self.seed,
+        }
+
+    @classmethod
+    def from_dict(cls, data: dict) -> "WorldSpec":
+        census = data.get("census")
+        return cls(
+            name=data.get("name"),
+            region=RegionSpec.from_dict(data["region"]),
+            n=data["n"],
+            spatial=spatial_model_from_dict(data["spatial"]),
+            attrs=AttrSchema.from_dict(data.get("attrs", {})),
+            census=CensusSpec.from_dict(census) if census is not None else None,
+            seed=data.get("seed", 0),
+        )
+
+    def to_json(self) -> str:
+        return json.dumps(self.to_dict(), sort_keys=True)
+
+    @classmethod
+    def from_json(cls, text: str) -> "WorldSpec":
+        return cls.from_dict(json.loads(text))
+
+
+@dataclass(frozen=True)
+class World:
+    """A built world: the spec that made it plus its live artifacts.
+
+    Satisfies the session API's world contract (``.db`` + ``.census``),
+    so ``Session(world_spec.build())`` — or ``Session(world_spec)``
+    directly — runs estimations over it."""
+
+    spec: WorldSpec
+    db: object  # SpatialDatabase (typed loosely to keep imports one-way)
+    census: Optional[object] = None  # PopulationGrid
+
+    @property
+    def region(self) -> Rect:
+        return self.spec.region.rect
+
+    @property
+    def name(self) -> Optional[str]:
+        return self.spec.name
+
+    def __len__(self) -> int:
+        return len(self.db)

@@ -1,0 +1,181 @@
+"""One-document experiments: EstimationSpec embedding a WorldSpec.
+
+The acceptance property of the worlds subsystem: a full scenario —
+world + interface + estimation — serializes to ONE JSON document, and
+``Session.from_spec(doc)`` reproduces the original run bit-identically
+(same database, same estimate, same query accounting).
+"""
+
+import json
+
+import pytest
+
+from repro.api import (
+    EstimationSpec,
+    MaxQueries,
+    MaxSamples,
+    ObfuscationModel,
+    Session,
+)
+from repro.datasets import is_category
+from repro.worlds import get as get_world
+
+
+def _small_world_spec(name="paper/clustered", n=300):
+    return get_world(name).with_size(n)
+
+
+class TestSessionWorldSpec:
+    def test_session_accepts_world_spec_and_embeds_it(self):
+        session = Session(_small_world_spec()).lr(k=4).count()
+        assert session.spec.world is not None
+        assert session.spec.world.n == 300
+
+    def test_session_accepts_registry_name(self):
+        session = Session("ring-city")
+        assert session.spec.world == get_world("ring-city")
+
+    def test_built_world_embeds_its_spec_too(self):
+        # worlds.build(...) sessions are as one-document reproducible as
+        # WorldSpec sessions: the built World still carries its spec.
+        built = _small_world_spec().build(seed=5)
+        session = Session(built).lr(k=4).count().seed(1)
+        assert session.spec.world == built.spec
+        a = session.run(MaxSamples(6))
+        b = Session.from_spec(session.spec.to_json()).run(MaxSamples(6))
+        assert b.estimate == a.estimate
+
+    def test_built_world_session_resumes_without_world(self):
+        from repro.worlds import build as build_world
+
+        session = Session(build_world("paper/clustered", n=200)).lr(k=3).count()
+        run = session.start(MaxSamples(6))
+        for checkpoint in run:
+            if checkpoint.samples >= 2:
+                break
+        resumed = Session.resume(None, run.to_state()).run()
+        assert resumed.samples == 6
+
+    def test_spec_world_survives_json(self):
+        spec = Session(_small_world_spec()).lnr(k=3).count().spec
+        rt = EstimationSpec.from_json(spec.to_json())
+        assert rt == spec
+        assert rt.world == spec.world
+
+    def test_from_spec_requires_world(self):
+        spec = EstimationSpec()
+        with pytest.raises(ValueError, match="no WorldSpec"):
+            Session.from_spec(spec)
+
+    def test_from_spec_with_external_world_override(self):
+        built = _small_world_spec().build()
+        spec = EstimationSpec(seed=3)
+        result = Session.from_spec(spec, world=built).run(MaxSamples(5))
+        assert result.samples == 5
+
+    def test_world_override_discards_stale_embedded_spec(self):
+        # A document embedding world A, run against world B: pausing and
+        # resuming with None must continue over B (whose spec replaced
+        # the stale embed), never over a rebuilt A.
+        doc = Session(_small_world_spec("paper/uniform-10k", n=200)) \
+            .lr(k=3).count().seed(5).spec.to_json()
+        external = _small_world_spec("paper/clustered", n=300).build()
+
+        session = Session.from_spec(doc, world=external)
+        assert session.spec.world == external.spec
+        straight = session.run(MaxSamples(12))
+
+        run = Session.from_spec(doc, world=external).start(MaxSamples(12))
+        for checkpoint in run:
+            if checkpoint.samples >= 4:
+                break
+        resumed = Session.resume(None, run.to_state()).run()
+        assert resumed.estimate == straight.estimate
+
+    def test_resume_world_override_discards_stale_embedded_spec(self):
+        # Same staleness rule at the resume() entry point.
+        session = Session(_small_world_spec("paper/uniform-10k", n=200)) \
+            .lr(k=3).count().seed(5)
+        run = session.start(MaxSamples(8))
+        for checkpoint in run:
+            if checkpoint.samples >= 3:
+                break
+        external = _small_world_spec("paper/clustered", n=300).build()
+        resumed_run = Session.resume(external, run.to_state())
+        assert resumed_run.spec.world == external.spec
+
+
+class TestOneDocumentReproduction:
+    def test_full_scenario_round_trips_bit_identically(self):
+        # World + interface capabilities + estimation in one document.
+        session = (
+            Session(_small_world_spec())
+            .lr(k=5)
+            .service(max_radius=120.0)
+            .count(is_category("restaurant"))
+            .seed(11)
+            .batch(8)
+        )
+        doc = session.spec.to_json()
+        original = session.run(MaxQueries(400))
+        reproduced = Session.from_spec(doc).run(MaxQueries(400))
+        assert reproduced.estimate == original.estimate
+        assert reproduced.queries == original.queries
+        assert reproduced.samples == original.samples
+
+    def test_census_weighted_scenario_reproduces(self):
+        session = (
+            Session(_small_world_spec())
+            .lr(k=4)
+            .census_weighted()
+            .count()
+            .seed(2)
+        )
+        doc = session.spec.to_json()
+        a = session.run(MaxQueries(300))
+        b = Session.from_spec(doc).run(MaxQueries(300))
+        assert b.estimate == a.estimate
+
+    def test_obfuscated_lnr_scenario_reproduces(self):
+        spec = _small_world_spec("wechat-like-1m", n=150)
+        session = (
+            Session(spec)
+            .lnr(k=5)
+            .service(obfuscation=ObfuscationModel(sigma=1.0, seed=0),
+                     visible_attrs=("gender", "is_male"))
+            .avg("is_male")
+            .seed(4)
+        )
+        doc = session.spec.to_json()
+        a = session.run(MaxQueries(800))
+        b = Session.from_spec(doc).run(MaxQueries(800))
+        assert b.estimate == a.estimate
+
+    def test_resume_from_state_with_embedded_world(self):
+        session = Session(_small_world_spec()).lr(k=4).count().seed(7)
+        straight = session.run(MaxQueries(300))
+
+        run = Session.from_spec(session.spec.to_json()).start(MaxQueries(300))
+        for checkpoint in run:
+            if checkpoint.samples >= 8:
+                break
+        state = json.loads(json.dumps(run.to_state()))
+        resumed = Session.resume(None, state).run()
+        assert resumed.estimate == straight.estimate
+        assert resumed.queries == straight.queries
+
+    def test_resume_without_world_needs_embedded_spec(self):
+        # A bare database carries no WorldSpec (unlike a built World),
+        # so a spec-less state cannot rebuild its world.
+        db = _small_world_spec().build().db
+        run = Session(db, EstimationSpec(seed=1)).start(MaxSamples(3))
+        for _ in run:
+            pass
+        with pytest.raises(ValueError, match="embeds no WorldSpec"):
+            Session.resume(None, run.to_state())
+
+    def test_document_is_self_contained_plain_json(self):
+        doc = Session(_small_world_spec()).lr(k=5).count().spec.to_json()
+        data = json.loads(doc)
+        assert data["world"]["spatial"]["kind"] == "zipf"
+        assert data["world"]["n"] == 300

@@ -1,0 +1,172 @@
+"""Attribute-schema tests: columns, conditions, skews, visibility, serde."""
+
+import numpy as np
+import pytest
+
+from repro.worlds import (
+    AttrSchema,
+    Bernoulli,
+    Categorical,
+    Constant,
+    Indicator,
+    Numeric,
+    Tag,
+    attr_field_from_dict,
+    synthesize_tuples,
+)
+
+
+def _sample(schema, n=1000, labels=None, seed=0):
+    labels = np.full(n, -1, dtype=np.int64) if labels is None else labels
+    return schema.sample_columns(np.random.default_rng(seed), n, labels)
+
+
+class TestFields:
+    def test_constant(self):
+        cols, _ = _sample(AttrSchema(fields=(Constant("category", "bank"),)), n=5)
+        assert cols["category"] == ["bank"] * 5
+
+    def test_categorical_follows_probs(self):
+        f = Categorical("c", ("a", "b"), (0.8, 0.2))
+        cols, _ = _sample(AttrSchema(fields=(f,)), n=4000)
+        share = cols["c"].count("a") / 4000
+        assert 0.76 < share < 0.84
+
+    def test_categorical_uniform_default(self):
+        f = Categorical("c", ("a", "b", "c", "d"))
+        cols, _ = _sample(AttrSchema(fields=(f,)), n=4000)
+        for v in "abcd":
+            assert 0.2 < cols["c"].count(v) / 4000 < 0.3
+
+    def test_cluster_skew_tilts_mix_per_cluster(self):
+        f = Categorical("c", ("a", "b"), (0.5, 0.5), cluster_skew=0.6)
+        labels = np.repeat([0, 1], 3000)
+        cols, _ = _sample(AttrSchema(fields=(f,)), n=6000, labels=labels)
+        share0 = cols["c"][:3000].count("a") / 3000
+        share1 = cols["c"][3000:].count("a") / 3000
+        assert abs(share0 - share1) > 0.1  # visibly different mixes
+
+    def test_cluster_skew_leaves_background_mix_alone(self):
+        # The diffuse background (label -1) is tilt-neutral: a skewed
+        # field over an unclustered population keeps its declared mix.
+        f = Categorical("c", ("a", "b"), (0.5, 0.5), cluster_skew=0.6)
+        labels = np.full(6000, -1, dtype=np.int64)
+        cols, _ = _sample(AttrSchema(fields=(f,)), n=6000, labels=labels)
+        assert 0.47 < cols["c"].count("a") / 6000 < 0.53
+
+    def test_numeric_clip_round_int(self):
+        schema = AttrSchema(fields=(
+            Numeric("rating", "normal", 3.8, 0.7, low=1.0, high=5.0, decimals=1),
+            Numeric("count", "lognormal", 3.0, 1.0, offset=1.0, integer=True),
+            Numeric("pop", "pareto", 1.5, 2.0),
+        ))
+        cols, _ = _sample(schema, n=2000)
+        ratings = np.array(cols["rating"])
+        assert ratings.min() >= 1.0 and ratings.max() <= 5.0
+        assert np.allclose(ratings, np.round(ratings, 1))
+        counts = cols["count"]
+        assert all(isinstance(c, int) and c >= 1 for c in counts)
+        pops = np.array(cols["pop"])
+        assert pops.min() >= 2.0  # pareto scale floor
+        assert pops.max() > 10.0  # heavy tail
+
+    def test_bernoulli_rate(self):
+        cols, _ = _sample(AttrSchema(fields=(Bernoulli("f", 0.25),)), n=4000)
+        assert all(isinstance(v, bool) for v in cols["f"])
+        assert 0.21 < sum(cols["f"]) / 4000 < 0.29
+
+    def test_indicator_mirrors_categorical(self):
+        schema = AttrSchema(fields=(
+            Categorical("gender", ("m", "f"), (0.7, 0.3)),
+            Indicator("is_male", source="gender", value="m"),
+        ))
+        cols, _ = _sample(schema)
+        assert all(
+            (g == "m") == bool(i) for g, i in zip(cols["gender"], cols["is_male"])
+        )
+
+    def test_conditional_column_only_where_matching(self):
+        schema = AttrSchema(fields=(
+            Categorical("category", ("restaurant", "school"), (0.5, 0.5)),
+            Numeric("enrollment", "lognormal", 6.2, 0.7, offset=20.0,
+                    integer=True, when=("category", "school")),
+        ))
+        rng = np.random.default_rng(0)
+        xy = rng.random((500, 2)) * 50
+        tuples = synthesize_tuples(rng, xy, np.full(500, -1), schema)
+        for t in tuples:
+            if t["category"] == "school":
+                assert t["enrollment"] >= 20
+            else:
+                assert "enrollment" not in t.attrs
+
+    def test_unknown_when_column_rejected(self):
+        schema = AttrSchema(fields=(
+            Numeric("x", when=("missing", "v")),
+        ))
+        with pytest.raises(ValueError, match="unknown column"):
+            _sample(schema, n=10)
+
+
+class TestSchema:
+    def test_visible_rate_drops_rows_with_contiguous_tids(self):
+        schema = AttrSchema(fields=(Constant("a", 1),), visible_rate=0.5)
+        rng = np.random.default_rng(3)
+        xy = rng.random((1000, 2)) * 50
+        tuples = synthesize_tuples(rng, xy, np.full(1000, -1), schema)
+        assert 380 < len(tuples) < 620
+        assert [t.tid for t in tuples] == list(range(len(tuples)))
+
+    def test_tag_uses_tid(self):
+        schema = AttrSchema(fields=(Tag("name", prefix="user"),),
+                            visible_rate=0.6)
+        rng = np.random.default_rng(1)
+        xy = rng.random((200, 2)) * 50
+        tuples = synthesize_tuples(rng, xy, np.full(200, -1), schema, tid_start=10)
+        assert tuples[0].tid == 10
+        assert all(t["name"] == f"user{t.tid}" for t in tuples)
+
+    def test_duplicate_column_rejected(self):
+        with pytest.raises(ValueError, match="duplicate"):
+            AttrSchema(fields=(Constant("a", 1), Constant("a", 2)))
+
+    def test_visible_rate_zero_means_empty_database(self):
+        # Legal degenerate world: everyone exists, nobody is visible
+        # (location_enabled_rate=0 sweeps rely on it).
+        schema = AttrSchema(fields=(Constant("a", 1),), visible_rate=0.0)
+        rng = np.random.default_rng(0)
+        xy = rng.random((50, 2))
+        assert synthesize_tuples(rng, xy, np.full(50, -1), schema) == []
+
+    def test_bad_rates_rejected(self):
+        with pytest.raises(ValueError):
+            AttrSchema(visible_rate=-0.1)
+        with pytest.raises(ValueError):
+            Bernoulli("f", 1.5)
+        with pytest.raises(ValueError):
+            Numeric("x", dist="cauchy")
+        with pytest.raises(ValueError):
+            Categorical("c", ())
+
+    def test_serde_round_trip_every_field_kind(self):
+        schema = AttrSchema(
+            fields=(
+                Constant("k", "poi"),
+                Categorical("c", ("a", "b"), (0.6, 0.4), cluster_skew=0.2),
+                Numeric("v", "pareto", 1.5, 2.0, low=2.0, decimals=2,
+                        when=("c", "a")),
+                Bernoulli("flag", 0.3),
+                Indicator("is_a", source="c", value="a"),
+                Tag("name", prefix="u"),
+            ),
+            visible_rate=0.8,
+        )
+        rt = AttrSchema.from_dict(schema.to_dict())
+        assert rt == schema
+        import json
+
+        assert json.loads(json.dumps(schema.to_dict())) == schema.to_dict()
+
+    def test_field_from_dict_rejects_unknown_kind(self):
+        with pytest.raises(ValueError):
+            attr_field_from_dict({"kind": "wat", "name": "x"})

@@ -1,0 +1,85 @@
+"""Registry-gallery tests: every scenario round-trips and rebuilds
+bit-identically (the satellite determinism guarantee).
+
+Large scenarios are exercised at a reduced ``n`` via ``with_size`` —
+the generator pipeline (sampling order, column draws, visibility,
+census noise) is identical at any size, and the full sizes are swept by
+``benchmarks/bench_scaling.py``.
+"""
+
+import pytest
+
+from repro import worlds
+from repro.worlds import WorldSpec
+
+#: Scenario size used for the determinism builds.
+TEST_N = 1500
+
+
+def _fingerprint(world):
+    return (
+        sorted((t.tid, t.location.x, t.location.y, tuple(sorted(t.attrs.items())))
+               for t in world.db),
+        None if world.census is None else world.census.weights.tobytes(),
+    )
+
+
+def test_gallery_is_big_enough():
+    assert len(worlds.names()) >= 6
+
+
+@pytest.mark.parametrize("name", worlds.names())
+class TestEveryScenario:
+    def test_spec_json_round_trip(self, name):
+        spec = worlds.get(name)
+        rt = WorldSpec.from_json(spec.to_json())
+        assert rt == spec
+
+    def test_two_builds_bit_identical(self, name):
+        spec = worlds.get(name).with_size(TEST_N)
+        assert _fingerprint(spec.build()) == _fingerprint(spec.build())
+
+    def test_json_round_trip_build_bit_identical(self, name):
+        spec = worlds.get(name).with_size(TEST_N)
+        rt = WorldSpec.from_json(spec.to_json())
+        assert _fingerprint(spec.build()) == _fingerprint(rt.build())
+
+    def test_tuples_in_region_with_contiguous_ids(self, name):
+        spec = worlds.get(name).with_size(TEST_N)
+        world = spec.build()
+        region = world.region
+        assert 0 < len(world.db) <= TEST_N
+        assert sorted(t.tid for t in world.db) == list(range(len(world.db)))
+        for t in world.db:
+            assert region.contains(t.location)
+
+    def test_census_declared_census_built(self, name):
+        spec = worlds.get(name).with_size(TEST_N)
+        world = spec.build()
+        assert (world.census is not None) == (spec.census is not None)
+
+
+class TestRegistryApi:
+    def test_get_unknown(self):
+        with pytest.raises(ValueError, match="unknown world"):
+            worlds.get("nope")
+
+    def test_register_requires_name_and_uniqueness(self):
+        with pytest.raises(ValueError):
+            worlds.register(WorldSpec(n=10))
+        with pytest.raises(ValueError):
+            worlds.register(worlds.get("ring-city"))
+
+    def test_build_rescale_reseed(self):
+        a = worlds.build("paper/uniform-10k", n=200)
+        b = worlds.build("paper/uniform-10k", n=200, seed=9)
+        assert len(a.db) == 200
+        assert a.db.locations() != b.db.locations()
+
+    def test_visibility_shapes_population(self):
+        # wechat-like drops ~10% of generated accounts; tids stay
+        # contiguous over the visible subset.
+        world = worlds.build("wechat-like-1m", n=4000)
+        assert 3400 < len(world.db) < 3800
+        males = world.db.ground_truth_avg("is_male")
+        assert 0.62 < males < 0.72

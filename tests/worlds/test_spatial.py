@@ -1,0 +1,154 @@
+"""Spatial-model tests: containment, labels, densities, serde."""
+
+import numpy as np
+import pytest
+
+from repro.geometry import Rect
+from repro.worlds import (
+    GaussianClusters,
+    MixtureField,
+    RingRoad,
+    UniformField,
+    ZipfHotspots,
+    spatial_model_from_dict,
+)
+
+BOX = Rect(0.0, 0.0, 200.0, 100.0)
+
+MODELS = [
+    UniformField(),
+    GaussianClusters(centers=((0.3, 0.4), (0.8, 0.7)), sigmas=(0.05, 0.02),
+                     weights=(2.0, 1.0), background=0.2),
+    ZipfHotspots(n_hotspots=12, sigma_fraction=0.02, layout_seed=3),
+    RingRoad(rings=((0.5, 0.5, 0.3),), roads=((0.1, 0.1, 0.9, 0.9),),
+             width_fraction=0.02),
+    MixtureField(components=(
+        (0.6, GaussianClusters(centers=((0.5, 0.5),), sigmas=(0.04,),
+                               weights=(1.0,), background=0.0)),
+        (0.4, UniformField()),
+    )),
+]
+
+
+@pytest.mark.parametrize("model", MODELS, ids=lambda m: m.kind)
+class TestEveryModel:
+    def test_sample_in_region_with_labels(self, model):
+        rng = np.random.default_rng(0)
+        xy, labels = model.sample(rng, 500, BOX)
+        assert xy.shape == (500, 2)
+        assert labels.shape == (500,)
+        assert np.all(xy[:, 0] >= BOX.x0) and np.all(xy[:, 0] <= BOX.x1)
+        assert np.all(xy[:, 1] >= BOX.y0) and np.all(xy[:, 1] <= BOX.y1)
+        assert labels.dtype == np.int64
+
+    def test_sampling_is_deterministic(self, model):
+        a = model.sample(np.random.default_rng(7), 300, BOX)
+        b = model.sample(np.random.default_rng(7), 300, BOX)
+        assert np.array_equal(a[0], b[0])
+        assert np.array_equal(a[1], b[1])
+
+    def test_density_grid_finite_positive(self, model):
+        grid = model.density_grid(BOX, 16, 8)
+        assert grid.shape == (16, 8)
+        assert np.all(np.isfinite(grid))
+        assert np.all(grid >= 0.0)
+        assert grid.sum() > 0.0
+
+    def test_serde_round_trip(self, model):
+        rt = spatial_model_from_dict(model.to_dict())
+        assert rt == model
+        # And a round-tripped model samples identically.
+        a = model.sample(np.random.default_rng(1), 100, BOX)
+        b = rt.sample(np.random.default_rng(1), 100, BOX)
+        assert np.array_equal(a[0], b[0])
+
+
+class TestShapes:
+    def test_gaussian_clusters_concentrate(self):
+        model = GaussianClusters(centers=((0.25, 0.5),), sigmas=(0.02,),
+                                 weights=(1.0,), background=0.0)
+        xy, labels = model.sample(np.random.default_rng(0), 2000, BOX)
+        # Nearly all mass within a few sigmas of the centre.
+        d = np.hypot(xy[:, 0] - 50.0, xy[:, 1] - 50.0)
+        assert np.median(d) < 5.0
+        assert set(np.unique(labels)) == {0}
+
+    def test_background_labelled_minus_one(self):
+        model = GaussianClusters(centers=((0.5, 0.5),), sigmas=(0.01,),
+                                 weights=(1.0,), background=0.5)
+        _xy, labels = model.sample(np.random.default_rng(0), 1000, BOX)
+        frac_bg = np.mean(labels == -1)
+        assert 0.4 < frac_bg < 0.6
+
+    def test_zipf_layout_is_pure_function_of_seed(self):
+        a = ZipfHotspots(n_hotspots=8, layout_seed=5).materialize()
+        b = ZipfHotspots(n_hotspots=8, layout_seed=5).materialize()
+        c = ZipfHotspots(n_hotspots=8, layout_seed=6).materialize()
+        assert a == b
+        assert a != c
+
+    def test_zipf_weights_decay(self):
+        m = ZipfHotspots(n_hotspots=5, zipf_exponent=1.0).materialize()
+        assert list(m.weights) == sorted(m.weights, reverse=True)
+
+    def test_ringroad_census_background_share(self):
+        # Regression: the density grid must keep background and skeleton
+        # terms in the same (per-cell mass) units — a corner cell far
+        # from the skeleton carries ~background/(nx*ny) of the mass, and
+        # the raster's background share matches the sampler's.
+        model = RingRoad(rings=((0.5, 0.5, 0.25),), roads=(),
+                         width_fraction=0.01, background=0.2)
+        nx, ny = 20, 10
+        grid = model.density_grid(BOX, nx, ny)
+        mass = grid / grid.sum()
+        corner = mass[0, 0]  # far from the centred ring
+        expected = model.background / (nx * ny)
+        assert expected / 2 < corner < expected * 2
+        _xy, labels = model.sample(np.random.default_rng(0), 4000, BOX)
+        assert abs(np.mean(labels == -1) - model.background) < 0.05
+
+    def test_ringroad_mass_on_skeleton(self):
+        model = RingRoad(rings=((0.5, 0.5, 0.3),), roads=(),
+                         width_fraction=0.01, background=0.0)
+        xy, _ = model.sample(np.random.default_rng(0), 1000, BOX)
+        r = np.hypot(xy[:, 0] - 100.0, xy[:, 1] - 50.0)
+        # Ring radius = 0.3 * min(w, h) = 30, cross-section sigma = 1.
+        assert abs(np.median(r) - 30.0) < 1.0
+        assert np.percentile(np.abs(r - 30.0), 90) < 3.0
+
+    def test_mixture_component_shares(self):
+        model = MixtureField(components=(
+            (0.75, UniformField()),
+            (0.25, GaussianClusters(centers=((0.5, 0.5),), sigmas=(0.05,),
+                                    weights=(1.0,), background=0.0)),
+        ))
+        _xy, labels = model.sample(np.random.default_rng(0), 2000, BOX)
+        # The uniform component is diffuse background: its rows keep the
+        # -1 label through the mixture (so attr skews never tilt them);
+        # the cluster component keeps its index.
+        assert 0.68 < np.mean(labels == -1) < 0.82
+        assert set(np.unique(labels)) == {-1, 1}
+
+    def test_far_outside_cluster_clamps_not_hangs(self):
+        model = GaussianClusters(centers=((5.0, 5.0),), sigmas=(0.001,),
+                                 weights=(1.0,), background=0.0)
+        xy, _ = model.sample(np.random.default_rng(0), 50, BOX)
+        assert np.all(xy[:, 0] <= BOX.x1) and np.all(xy[:, 1] <= BOX.y1)
+
+
+class TestValidation:
+    def test_bad_params_rejected(self):
+        with pytest.raises(ValueError):
+            GaussianClusters(centers=(), sigmas=(), weights=())
+        with pytest.raises(ValueError):
+            GaussianClusters(centers=((0.5, 0.5),), sigmas=(0.0,), weights=(1.0,))
+        with pytest.raises(ValueError):
+            ZipfHotspots(n_hotspots=0)
+        with pytest.raises(ValueError):
+            RingRoad(rings=(), roads=())
+        with pytest.raises(ValueError, match="positive length"):
+            RingRoad(rings=(), roads=((0.5, 0.5, 0.5, 0.5),))
+        with pytest.raises(ValueError):
+            MixtureField(components=())
+        with pytest.raises(ValueError):
+            spatial_model_from_dict({"kind": "nope"})

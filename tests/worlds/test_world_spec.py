@@ -1,0 +1,120 @@
+"""WorldSpec build determinism and serialization tests."""
+
+import json
+
+import numpy as np
+import pytest
+
+from repro.worlds import (
+    AttrSchema,
+    CensusSpec,
+    Constant,
+    GaussianClusters,
+    RegionSpec,
+    UniformField,
+    WorldSpec,
+)
+
+
+def _spec(**kw):
+    base = dict(
+        name="t",
+        region=RegionSpec(0, 0, 100, 80),
+        n=400,
+        spatial=GaussianClusters(centers=((0.4, 0.6),), sigmas=(0.1,),
+                                 weights=(1.0,), background=0.3),
+        attrs=AttrSchema(fields=(Constant("category", "poi"),)),
+        census=CensusSpec(nx=8, ny=6, noise=0.2),
+        seed=5,
+    )
+    base.update(kw)
+    return WorldSpec(**base)
+
+
+def _db_fingerprint(db):
+    return (
+        sorted((t.tid, t.location.x, t.location.y, tuple(sorted(t.attrs.items())))
+               for t in db),
+        db.region,
+    )
+
+
+class TestRegionSpec:
+    def test_named_regions(self):
+        us = RegionSpec.named("us")
+        assert us.rect.width == 4500.0 and us.name == "us"
+        with pytest.raises(ValueError):
+            RegionSpec.named("atlantis")
+
+    def test_degenerate_rejected(self):
+        with pytest.raises(ValueError):
+            RegionSpec(0, 0, 0, 10)
+
+    def test_round_trip(self):
+        r = RegionSpec.named("austin")
+        assert RegionSpec.from_dict(r.to_dict()) == r
+
+
+class TestBuild:
+    def test_same_spec_same_seed_bit_identical(self):
+        a = _spec().build()
+        b = _spec().build()
+        assert _db_fingerprint(a.db) == _db_fingerprint(b.db)
+        assert np.array_equal(a.census.weights, b.census.weights)
+
+    def test_seed_changes_world(self):
+        a = _spec().build()
+        b = _spec().build(seed=6)
+        assert _db_fingerprint(a.db) != _db_fingerprint(b.db)
+
+    def test_json_round_trip_builds_identically(self):
+        spec = _spec()
+        rt = WorldSpec.from_json(spec.to_json())
+        assert rt == spec
+        assert _db_fingerprint(spec.build().db) == _db_fingerprint(rt.build().db)
+
+    def test_json_is_plain(self):
+        doc = _spec().to_json()
+        assert json.loads(doc)["region"]["x1"] == 100
+
+    def test_census_optional(self):
+        w = _spec(census=None).build()
+        assert w.census is None
+
+    def test_census_noise_consumes_stream_after_tuples(self):
+        clean = _spec(census=CensusSpec(nx=8, ny=6, noise=0.0)).build()
+        noisy = _spec().build()
+        # Same tuples either way: census noise draws after synthesis.
+        assert _db_fingerprint(clean.db) == _db_fingerprint(noisy.db)
+        assert not np.allclose(clean.census.weights, noisy.census.weights)
+
+    def test_with_size(self):
+        w = _spec().with_size(50).build()
+        assert len(w.db) == 50
+
+    def test_world_contract_for_sessions(self):
+        w = _spec().build()
+        assert w.db is not None and w.census is not None
+        assert w.region.width == 100
+        assert w.name == "t"
+        assert len(w) == len(w.db)
+
+    def test_build_seed_recorded_in_spec(self):
+        w = _spec().build(seed=9)
+        assert w.spec.seed == 9
+        again = w.spec.build()
+        assert _db_fingerprint(again.db) == _db_fingerprint(w.db)
+
+    def test_bad_n_rejected(self):
+        with pytest.raises(ValueError):
+            _spec(n=0)
+
+    def test_default_spec_builds(self):
+        w = WorldSpec(n=64).build()
+        assert len(w.db) == 64
+        assert w.census is None
+
+    def test_uniform_field_spec(self):
+        w = _spec(spatial=UniformField(), census=None).build()
+        xs = [t.location.x for t in w.db]
+        assert min(xs) >= 0 and max(xs) <= 100
