@@ -21,11 +21,17 @@ import numpy as np
 
 from repro.geometry import Point, Rect
 from repro.index import BruteForceIndex, GridIndex, KdTree
-from repro.lbs import LbsTuple, LrLbsInterface, ProminenceRanking, SpatialDatabase
+from repro.lbs import Column, LbsTuple, LrLbsInterface, ProminenceRanking, SpatialDatabase
 
 DB_SIZE = 10_000
 K = 5
 SPEEDUP_FLOOR = 5.0
+#: Ingest floor: the columnar SpatialDatabase build must beat the
+#: row-path build (per-tuple LbsTuple assembly + shredding) by this
+#: factor at INGEST_N tuples.  A lost columnar path drops to ~1x;
+#: normal runs sit near 20-30x, so the CI gate has wide margin.
+INGEST_N = 100_000
+INGEST_SPEEDUP_FLOOR = 5.0
 #: --quick runs far fewer queries on noisy CI runners; a real regression
 #: (losing the batch kernel) drops to ~1x, so a looser gate still bites.
 QUICK_SPEEDUP_FLOOR = 3.5
@@ -103,6 +109,55 @@ def run_bench(quick: bool = False, k: int = K, db_size: int = DB_SIZE) -> dict:
         "rank_batch": n_queries / t_batch_prom,
     }
 
+    # Ingest throughput: columnar from_columns vs the row path it
+    # replaced (LbsTuple assembly + per-row shredding), same data.
+    n = INGEST_N
+    xy = rng.random((n, 2)) * 400.0
+    tids = np.arange(n, dtype=np.int64)
+    cat = np.array(["restaurant", "school", "bank", "cafe"], dtype=object)[
+        rng.integers(0, 4, n)
+    ]
+    score = rng.random(n)
+    score_mask = rng.random(n) < 0.7
+    region = Rect(0.0, 0.0, 400.0, 400.0)
+
+    def _row_build():
+        xs = xy[:, 0].tolist()
+        ys = xy[:, 1].tolist()
+        cats = cat.tolist()
+        scores = score.tolist()
+        masks = score_mask.tolist()
+        tuples = []
+        for i in range(n):
+            attrs = {"category": cats[i]}
+            if masks[i]:
+                attrs["score"] = scores[i]
+            tuples.append(LbsTuple(i, Point(xs[i], ys[i]), attrs))
+        return SpatialDatabase(tuples, region)
+
+    def _columnar_build():
+        return SpatialDatabase.from_columns(
+            xy, tids,
+            {"category": Column(cat), "score": Column(score, score_mask)},
+            region,
+        )
+
+    ingest_repeats = 1 if quick else 2
+    t_row, db_row = _best_of(_row_build, ingest_repeats)
+    t_col, db_col = _best_of(_columnar_build, ingest_repeats)
+    probe = Point(123.0, 321.0)
+    if (
+        db_col.tid_list() != db_row.tid_list()
+        or [(d, t.tid) for d, t in db_col.knn(probe, 5)]
+        != [(d, t.tid) for d, t in db_row.knn(probe, 5)]
+        or db_col.ground_truth_sum("score") != db_row.ground_truth_sum("score")
+    ):
+        raise AssertionError("columnar ingest diverges from the row-path build")
+    report["ingest"] = {
+        "row_path": n / t_row,
+        "columnar": n / t_col,
+    }
+
     # End-to-end interface path on the uniform database: batch + cache.
     region = Rect(0.0, 0.0, 400.0, 400.0)
     db = SpatialDatabase(
@@ -154,6 +209,13 @@ def test_query_engine_speedup(pytestconfig):
         report["interface"]["query_batch_cached"]
         >= 2.0 * report["interface"]["query_batch_cold"]
     )
+    # Ingest: the columnar build must crush the row path (same floor in
+    # --quick; the measured gap sits far above it).
+    ingest_speedup = report["ingest"]["columnar"] / report["ingest"]["row_path"]
+    assert ingest_speedup >= INGEST_SPEEDUP_FLOOR, (
+        f"columnar ingest only {ingest_speedup:.1f}x over the row path at "
+        f"{INGEST_N:,} tuples (floor {INGEST_SPEEDUP_FLOOR}x)"
+    )
 
 
 if __name__ == "__main__":
@@ -166,7 +228,11 @@ if __name__ == "__main__":
     _print_report(result)
     speedup = result["uniform"]["grid_batch"] / result["uniform"]["kdtree_single"]
     prom = result["prominence"]["rank_batch"] / result["prominence"]["rank_single"]
+    ingest = result["ingest"]["columnar"] / result["ingest"]["row_path"]
     print(f"\nuniform grid-batch speedup: {speedup:.1f}x (floor {SPEEDUP_FLOOR}x)")
     print(f"prominence rank_batch speedup: {prom:.1f}x (floor {PROMINENCE_SPEEDUP_FLOOR}x)")
-    ok = speedup >= SPEEDUP_FLOOR and prom >= PROMINENCE_SPEEDUP_FLOOR
+    print(f"columnar ingest speedup at {INGEST_N:,} tuples: {ingest:.1f}x "
+          f"(floor {INGEST_SPEEDUP_FLOOR}x)")
+    ok = (speedup >= SPEEDUP_FLOOR and prom >= PROMINENCE_SPEEDUP_FLOOR
+          and ingest >= INGEST_SPEEDUP_FLOOR)
     raise SystemExit(0 if ok else 1)

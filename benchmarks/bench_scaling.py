@@ -7,6 +7,10 @@ bench trajectory every later perf PR (hierarchical grid, distance-
 matrix prominence) is measured against.  Recorded per combination:
 
 * world build time (sampling + tuple synthesis + census raster),
+* database construction time down both ingest paths — ``row`` (legacy
+  per-tuple ``LbsTuple`` assembly + shredding) vs ``columnar``
+  (``synthesize_columns`` → ``SpatialDatabase.from_columns``, the
+  default since the columnar core landed) — and their speedup,
 * index build time per backend,
 * kNN throughput at each batch size (``1`` = the scalar single-query
   path; larger sizes go through the vectorized ``knn_batch`` kernel in
@@ -32,7 +36,9 @@ from pathlib import Path
 import numpy as np
 
 from repro import worlds
-from repro.index import make_index
+from repro.index import make_index_arrays
+from repro.lbs import SpatialDatabase
+from repro.worlds.attrs import synthesize_columns, synthesize_tuples
 
 K = 5
 #: Query batch sizes: the scalar path, a driver-sized batch, an
@@ -72,6 +78,27 @@ def _n_queries(backend: str, n: int, batch: int, quick: bool) -> int:
     return budget
 
 
+def bench_ingest(spec) -> dict:
+    """Database construction down both ingest paths, same synthesis
+    stream (the `build_seconds` column of the perf trajectory)."""
+    timings = {}
+    for label in ("row", "columnar"):
+        rng, rect, xy, labels = spec.synthesis_inputs()
+        t0 = time.perf_counter()
+        if label == "row":
+            SpatialDatabase(synthesize_tuples(rng, xy, labels, spec.attrs), rect)
+        else:
+            SpatialDatabase.from_columns(
+                *synthesize_columns(rng, xy, labels, spec.attrs), rect
+            )
+        timings[label] = time.perf_counter() - t0
+    return {
+        "db_row_seconds": round(timings["row"], 4),
+        "db_columnar_seconds": round(timings["columnar"], 4),
+        "ingest_speedup": round(timings["row"] / timings["columnar"], 2),
+    }
+
+
 def bench_world(name: str, n: int, quick: bool, rng: np.random.Generator) -> dict:
     """One world at one size: build it, then sweep backends × batches."""
     spec = worlds.get(name).with_size(n)
@@ -79,13 +106,15 @@ def bench_world(name: str, n: int, quick: bool, rng: np.random.Generator) -> dic
     world = spec.build()
     build_s = time.perf_counter() - t0
     region = world.region
-    points = [(t.location.x, t.location.y, t.tid) for t in world.db]
+    xy = world.db.coords
+    tids = world.db.tids
 
     row = {
         "world": name,
         "n": n,
         "n_visible": len(world.db),
         "world_build_seconds": round(build_s, 4),
+        "build_seconds": bench_ingest(spec),
         "backends": {},
         "skipped": [],
     }
@@ -98,7 +127,7 @@ def bench_world(name: str, n: int, quick: bool, rng: np.random.Generator) -> dic
             })
             continue
         t0 = time.perf_counter()
-        index = make_index(points, backend)
+        index = make_index_arrays(xy, tids, backend)
         index_s = time.perf_counter() - t0
         qps: dict[str, float] = {}
         n_queries: dict[str, int] = {}
@@ -165,6 +194,15 @@ def check_report(report: dict) -> None:
             assert (name, n) in seen, f"missing sweep cell {name}@{n}"
     for row in report["results"]:
         assert row["backends"], f"{row['world']}@{row['n']}: no backend ran"
+        build = row["build_seconds"]
+        assert build["db_columnar_seconds"] > 0 and build["db_row_seconds"] > 0
+        if row["n"] >= 100_000:
+            # At scale the columnar ingest must stay clearly ahead; the
+            # hard 5x CI gate lives in bench_query_engine.py.
+            assert build["ingest_speedup"] >= 2.0, (
+                f"{row['world']}@{row['n']}: columnar ingest only "
+                f"{build['ingest_speedup']}x the row path"
+            )
         for backend, data in row["backends"].items():
             for batch, qps in data["qps"].items():
                 assert qps > 0, f"{row['world']}@{row['n']}:{backend}:{batch}"

@@ -23,14 +23,15 @@ import numpy as np
 
 from ..core.aggregates import AttrEquals
 from ..geometry import Rect
-from ..lbs import LbsTuple, SpatialDatabase
+from ..lbs import SpatialDatabase
+from ..lbs.columns import concat_columns
 from ..worlds.attrs import (
     AttrSchema,
     Bernoulli,
     Categorical,
     Constant,
     Numeric,
-    synthesize_tuples,
+    synthesize_columns,
 )
 from ..worlds.region import RegionSpec, resolve_region
 from ..worlds.registry import BRAND_PROBS, BRANDS
@@ -106,15 +107,28 @@ def generate_poi_database(
         city_model = CityModel.generate(region, n_cities=40, rng=rng)
     spatial = city_model.to_spatial_model(region)
 
-    tuples: list[LbsTuple] = []
+    # Each category block synthesizes columnar; the blocks stack into
+    # one column set (absence masks where a category lacks a column)
+    # and ingest without building a single row object.
+    blocks = []
+    tid_start = 0
     for count, schema in _category_blocks(config):
         if count == 0:
             continue
         xy, labels = spatial.sample(rng, count, region)
-        tuples.extend(
-            synthesize_tuples(rng, xy, labels, schema, tid_start=len(tuples))
+        xyv, tids, columns = synthesize_columns(
+            rng, xy, labels, schema, tid_start=tid_start
         )
-    return SpatialDatabase(tuples, region)
+        tid_start += len(tids)
+        blocks.append((xyv, tids, columns))
+    if not blocks:
+        return SpatialDatabase([], region)
+    return SpatialDatabase.from_columns(
+        np.concatenate([b[0] for b in blocks]),
+        np.concatenate([b[1] for b in blocks]),
+        concat_columns([(len(b[1]), b[2]) for b in blocks]),
+        region,
+    )
 
 
 def is_category(category: str) -> AttrEquals:

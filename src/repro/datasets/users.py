@@ -21,7 +21,7 @@ import numpy as np
 
 from ..geometry import Rect
 from ..lbs import SpatialDatabase
-from ..worlds.attrs import AttrSchema, synthesize_tuples
+from ..worlds.attrs import AttrSchema, synthesize_columns
 from ..worlds.region import RegionSpec, resolve_region
 from ..worlds.registry import user_fields
 from .cities import CityModel
@@ -69,4 +69,5 @@ def generate_user_database(
     if city_model is None:
         city_model = CityModel.generate(region, n_cities=60, rng=rng)
     xy, labels = city_model.to_spatial_model(region).sample(rng, config.n_users, region)
-    return SpatialDatabase(synthesize_tuples(rng, xy, labels, config.schema()), region)
+    xyv, tids, columns = synthesize_columns(rng, xy, labels, config.schema())
+    return SpatialDatabase.from_columns(xyv, tids, columns, region)

@@ -12,7 +12,7 @@ Three interchangeable backends implement :class:`SpatialIndex`:
 database size.
 """
 
-from .base import QueryEngineConfig, SpatialIndex, make_index
+from .base import QueryEngineConfig, SpatialIndex, make_index, make_index_arrays
 from .brute import BruteForceIndex
 from .grid import GridIndex
 from .kdtree import KdTree
@@ -24,4 +24,5 @@ __all__ = [
     "GridIndex",
     "BruteForceIndex",
     "make_index",
+    "make_index_arrays",
 ]

@@ -33,7 +33,13 @@ from typing import Hashable, Optional, Protocol, Sequence, runtime_checkable
 
 import numpy as np
 
-__all__ = ["SpatialIndex", "QueryEngineConfig", "make_index", "csr_from_range_lists"]
+__all__ = [
+    "SpatialIndex",
+    "QueryEngineConfig",
+    "make_index",
+    "make_index_arrays",
+    "csr_from_range_lists",
+]
 
 #: One kNN / radius answer: ``(distance, item)``.
 Neighbor = tuple[float, Hashable]
@@ -145,6 +151,22 @@ def _backends() -> dict:
     return {"kdtree": KdTree, "grid": GridIndex, "brute": BruteForceIndex}
 
 
+def _resolve_backend(backend: str, n: int, auto_brute_max: int) -> type:
+    """The one backend-selection rule shared by both constructors:
+    ``"auto"`` picks brute force up to ``auto_brute_max`` points and the
+    uniform grid beyond."""
+    registry = _backends()
+    if backend == "auto":
+        backend = "brute" if n <= auto_brute_max else "grid"
+    try:
+        return registry[backend]
+    except KeyError:
+        raise ValueError(
+            f"unknown index backend {backend!r}; expected one of "
+            f"{('auto', *registry)}"
+        ) from None
+
+
 def make_index(
     points: Sequence[tuple[float, float, Hashable]],
     backend: str = "auto",
@@ -160,15 +182,34 @@ def make_index(
     :class:`QueryEngineConfig.auto_brute_max`).
     All backends return identical answers; only throughput differs.
     """
-    registry = _backends()
     pts = points if isinstance(points, list) else list(points)
-    if backend == "auto":
-        backend = "brute" if len(pts) <= auto_brute_max else "grid"
-    try:
-        cls = registry[backend]
-    except KeyError:
-        raise ValueError(
-            f"unknown index backend {backend!r}; expected one of "
-            f"{('auto', *registry)}"
-        ) from None
-    return cls(pts)
+    return _resolve_backend(backend, len(pts), auto_brute_max)(pts)
+
+
+def make_index_arrays(
+    xy: np.ndarray,
+    items: Sequence[Hashable],
+    backend: str = "auto",
+    *,
+    auto_brute_max: int = 96,
+) -> SpatialIndex:
+    """Build a spatial index straight from coordinate arrays.
+
+    The array-native sibling of :func:`make_index`: ``xy`` is an
+    ``(N, 2)`` float64 array and ``items`` the per-row ids (an int64
+    array or any sequence).  Backends with a vectorized ingest
+    (:class:`~repro.index.grid.GridIndex`,
+    :class:`~repro.index.brute.BruteForceIndex`) consume the arrays
+    without materializing the ``[(x, y, item), ...]`` triple list; the
+    rest fall back to it.  Answers are bit-identical to the triple-list
+    construction either way.
+    """
+    xy = np.ascontiguousarray(xy, dtype=np.float64)
+    if xy.ndim != 2 or xy.shape[1] != 2:
+        raise ValueError("xy must be an (N, 2) coordinate array")
+    cls = _resolve_backend(backend, len(xy), auto_brute_max)
+    from_arrays = getattr(cls, "from_arrays", None)
+    if from_arrays is not None:
+        return from_arrays(xy, items)
+    items_list = items.tolist() if isinstance(items, np.ndarray) else list(items)
+    return cls(list(zip(xy[:, 0].tolist(), xy[:, 1].tolist(), items_list)))

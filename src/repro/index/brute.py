@@ -39,6 +39,23 @@ class BruteForceIndex:
         except TypeError:
             self._id_rank = np.arange(len(self._points))
 
+    @classmethod
+    def from_arrays(
+        cls, xy: np.ndarray, items: Sequence[Hashable]
+    ) -> "BruteForceIndex":
+        """Array-native construction (same answers as the triple list)."""
+        self = cls.__new__(cls)
+        self._xs = np.ascontiguousarray(xy[:, 0], dtype=np.float64)
+        self._ys = np.ascontiguousarray(xy[:, 1], dtype=np.float64)
+        items_arr = np.asarray(items)
+        self._items = items_arr.tolist()
+        self._points = list(zip(self._xs.tolist(), self._ys.tolist(), self._items))
+        try:
+            self._id_rank = np.argsort(np.argsort(items_arr, kind="stable"))
+        except TypeError:
+            self._id_rank = np.arange(len(self._items))
+        return self
+
     def __len__(self) -> int:
         return len(self._points)
 

@@ -56,8 +56,48 @@ class GridIndex:
             pts.sort(key=lambda p: p[2])
         except TypeError:
             pass  # unorderable ids: fall back to insertion order
-        self._items = [item for _x, _y, item in pts]
-        n = len(pts)
+        self._build(
+            np.array([p[0] for p in pts], dtype=np.float64),
+            np.array([p[1] for p in pts], dtype=np.float64),
+            [item for _x, _y, item in pts],
+            target_per_cell,
+        )
+
+    @classmethod
+    def from_arrays(
+        cls,
+        xy: np.ndarray,
+        items: Sequence[Hashable],
+        target_per_cell: float = 0.5,
+    ) -> "GridIndex":
+        """Array-native construction: no ``(x, y, item)`` triples built.
+
+        ``items`` is sorted with one NumPy argsort (stable, so equal to
+        the list sort of the triple-list path) and the coordinate
+        columns are gathered by that order — the whole ingest stays
+        vectorized, which is what the columnar
+        :class:`~repro.lbs.SpatialDatabase` feeds at the 1M scale.
+        """
+        items_arr = np.asarray(items)
+        try:
+            order = np.argsort(items_arr, kind="stable")
+        except TypeError:
+            order = np.arange(len(items_arr))  # unorderable ids
+        self = cls.__new__(cls)
+        self._build(
+            np.ascontiguousarray(xy[order, 0], dtype=np.float64),
+            np.ascontiguousarray(xy[order, 1], dtype=np.float64),
+            items_arr[order].tolist(),
+            target_per_cell,
+        )
+        return self
+
+    def _build(
+        self, xs: np.ndarray, ys: np.ndarray, items: list, target_per_cell: float
+    ) -> None:
+        """Shared grid construction over id-sorted coordinate arrays."""
+        self._items = items
+        n = len(items)
         self._size = n
         # Object array mirror of the id-sorted items, for vectorized
         # fancy-indexed emission in the batch kernels.
@@ -65,8 +105,6 @@ class GridIndex:
         self._items_arr[:] = self._items
         if n == 0:
             return
-        xs = np.array([p[0] for p in pts], dtype=np.float64)
-        ys = np.array([p[1] for p in pts], dtype=np.float64)
         # A deliberately fine grid: sparse cells cost only prefix-sum
         # memory, while dense clusters keep per-cell occupancy — and with
         # it the candidate blowup around clusters — low.

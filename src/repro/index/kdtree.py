@@ -53,6 +53,13 @@ class KdTree:
         self._size = len(items)
         self.root = self._build(items, 0) if items else None
 
+    @classmethod
+    def from_arrays(cls, xy: np.ndarray, items: Sequence[Hashable]) -> "KdTree":
+        """Array ingest; the tree itself stays node-based, so this just
+        adapts (the KD-tree is never auto-picked for large databases)."""
+        items_list = items.tolist() if isinstance(items, np.ndarray) else list(items)
+        return cls(list(zip(xy[:, 0].tolist(), xy[:, 1].tolist(), items_list)))
+
     def __len__(self) -> int:
         return self._size
 

@@ -3,6 +3,7 @@
 from ..index import QueryEngineConfig
 from .budget import BudgetExhausted, QueryBudget
 from .cache import QueryAnswerCache
+from .columns import Column, column_from_values, columns_from_rows, concat_columns
 from .database import SpatialDatabase
 from .interface import (
     KnnInterface,
@@ -19,6 +20,10 @@ from .tuples import LbsTuple
 __all__ = [
     "LbsTuple",
     "SpatialDatabase",
+    "Column",
+    "column_from_values",
+    "columns_from_rows",
+    "concat_columns",
     "QueryBudget",
     "BudgetExhausted",
     "QueryAnswerCache",

@@ -1,0 +1,222 @@
+"""Typed attribute columns: the struct-of-arrays half of the data spine.
+
+A :class:`Column` is one attribute over all rows of a
+:class:`~repro.lbs.SpatialDatabase`: a length-``N`` NumPy array of
+values plus an optional boolean *present* mask (``None`` means the
+attribute exists on every row).  Columns are typed where the values
+allow it — ``float64`` / ``int64`` / ``bool`` — and fall back to an
+``object`` array for anything else (strings, ``None``, mixed types), so
+a lazily rebuilt row carries exactly the Python values the row-oriented
+path would have stored:
+
+* typed slots convert through ``ndarray.item()`` / ``tolist()``, which
+  yield the same ``float`` / ``int`` / ``bool`` objects the original
+  attrs dict held;
+* object slots store the original objects untouched.
+
+Absent slots of typed arrays hold an arbitrary filler (zero) that is
+never read — the mask gates every access.
+
+The helpers here are the shared plumbing of the columnar ingest path:
+:func:`column_from_values` infers a dtype from row values (the legacy
+row-iterable constructor shreds through it), :func:`columns_from_rows`
+shreds a whole attrs sequence, and :func:`concat_columns` stacks
+per-block column sets (the multi-schema POI generator) into one set
+with absence masks where a block lacks a column.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Mapping, Optional, Sequence
+
+import numpy as np
+
+__all__ = [
+    "Column",
+    "as_column",
+    "column_from_values",
+    "columns_from_rows",
+    "concat_columns",
+]
+
+
+@dataclass
+class Column:
+    """One attribute column: values plus an optional present mask."""
+
+    values: np.ndarray
+    present: Optional[np.ndarray] = None
+
+    def __post_init__(self) -> None:
+        self.values = np.asarray(self.values)
+        if self.present is not None:
+            self.present = np.asarray(self.present, dtype=bool)
+            if self.present.shape != self.values.shape:
+                raise ValueError("present mask must match values length")
+            if bool(self.present.all()):
+                self.present = None
+
+    def __len__(self) -> int:
+        return len(self.values)
+
+    # ------------------------------------------------------------------
+    def take(self, idx: np.ndarray) -> "Column":
+        """The column restricted to the given row indices (row slicing
+        for ``filtered()`` / ``subsample()`` — no re-validation)."""
+        return Column(
+            self.values[idx],
+            None if self.present is None else self.present[idx],
+        )
+
+    def present_at(self, i: int) -> bool:
+        return self.present is None or bool(self.present[i])
+
+    def value_at(self, i: int):
+        """Row ``i``'s value as a plain Python object."""
+        v = self.values[i]
+        return v if self.values.dtype == object else v.item()
+
+    def to_list(self) -> list:
+        """All values as Python objects (absent slots hold the filler)."""
+        return self.values.tolist()
+
+    def not_none_mask(self) -> np.ndarray:
+        """Rows whose *stored* value is not ``None`` (typed arrays
+        cannot hold ``None``; object arrays are scanned)."""
+        if self.values.dtype != object:
+            return np.ones(len(self.values), dtype=bool)
+        return np.fromiter(
+            (v is not None for v in self.values.tolist()), bool, len(self.values)
+        )
+
+
+def _as_object_array(values: Sequence) -> np.ndarray:
+    arr = np.empty(len(values), dtype=object)
+    arr[:] = list(values)
+    return arr
+
+
+def column_from_values(values: Sequence, present: Optional[np.ndarray] = None) -> Column:
+    """Build a :class:`Column` from Python row values, inferring a dtype.
+
+    ``values`` is full-length; slots where ``present`` is False are
+    ignored for inference and overwritten with the dtype's filler.
+    Homogeneous ``float`` / ``int`` / ``bool`` values get typed arrays
+    (``bool`` is checked before ``int`` — it is a subclass); anything
+    else, including ``None`` or NumPy scalars, keeps an object array so
+    rebuilt rows return the original objects.
+    """
+    values = list(values)
+    n = len(values)
+    if present is not None:
+        present = np.asarray(present, dtype=bool)
+        live = [v for v, p in zip(values, present.tolist()) if p]
+    else:
+        live = values
+    kinds = set(map(type, live))
+    if kinds == {float}:
+        dtype, filler = np.float64, 0.0
+    elif kinds == {bool}:
+        dtype, filler = np.bool_, False
+    elif kinds == {int}:
+        dtype, filler = np.int64, 0
+    else:
+        return Column(_as_object_array(values), present)
+    if present is not None:
+        values = [v if p else filler for v, p in zip(values, present.tolist())]
+    try:
+        arr = np.array(values, dtype=dtype)
+    except OverflowError:  # ints beyond int64: keep the objects
+        return Column(_as_object_array(values), present)
+    return Column(arr, present)
+
+
+def as_column(obj, n: int) -> Column:
+    """Normalize a user-supplied column: a :class:`Column`, a NumPy
+    array (all rows present), a ``(values, present)`` pair, or a plain
+    sequence of Python values (dtype inferred)."""
+    if isinstance(obj, Column):
+        col = obj
+    elif isinstance(obj, tuple) and len(obj) == 2:
+        values, present = obj
+        if isinstance(values, np.ndarray):
+            col = Column(values, present)
+        else:
+            col = column_from_values(values, present)
+    elif isinstance(obj, np.ndarray):
+        col = Column(obj)
+    else:
+        col = column_from_values(obj)
+    if len(col) != n:
+        raise ValueError(f"column has {len(col)} rows, expected {n}")
+    return col
+
+
+def columns_from_rows(attrs_rows: Sequence[Mapping]) -> dict[str, Column]:
+    """Shred per-row attrs mappings into columns (legacy-ingest path).
+
+    Column order is first-seen key order, which reproduces each row's
+    own key order for schema-shaped data (every row lists its keys in
+    one consistent relative order).
+    """
+    n = len(attrs_rows)
+    raw: dict[str, list] = {}
+    present: dict[str, np.ndarray] = {}
+    for i, attrs in enumerate(attrs_rows):
+        for key, value in attrs.items():
+            slot = raw.get(key)
+            if slot is None:
+                slot = raw[key] = [None] * n
+                present[key] = np.zeros(n, dtype=bool)
+            slot[i] = value
+            present[key][i] = True
+    return {
+        key: column_from_values(values, present[key]) for key, values in raw.items()
+    }
+
+
+def concat_columns(blocks: Sequence[tuple[int, Mapping[str, Column]]]) -> dict[str, Column]:
+    """Stack per-block column sets into one set over all rows.
+
+    ``blocks`` is ``[(n_rows, columns), ...]``; a block missing a column
+    contributes absent rows.  Mismatched dtypes across blocks degrade
+    the merged column to objects (preserving each block's values).
+    """
+    names: list[str] = []
+    for _n, cols in blocks:
+        for name in cols:
+            if name not in names:
+                names.append(name)
+    out: dict[str, Column] = {}
+    for name in names:
+        parts = [cols.get(name) for _n, cols in blocks]
+        dtypes = {p.values.dtype for p in parts if p is not None}
+        # A single shared non-object dtype concatenates as-is; anything
+        # else (mixed dtypes across blocks) degrades to objects.
+        shared = dtypes.pop() if len(dtypes) == 1 and object not in dtypes else None
+        vals_parts, present_parts = [], []
+        masked = False
+        for (m, _cols), part in zip(blocks, parts):
+            if part is None:
+                vals_parts.append(
+                    np.zeros(m, dtype=shared) if shared is not None
+                    else np.empty(m, dtype=object)
+                )
+                present_parts.append(np.zeros(m, dtype=bool))
+                masked = True
+                continue
+            if shared is not None or part.values.dtype == object:
+                vals_parts.append(part.values)
+            else:
+                vals_parts.append(_as_object_array(part.values.tolist()))
+            if part.present is None:
+                present_parts.append(np.ones(m, dtype=bool))
+            else:
+                present_parts.append(part.present)
+                masked = True
+        out[name] = Column(
+            np.concatenate(vals_parts) if vals_parts else np.empty(0, dtype=object),
+            np.concatenate(present_parts) if masked else None,
+        )
+    return out

@@ -34,7 +34,7 @@ from __future__ import annotations
 from typing import Callable, Iterable, Optional, Sequence
 
 from ..geometry import Point
-from ..index import QueryEngineConfig, make_index
+from ..index import QueryEngineConfig, make_index, make_index_arrays
 from .budget import BudgetExhausted, QueryBudget
 from .cache import QueryAnswerCache
 from .database import SpatialDatabase
@@ -82,31 +82,46 @@ class KnnInterface:
         self.visible_attrs = tuple(visible_attrs) if visible_attrs is not None else None
         self.engine = engine if engine is not None else QueryEngineConfig()
 
-        tuples = database.tuples()
         if effective_locations is not None:
             # Pre-realized positions (a filtered() view inheriting its
             # parent's jitters — the service drew each tuple's jitter
             # once; a narrowed candidate set must not re-roll it).
-            self._locations = {t.tid: effective_locations[t.tid] for t in tuples}
+            self._locations = {
+                tid: effective_locations[tid] for tid in database.tid_list()
+            }
+            self._locations_identity = False
         elif obfuscation is not None:
             # Jitter, clamped to the service region: obfuscated positions
             # still live in the service's world.
             region = database.region
             self._locations = {
                 tid: region.clamp(p)
-                for tid, p in obfuscation.effective_locations(tuples).items()
+                for tid, p in obfuscation.effective_locations(database.tuples()).items()
             }
+            self._locations_identity = False
         else:
-            self._locations = {t.tid: t.location for t in tuples}
-        self._index = make_index(
-            [(p.x, p.y, tid) for tid, p in self._locations.items()],
-            self.engine.index_backend,
-            auto_brute_max=self.engine.auto_brute_max,
-        )
+            # True positions: a lazy mapping view over the database's
+            # coordinate columns — no dict of Points is materialized.
+            self._locations = database.lazy_locations()
+            self._locations_identity = True
+        if self._locations_identity:
+            self._index = make_index_arrays(
+                database.coords,
+                database.tids,
+                self.engine.index_backend,
+                auto_brute_max=self.engine.auto_brute_max,
+            )
+        else:
+            self._index = make_index(
+                [(p.x, p.y, tid) for tid, p in self._locations.items()],
+                self.engine.index_backend,
+                auto_brute_max=self.engine.auto_brute_max,
+            )
         self._prominence_config = dict(prominence) if prominence is not None else None
         if self._prominence_config is not None:
             ranking = ProminenceRanking(
-                tuples, self._locations, index=self._index, **self._prominence_config
+                database.tuples(), self._locations,
+                index=self._index, **self._prominence_config,
             )
         else:
             ranking = DistanceRanking(self._index)
@@ -324,7 +339,11 @@ class KnnInterface:
             prominence=prominence,
             visible_attrs=self.visible_attrs,
             engine=self.engine,
-            effective_locations=self._locations,
+            # True (unjittered) positions need no passthrough: the view
+            # reads them from its own columns.  Realized jitters do.
+            effective_locations=(
+                None if self._locations_identity else self._locations
+            ),
         )
         return view
 

@@ -40,6 +40,7 @@ from .attrs import (
     Numeric,
     Tag,
     attr_field_from_dict,
+    synthesize_columns,
     synthesize_tuples,
 )
 from .region import NAMED_REGIONS, RegionSpec, default_region, resolve_region
@@ -76,6 +77,7 @@ __all__ = [
     "Indicator",
     "Tag",
     "attr_field_from_dict",
+    "synthesize_columns",
     "synthesize_tuples",
     "CensusSpec",
     "WorldSpec",

@@ -21,7 +21,7 @@ from typing import Optional
 import numpy as np
 
 from ..geometry import Rect
-from .attrs import AttrSchema, synthesize_tuples
+from .attrs import AttrSchema, synthesize_columns
 from .region import RegionSpec
 from .spatial import SpatialModel, UniformField, spatial_model_from_dict
 
@@ -107,6 +107,24 @@ class WorldSpec:
         return self.replace(n=n)
 
     # ------------------------------------------------------------------
+    def synthesis_inputs(
+        self, seed: Optional[int] = None
+    ) -> tuple[np.random.Generator, Rect, np.ndarray, np.ndarray]:
+        """``(rng, rect, xy, labels)`` — the sampled locations and the
+        generator stream positioned for attribute synthesis.
+
+        The build preamble as a public hook: :meth:`build` consumes it,
+        and so do the ingest benchmarks and the row/columnar
+        equivalence suite, which replay the *same* stream down the two
+        assembly paths — one derivation, no copies to drift.
+        """
+        if seed is None:
+            seed = self.seed
+        rng = np.random.default_rng([_WORLD_STREAM, seed])
+        rect = self.region.rect
+        xy, labels = self.spatial.sample(rng, self.n, rect)
+        return rng, rect, xy, labels
+
     def build(self, seed: Optional[int] = None) -> "World":
         """Generate the world; bit-identical for equal ``(spec, seed)``.
 
@@ -119,15 +137,16 @@ class WorldSpec:
 
         if seed is None:
             seed = self.seed
-        rng = np.random.default_rng([_WORLD_STREAM, seed])
-        rect = self.region.rect
-        xy, labels = self.spatial.sample(rng, self.n, rect)
-        tuples = synthesize_tuples(rng, xy, labels, self.attrs)
+        rng, rect, xy, labels = self.synthesis_inputs(seed)
+        # Columnar all the way down: synthesis emits arrays and the
+        # database ingests them without building a single row object
+        # (bit-identical to the row path; see tests/lbs/test_columnar_db.py).
+        xyv, tids, columns = synthesize_columns(rng, xy, labels, self.attrs)
         # SpatialDatabase imported via lbs at call time keeps the import
         # graph one-directional too.
         from ..lbs.database import SpatialDatabase
 
-        db = SpatialDatabase(tuples, rect)
+        db = SpatialDatabase.from_columns(xyv, tids, columns, rect)
         census = None
         if self.census is not None:
             census = PopulationGrid.from_spatial_model(
