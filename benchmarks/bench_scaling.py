@@ -11,6 +11,9 @@ matrix prominence) is measured against.  Recorded per combination:
   per-tuple ``LbsTuple`` assembly + shredding) vs ``columnar``
   (``synthesize_columns`` → ``SpatialDatabase.from_columns``, the
   default since the columnar core landed) — and their speedup,
+* obfuscated-interface build time down both paths — the ``{tid: Point}``
+  jitter dict + per-point clamp loop vs one columnar ``(N, 2)`` draw +
+  vectorized clip/clamp + array-native index — and their speedup,
 * index build time per backend,
 * kNN throughput at each batch size (``1`` = the scalar single-query
   path; larger sizes go through the vectorized ``knn_batch`` kernel in
@@ -29,6 +32,7 @@ regressions are ``bench_query_engine.py``'s job).
 from __future__ import annotations
 
 import argparse
+import gc
 import json
 import time
 from pathlib import Path
@@ -36,8 +40,8 @@ from pathlib import Path
 import numpy as np
 
 from repro import worlds
-from repro.index import make_index_arrays
-from repro.lbs import SpatialDatabase
+from repro.index import make_index, make_index_arrays
+from repro.lbs import ObfuscationModel, SpatialDatabase
 from repro.worlds.attrs import synthesize_columns, synthesize_tuples
 
 K = 5
@@ -84,6 +88,7 @@ def bench_ingest(spec) -> dict:
     timings = {}
     for label in ("row", "columnar"):
         rng, rect, xy, labels = spec.synthesis_inputs()
+        gc.collect()  # keep cyclic-gc pauses out of the timed region
         t0 = time.perf_counter()
         if label == "row":
             SpatialDatabase(synthesize_tuples(rng, xy, labels, spec.attrs), rect)
@@ -96,6 +101,42 @@ def bench_ingest(spec) -> dict:
         "db_row_seconds": round(timings["row"], 4),
         "db_columnar_seconds": round(timings["columnar"], 4),
         "ingest_speedup": round(timings["row"] / timings["columnar"], 2),
+    }
+
+
+def bench_obfuscated_build(db) -> dict:
+    """Obfuscated-interface build down both paths: one ``(N, 2)`` jitter
+    draw + vectorized clip/clamp + array-native index (columnar) vs the
+    ``{tid: Point}`` dict, ``region.clamp`` loop, and triple-list index
+    it replaced (the ``obfuscated_build_seconds`` trajectory column)."""
+    region = db.region
+    sigma = 0.01 * max(region.width, region.height)
+    model = ObfuscationModel(sigma=sigma, seed=9, clip=2.5 * sigma)
+
+    # Columnar first, so the row path pays its own lazy-tuple
+    # materialization rather than inheriting a warm cache.
+    gc.collect()
+    t0 = time.perf_counter()
+    eff = model.effective_coords(db.coords, db.tids)
+    eff[:, 0] = np.minimum(np.maximum(eff[:, 0], region.x0), region.x1)
+    eff[:, 1] = np.minimum(np.maximum(eff[:, 1], region.y0), region.y1)
+    idx_col = make_index_arrays(eff, db.tids, "grid")
+    t_col = time.perf_counter() - t0
+
+    gc.collect()
+    t0 = time.perf_counter()
+    locations = model.effective_locations(db.tuples())
+    clamped = {tid: region.clamp(p) for tid, p in locations.items()}
+    idx_row = make_index([(p.x, p.y, tid) for tid, p in clamped.items()], "grid")
+    t_row = time.perf_counter() - t0
+
+    probe = (region.x0 + 0.37 * region.width, region.y0 + 0.61 * region.height)
+    if idx_col.knn(*probe, K) != idx_row.knn(*probe, K):
+        raise AssertionError("columnar obfuscated build diverges from the row path")
+    return {
+        "row": round(t_row, 4),
+        "columnar": round(t_col, 4),
+        "speedup": round(t_row / t_col, 2),
     }
 
 
@@ -126,6 +167,11 @@ def bench_world(name: str, n: int, quick: bool, rng: np.random.Generator) -> dic
                           f"(build/query cost is super-linear in wall-clock)",
             })
             continue
+        # Collect before every timed region: the row-path builds above
+        # (this cell's and earlier cells') leave large dead object
+        # populations whose cyclic-gc pauses would otherwise land
+        # inside the query timing loops.
+        gc.collect()
         t0 = time.perf_counter()
         index = make_index_arrays(xy, tids, backend)
         index_s = time.perf_counter() - t0
@@ -139,6 +185,7 @@ def bench_world(name: str, n: int, quick: bool, rng: np.random.Generator) -> dic
                  float(region.y0 + uy * region.height))
                 for ux, uy in u
             ]
+            gc.collect()
             t0 = time.perf_counter()
             if batch == 1:
                 for x, y in queries:
@@ -154,6 +201,9 @@ def bench_world(name: str, n: int, quick: bool, rng: np.random.Generator) -> dic
             "n_queries": n_queries,
             "qps": qps,
         }
+    # Last: its row path materializes (and caches) every LbsTuple on
+    # world.db, a population the query timings above must never carry.
+    row["obfuscated_build_seconds"] = bench_obfuscated_build(world.db)
     return row
 
 
@@ -196,12 +246,18 @@ def check_report(report: dict) -> None:
         assert row["backends"], f"{row['world']}@{row['n']}: no backend ran"
         build = row["build_seconds"]
         assert build["db_columnar_seconds"] > 0 and build["db_row_seconds"] > 0
+        obf = row["obfuscated_build_seconds"]
+        assert obf["row"] > 0 and obf["columnar"] > 0
         if row["n"] >= 100_000:
-            # At scale the columnar ingest must stay clearly ahead; the
-            # hard 5x CI gate lives in bench_query_engine.py.
+            # At scale the columnar paths must stay clearly ahead; the
+            # hard 5x CI gates live in bench_query_engine.py.
             assert build["ingest_speedup"] >= 2.0, (
                 f"{row['world']}@{row['n']}: columnar ingest only "
                 f"{build['ingest_speedup']}x the row path"
+            )
+            assert obf["speedup"] >= 2.0, (
+                f"{row['world']}@{row['n']}: columnar obfuscated build only "
+                f"{obf['speedup']}x the row path"
             )
         for backend, data in row["backends"].items():
             for batch, qps in data["qps"].items():

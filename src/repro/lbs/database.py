@@ -38,20 +38,27 @@ __all__ = ["SpatialDatabase"]
 Predicate = Callable[[LbsTuple], bool]
 
 
-class _LazyLocations(MappingABC):
-    """A read-only ``{tid: Point}`` view over the coordinate columns.
+class _CoordMapping(MappingABC):
+    """A read-only ``{tid: Point}`` view over an ``(N, 2)`` array whose
+    rows align with a database's rows.
 
     Built lazily per access, so interfaces over million-tuple databases
-    never materialize a dict of Points just to look a handful up.
+    never materialize a dict of Points just to look a handful up.  The
+    array may be the database's own coordinate columns
+    (:meth:`SpatialDatabase.lazy_locations`) or any row-aligned
+    substitute — an obfuscated interface's realized effective positions
+    (:meth:`SpatialDatabase.coord_mapping`).
     """
 
-    __slots__ = ("_db",)
+    __slots__ = ("_db", "_xy")
 
-    def __init__(self, db: "SpatialDatabase"):
+    def __init__(self, db: "SpatialDatabase", xy: np.ndarray):
         self._db = db
+        self._xy = xy
 
     def __getitem__(self, tid) -> Point:
-        return self._db.location_of(tid)
+        i = self._db._pos(tid)
+        return Point(float(self._xy[i, 0]), float(self._xy[i, 1]))
 
     def __iter__(self):
         return iter(self._db.tid_list())
@@ -294,7 +301,25 @@ class SpatialDatabase:
         """A read-only ``{tid: Point}`` mapping view over the columns
         (compares equal to the :meth:`locations` dict, costs nothing to
         build)."""
-        return _LazyLocations(self)
+        return _CoordMapping(self, self._xy)
+
+    def coord_mapping(self, xy: np.ndarray) -> Mapping[int, Point]:
+        """A read-only ``{tid: Point}`` view over ``xy``, an ``(N, 2)``
+        array aligned with this database's rows — the lazy
+        effective-location view of obfuscated interfaces."""
+        xy = np.asarray(xy, dtype=np.float64)
+        if xy.shape != (len(self._tids), 2):
+            raise ValueError(
+                f"coordinate array has shape {xy.shape}, expected "
+                f"({len(self._tids)}, 2)"
+            )
+        return _CoordMapping(self, xy)
+
+    def row_positions(self, tids: Sequence[int]) -> np.ndarray:
+        """Row indices of the given tids, in order (``KeyError`` on an
+        unknown id) — how derived views slice row-aligned arrays such
+        as a parent interface's realized jitters."""
+        return self._positions(tids)
 
     def gather_attrs(
         self, tids: Sequence[int], names: Optional[Sequence[str]] = None

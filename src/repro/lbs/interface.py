@@ -33,8 +33,10 @@ from __future__ import annotations
 
 from typing import Callable, Iterable, Optional, Sequence
 
+import numpy as np
+
 from ..geometry import Point
-from ..index import QueryEngineConfig, make_index, make_index_arrays
+from ..index import QueryEngineConfig, make_index_arrays
 from .budget import BudgetExhausted, QueryBudget
 from .cache import QueryAnswerCache
 from .database import SpatialDatabase
@@ -70,6 +72,7 @@ class KnnInterface:
         prominence: Optional[dict] = None,
         visible_attrs: Optional[Sequence[str]] = None,
         engine: Optional[QueryEngineConfig] = None,
+        effective_coords: Optional[np.ndarray] = None,
         effective_locations: Optional[dict] = None,
     ):
         if k < 1:
@@ -82,45 +85,58 @@ class KnnInterface:
         self.visible_attrs = tuple(visible_attrs) if visible_attrs is not None else None
         self.engine = engine if engine is not None else QueryEngineConfig()
 
-        if effective_locations is not None:
-            # Pre-realized positions (a filtered() view inheriting its
-            # parent's jitters — the service drew each tuple's jitter
-            # once; a narrowed candidate set must not re-roll it).
-            self._locations = {
-                tid: effective_locations[tid] for tid in database.tid_list()
-            }
-            self._locations_identity = False
+        if effective_coords is not None:
+            # Pre-realized positions as a row-aligned (N, 2) array (a
+            # filtered() view inheriting its parent's jitters — the
+            # service drew each tuple's jitter once; a narrowed
+            # candidate set must not re-roll it).
+            eff = np.ascontiguousarray(effective_coords, dtype=np.float64)
+            if eff.shape != (len(database), 2):
+                raise ValueError(
+                    f"effective_coords has shape {eff.shape}, expected "
+                    f"({len(database)}, 2)"
+                )
+            self._eff_xy: Optional[np.ndarray] = eff
+        elif effective_locations is not None:
+            # Legacy dict form of the same passthrough.
+            eff = np.empty((len(database), 2), dtype=np.float64)
+            for i, tid in enumerate(database.tid_list()):
+                p = effective_locations[tid]
+                eff[i, 0] = p.x
+                eff[i, 1] = p.y
+            self._eff_xy = eff
         elif obfuscation is not None:
-            # Jitter, clamped to the service region: obfuscated positions
-            # still live in the service's world.
+            # One (N, 2) jitter draw over the coordinate columns,
+            # clamped to the service region in one vectorized pass:
+            # obfuscated positions still live in the service's world.
             region = database.region
-            self._locations = {
-                tid: region.clamp(p)
-                for tid, p in obfuscation.effective_locations(database.tuples()).items()
-            }
-            self._locations_identity = False
+            eff = obfuscation.effective_coords(database.coords, database.tids)
+            eff[:, 0] = np.minimum(np.maximum(eff[:, 0], region.x0), region.x1)
+            eff[:, 1] = np.minimum(np.maximum(eff[:, 1], region.y0), region.y1)
+            self._eff_xy = eff
         else:
-            # True positions: a lazy mapping view over the database's
-            # coordinate columns — no dict of Points is materialized.
+            # True positions: the database's own coordinate columns.
+            self._eff_xy = None
+        # Either way, the tid -> Point mapping is a lazy view over the
+        # coordinate array — no dict of Points is materialized.
+        if self._eff_xy is None:
             self._locations = database.lazy_locations()
             self._locations_identity = True
-        if self._locations_identity:
-            self._index = make_index_arrays(
-                database.coords,
-                database.tids,
-                self.engine.index_backend,
-                auto_brute_max=self.engine.auto_brute_max,
-            )
+            coords = database.coords
         else:
-            self._index = make_index(
-                [(p.x, p.y, tid) for tid, p in self._locations.items()],
-                self.engine.index_backend,
-                auto_brute_max=self.engine.auto_brute_max,
-            )
+            self._locations = database.coord_mapping(self._eff_xy)
+            self._locations_identity = False
+            coords = self._eff_xy
+        self._index = make_index_arrays(
+            coords,
+            database.tids,
+            self.engine.index_backend,
+            auto_brute_max=self.engine.auto_brute_max,
+        )
         self._prominence_config = dict(prominence) if prominence is not None else None
         if self._prominence_config is not None:
-            ranking = ProminenceRanking(
-                database.tuples(), self._locations,
+            ranking = ProminenceRanking.from_database(
+                database, coords,
                 index=self._index, **self._prominence_config,
             )
         else:
@@ -130,7 +146,8 @@ class KnnInterface:
             k,
             max_radius,
             AttributeProjection(
-                database, self._locations, self.visible_attrs, self.returns_location
+                database, self._locations, self.visible_attrs,
+                self.returns_location, coords=coords,
             ),
         )
         region = database.region
@@ -301,7 +318,22 @@ class KnnInterface:
         }
 
     def restore_engine_state(self, state: dict) -> None:
-        """Restore :meth:`engine_state` onto a freshly built interface."""
+        """Restore :meth:`engine_state` onto a freshly built interface.
+
+        A snapshot missing the required keys (one written by an
+        incompatible release) is rejected loudly, like the driver's
+        state-v2 ``load_state``, instead of dying on a bare ``KeyError``
+        halfway through the restore.
+        """
+        missing = [key for key in ("budget_used", "cache") if key not in state]
+        if missing:
+            raise ValueError(
+                "engine state is missing "
+                + ", ".join(repr(k) for k in missing)
+                + "; this snapshot was written by an incompatible release "
+                "(engine state requires budget_used and cache) — rerun "
+                "from the spec instead"
+            )
         self.budget.used = state["budget_used"]
         self._cache.clear()
         for entry in state["cache"]:
@@ -330,8 +362,18 @@ class KnnInterface:
         if self._prominence_config is not None:
             prominence = dict(self._prominence_config)
             prominence["static_range"] = self.pipeline.ranking.static_range
+        sub = self.database.filtered(predicate)
+        # True (unjittered) positions need no passthrough: the view
+        # reads them from its own columns.  Realized jitters do — as a
+        # row slice of the parent's effective-coordinate array, no dict
+        # is ever built.
+        eff = None
+        if self._eff_xy is not None:
+            eff = np.ascontiguousarray(
+                self._eff_xy[self.database.row_positions(sub.tids)]
+            )
         view = type(self)(
-            self.database.filtered(predicate),
+            sub,
             self.k,
             budget=self.budget,
             max_radius=self.max_radius,
@@ -339,11 +381,7 @@ class KnnInterface:
             prominence=prominence,
             visible_attrs=self.visible_attrs,
             engine=self.engine,
-            # True (unjittered) positions need no passthrough: the view
-            # reads them from its own columns.  Realized jitters do.
-            effective_locations=(
-                None if self._locations_identity else self._locations
-            ),
+            effective_coords=eff,
         )
         return view
 

@@ -153,7 +153,10 @@ class AttributeProjection:
     (:meth:`SpatialDatabase.gather_attrs`): the batch kernel
     fancy-indexes each column once across the whole batch instead of
     dict-copying per answer entry, and stays bit-identical to the
-    scalar stage.
+    scalar stage.  When the stage is built with the row-aligned
+    ``coords`` array (true or effective positions), the batch kernel
+    gathers exposed locations from it the same way — one fancy-index
+    across the batch instead of one mapping lookup per entry.
     """
 
     def __init__(
@@ -162,24 +165,32 @@ class AttributeProjection:
         locations: dict[int, Point],
         visible_attrs: Optional[tuple[str, ...]],
         returns_location: bool,
+        coords=None,
     ):
         self.database = database
         self.locations = locations
         self.visible_attrs = visible_attrs
         self.returns_location = returns_location
+        self.coords = coords
 
     def _render(
-        self, point: Point, ranked: Sequence[Ranked], attrs_list: Sequence[dict]
+        self,
+        point: Point,
+        ranked: Sequence[Ranked],
+        attrs_list: Sequence[dict],
+        locs_list: Optional[Sequence[Point]] = None,
     ) -> QueryAnswer:
         if self.returns_location:
-            locations = self.locations
+            if locs_list is None:
+                locations = self.locations
+                locs_list = [locations[tid] for _d, tid in ranked]
             results = tuple(
                 ReturnedTuple(
                     rank=rank, tid=tid, attrs=attrs,
-                    location=locations[tid], distance=d,
+                    location=loc, distance=d,
                 )
-                for rank, ((d, tid), attrs) in enumerate(
-                    zip(ranked, attrs_list), start=1
+                for rank, ((d, tid), attrs, loc) in enumerate(
+                    zip(ranked, attrs_list, locs_list), start=1
                 )
             )
         else:
@@ -211,11 +222,20 @@ class AttributeProjection:
     ) -> list[QueryAnswer]:
         flat = [tid for ranked in ranked_lists for _d, tid in ranked]
         attrs_flat = self.database.gather_attrs(flat, self.visible_attrs)
+        locs_flat: Optional[list[Point]] = None
+        if self.returns_location and self.coords is not None and flat:
+            pos = self.database.row_positions(flat)
+            xs = self.coords[pos, 0].tolist()
+            ys = self.coords[pos, 1].tolist()
+            locs_flat = [Point(x, y) for x, y in zip(xs, ys)]
         out: list[QueryAnswer] = []
         lo = 0
         for point, ranked in zip(points, ranked_lists):
             hi = lo + len(ranked)
-            out.append(self._render(point, ranked, attrs_flat[lo:hi]))
+            out.append(self._render(
+                point, ranked, attrs_flat[lo:hi],
+                None if locs_flat is None else locs_flat[lo:hi],
+            ))
             lo = hi
         return out
 

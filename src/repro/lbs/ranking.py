@@ -44,44 +44,143 @@ __all__ = [
 Ranked = tuple[float, int]
 
 
+def _splitmix64(z: np.ndarray) -> np.ndarray:
+    """One vectorized splitmix64 mixing round over uint64 arrays.
+
+    Callers pass arrays of ndim >= 1: array uint64 arithmetic wraps
+    silently, whereas NumPy warns on overflowing scalar/0-d ops.
+    """
+    z = z + np.uint64(0x9E3779B97F4A7C15)
+    z = (z ^ (z >> np.uint64(30))) * np.uint64(0xBF58476D1CE4E5B9)
+    z = (z ^ (z >> np.uint64(27))) * np.uint64(0x94D049BB133111EB)
+    return z ^ (z >> np.uint64(31))
+
+
 @dataclass(frozen=True)
 class ObfuscationModel:
     """Fixed per-tuple Gaussian jitter of reported/ranked positions.
 
     ``sigma`` is the standard deviation (same units as coordinates) and
-    ``clip`` an optional hard cap on the displacement norm.
+    ``clip`` an optional hard cap on the displacement norm —
+    ``clip=0.0`` is honoured as *zero displacement* (every jitter scales
+    to the origin), not as "unclipped".
+
+    Jitter stability — the "drawn once, for good" invariant
+    -------------------------------------------------------
+    By default jitters are consumed positionally from one RNG stream
+    over tid-sorted tuples.  That makes a given *database* reproducible,
+    but it is a hazard for derived databases: building an interface
+    directly on a ``filtered()``/``subsample()`` database assigns the
+    same tuple a *different* jitter than the parent world, because the
+    tuple now sits at a different stream position.  (Interface views
+    made via :meth:`KnnInterface.filtered` are safe — they inherit the
+    parent's realized jitters.)  ``per_tid=True`` opts into deriving
+    each jitter from the tuple's tid alone (a counter-based per-tid
+    substream), so the invariant holds no matter which subset of the
+    world an interface is built over.  The per-tid stream is a
+    *different* stream than the default — existing seeds do not
+    reproduce, which is why it is opt-in.
     """
 
     sigma: float
     seed: int = 0
     clip: Optional[float] = None
+    per_tid: bool = False
 
-    def effective_locations(self, tuples: Sequence[LbsTuple]) -> dict[int, Point]:
-        ordered = sorted(tuples, key=lambda t: t.tid)
+    def __post_init__(self) -> None:
+        if self.sigma < 0.0:
+            raise ValueError("obfuscation sigma must be non-negative")
+        if self.clip is not None and self.clip < 0.0:
+            raise ValueError(
+                "obfuscation clip must be non-negative (0.0 means zero "
+                "displacement; omit it for unclipped jitter)"
+            )
+
+    # ------------------------------------------------------------------
+    def _offsets_positional(self, tids: np.ndarray) -> np.ndarray:
+        """The historical stream: one (N, 2) draw over tid-sorted rows,
+        scattered back to row order."""
         rng = np.random.default_rng(self.seed)
         # One (N, 2) draw.  The generator fills C-order, consuming the
         # stream exactly like the historical per-tuple size-2 draws, so
         # jitters are bit-identical to the pre-vectorization loop
         # (regression-tested against an inline reference in
         # tests/lbs/test_lbs.py).
-        offsets = rng.normal(0.0, self.sigma, size=(len(ordered), 2))
-        if self.clip is not None and self.clip > 0.0:
+        drawn = rng.normal(0.0, self.sigma, size=(len(tids), 2))
+        if len(tids) <= 1 or bool((tids[1:] > tids[:-1]).all()):
+            return drawn  # rows already in tid order (the common case)
+        offsets = np.empty_like(drawn)
+        offsets[np.argsort(tids)] = drawn
+        return offsets
+
+    def _offsets_per_tid(self, tids: np.ndarray) -> np.ndarray:
+        """Counter-based per-tid substream: each tuple's jitter is a
+        pure function of ``(seed, tid)``, independent of which database
+        subset it appears in."""
+        t = np.asarray(tids, dtype=np.int64).astype(np.uint64)
+        z0 = _splitmix64(np.array([self.seed & 0xFFFFFFFFFFFFFFFF], dtype=np.uint64))
+        h1 = _splitmix64(t ^ z0)
+        h2 = _splitmix64(h1 ^ np.uint64(0xD2B74407B1CE6E93))
+        # 53-bit uniforms; u1 shifted into (0, 1] so log() is finite.
+        u1 = 1.0 - (h1 >> np.uint64(11)) * (2.0 ** -53)
+        u2 = (h2 >> np.uint64(11)) * (2.0 ** -53)
+        r = self.sigma * np.sqrt(-2.0 * np.log(u1))
+        theta = 2.0 * np.pi * u2
+        return np.stack([r * np.cos(theta), r * np.sin(theta)], axis=1)
+
+    def effective_coords(self, coords: np.ndarray, tids: np.ndarray) -> np.ndarray:
+        """Jittered positions for a whole coordinate array at once.
+
+        ``coords`` is the database's ``(N, 2)`` array and ``tids`` the
+        row-aligned tuple ids; the result is ``(N, 2)`` in the same row
+        order.  One vectorized draw, one vectorized clip — and for the
+        default (positional) stream the values are bit-identical to the
+        dict-building :meth:`effective_locations` path.
+        """
+        coords = np.asarray(coords, dtype=np.float64)
+        tids = np.asarray(tids, dtype=np.int64)
+        if self.per_tid:
+            offsets = self._offsets_per_tid(tids)
+        else:
+            offsets = self._offsets_positional(tids)
+        if self.clip is not None:
             norms = np.hypot(offsets[:, 0], offsets[:, 1])
             safe = np.where(norms > 0.0, norms, 1.0)
             scale = np.where(norms > self.clip, self.clip / safe, 1.0)
             offsets = offsets * scale[:, None]
+        return coords + offsets
+
+    def effective_locations(self, tuples: Sequence[LbsTuple]) -> dict[int, Point]:
+        """Dict form of :meth:`effective_coords` over materialized rows
+        (kept for tests and small-scale callers; the interface build
+        path is array-native)."""
+        ordered = sorted(tuples, key=lambda t: t.tid)
+        coords = np.array([[t.location.x, t.location.y] for t in ordered])
+        coords = coords.reshape(len(ordered), 2)
+        tids = np.array([t.tid for t in ordered], dtype=np.int64)
+        eff = self.effective_coords(coords, tids)
         return {
-            t.tid: Point(t.location.x + float(dx), t.location.y + float(dy))
-            for t, (dx, dy) in zip(ordered, offsets)
+            t.tid: Point(float(x), float(y))
+            for t, (x, y) in zip(ordered, eff)
         }
 
     # ------------------------------------------------------------------
     def to_dict(self) -> dict:
-        return {"sigma": self.sigma, "seed": self.seed, "clip": self.clip}
+        return {
+            "sigma": self.sigma,
+            "seed": self.seed,
+            "clip": self.clip,
+            "per_tid": self.per_tid,
+        }
 
     @classmethod
     def from_dict(cls, data: dict) -> "ObfuscationModel":
-        return cls(sigma=data["sigma"], seed=data.get("seed", 0), clip=data.get("clip"))
+        return cls(
+            sigma=data["sigma"],
+            seed=data.get("seed", 0),
+            clip=data.get("clip"),
+            per_tid=data.get("per_tid", False),
+        )
 
 
 @runtime_checkable
@@ -140,16 +239,98 @@ class ProminenceRanking:
         static_range: Optional[tuple[float, float]] = None,
         index: Optional[SpatialIndex] = None,
     ):
+        tids = np.array(sorted(locations), dtype=np.int64)
+        by_tid = {t.tid: t for t in tuples}
+        xs = np.array([locations[tid].x for tid in tids])
+        ys = np.array([locations[tid].y for tid in tids])
+        raw = np.array([float(by_tid[int(tid)].get(static_attr, 0.0)) for tid in tids])
+        self._init_arrays(
+            tids, xs, ys, raw, static_attr,
+            weight_distance, weight_static, distance_cap, static_range, index,
+        )
+
+    @classmethod
+    def from_database(
+        cls,
+        database,
+        coords: np.ndarray,
+        static_attr: str,
+        weight_distance: float = 0.5,
+        weight_static: float = 0.5,
+        distance_cap: float = 50.0,
+        static_range: Optional[tuple[float, float]] = None,
+        index: Optional[SpatialIndex] = None,
+    ) -> "ProminenceRanking":
+        """Array-native construction straight off the columnar store.
+
+        ``coords`` is the ``(N, 2)`` *effective* coordinate array
+        aligned with ``database`` rows (true positions, or the
+        interface's realized jitters).  Static scores gather from the
+        database's typed column in one pass — no ``LbsTuple`` rows are
+        materialized — and the result is bit-identical to the
+        row-materializing constructor.
+        """
+        tids = database.tids
+        coords = np.asarray(coords, dtype=np.float64)
+        n = len(tids)
+        order = None
+        if n > 1 and not bool((tids[1:] > tids[:-1]).all()):
+            order = np.argsort(tids)
+            tids = tids[order]
+            coords = coords[order]
+        col = database.column(static_attr)
+        if col is None:
+            raw = np.zeros(n, dtype=np.float64)
+        else:
+            values = col.values if order is None else col.values[order]
+            if values.dtype == object:
+                # Same conversion (and the same failure on
+                # non-numeric values) as float(t.get(attr, 0.0)).
+                present = (
+                    None if col.present is None
+                    else (col.present if order is None else col.present[order])
+                )
+                raw = np.array([
+                    float(v) if (present is None or p) else 0.0
+                    for v, p in zip(
+                        values.tolist(),
+                        present.tolist() if present is not None else [True] * n,
+                    )
+                ])
+            else:
+                raw = values.astype(np.float64)
+                if col.present is not None:
+                    present = col.present if order is None else col.present[order]
+                    raw = np.where(present, raw, 0.0)
+        self = cls.__new__(cls)
+        self._init_arrays(
+            np.ascontiguousarray(tids), coords[:, 0], coords[:, 1], raw,
+            static_attr, weight_distance, weight_static, distance_cap,
+            static_range, index,
+        )
+        return self
+
+    def _init_arrays(
+        self,
+        tids: np.ndarray,
+        xs: np.ndarray,
+        ys: np.ndarray,
+        raw: np.ndarray,
+        static_attr: str,
+        weight_distance: float,
+        weight_static: float,
+        distance_cap: float,
+        static_range: Optional[tuple[float, float]],
+        index: Optional[SpatialIndex],
+    ) -> None:
         if weight_distance < 0.0 or weight_static < 0.0:
             raise ValueError("prominence weights must be non-negative")
         if distance_cap <= 0.0:
             raise ValueError("distance_cap must be positive")
         self.static_attr = static_attr
-        self.tids = np.array(sorted(locations), dtype=np.int64)
-        by_tid = {t.tid: t for t in tuples}
-        self.xs = np.array([locations[tid].x for tid in self.tids])
-        self.ys = np.array([locations[tid].y for tid in self.tids])
-        raw = np.array([float(by_tid[int(tid)].get(static_attr, 0.0)) for tid in self.tids])
+        self.tids = tids
+        self.xs = xs
+        self.ys = ys
         if static_range is None:
             lo = float(raw.min()) if len(raw) else 0.0
             hi = float(raw.max()) if len(raw) else 0.0

@@ -140,7 +140,13 @@ class InterfaceSpec:
     obfuscation:
         Optional :class:`~repro.lbs.ranking.ObfuscationModel` — fixed
         per-tuple jitter of the positions the service ranks (and, for
-        LR, reports).
+        LR, reports).  The build realizes it as one columnar ``(N, 2)``
+        draw over the database's coordinate arrays (clip and region
+        clamp vectorized); the default stream assigns jitters by *row
+        position* over tid-sorted tuples, so rebuild the interface from
+        the same spec on the same database to keep them — or opt into
+        ``per_tid=True`` for jitters stable across filtered/subsampled
+        databases.
     ranking:
         The :class:`RankingSpec` ordering policy.
     """
