@@ -1,0 +1,188 @@
+"""Perf smoke for ``repro.parallel``: world cache and process fan-out.
+
+Two floors, measured over the ``wechat-like-1m`` registry scenario (the
+paper's largest surface):
+
+* **World cache** — a :class:`repro.parallel.WorldCache` hit (mmap-load
+  of the stored arrays) must beat a cold ``WorldSpec.build`` by
+  ``CACHE_FLOOR``x.  Unconditional: the cache's whole point is that a
+  load is dramatically cheaper than regenerating the world, on any
+  machine.
+* **Parallel fan-out** — :func:`repro.parallel.run_many_parallel` at 2
+  workers must finish the same batch of runs ``PARALLEL_FLOOR``x faster
+  than at 1 worker (both pay the same export/fork machinery, so this is
+  pure scaling).  Conditional on the machine actually having the cores:
+  on fewer than 2 CPUs the measurement is recorded but not asserted.
+
+Runs standalone (``python benchmarks/bench_parallel.py [--quick] [--out
+PATH]``) or under pytest (always the quick load — the CI smoke uploads
+the JSON as an artifact).  The full mode runs the 1M world and adds a
+4-worker point; the committed full-scale trajectory lives in
+``BENCH_scaling.json`` (this file is the gate, that one is the record).
+"""
+
+from __future__ import annotations
+
+import argparse
+import gc
+import json
+import os
+import tempfile
+import time
+from pathlib import Path
+
+from repro.api import MaxSamples, Session
+from repro.parallel import WorldCache, run_many_parallel
+from repro import worlds
+
+WORLD = "wechat-like-1m"
+QUICK_N = 100_000
+FULL_N = 1_000_000
+RUNS = 6
+#: Per-run stopping rule: long enough that per-sample estimation work
+#: dominates the fixed export/fork/index overhead of a launch.
+SAMPLES = {True: 40, False: 80}
+WORKER_COUNTS = {True: (1, 2), False: (1, 2, 4)}
+#: A cache hit mmap-loads arrays; even a small world clears 5x.
+CACHE_FLOOR = 5.0
+#: 2 workers vs 1, same machinery both sides (asserted when the
+#: machine has >= 2 CPUs).
+PARALLEL_FLOOR = 1.6
+
+_REPO_ROOT = Path(__file__).resolve().parent.parent
+DEFAULT_OUT = _REPO_ROOT / "BENCH_parallel.json"
+DEFAULT_QUICK_OUT = _REPO_ROOT / "BENCH_parallel_quick.json"
+
+
+def bench_world_cache(spec) -> dict:
+    """Cold build vs store vs mmap-load hit, in a throwaway cache root."""
+    gc.collect()
+    t0 = time.perf_counter()
+    world = spec.build()
+    cold = time.perf_counter() - t0
+    with tempfile.TemporaryDirectory() as root:
+        cache = WorldCache(root)
+        t0 = time.perf_counter()
+        cache.store(world)
+        store = time.perf_counter() - t0
+        gc.collect()
+        t0 = time.perf_counter()
+        loaded = cache.load(spec)
+        hit = time.perf_counter() - t0
+        assert loaded is not None and len(loaded.db) == len(world.db)
+    return {
+        "cold_build_seconds": round(cold, 4),
+        "store_seconds": round(store, 4),
+        "hit_seconds": round(hit, 4),
+        "hit_speedup": round(cold / hit, 1),
+    }
+
+
+def bench_parallel(spec, quick: bool) -> dict:
+    """The same batch of runs at each worker count, wall-clocked."""
+    world = spec.build()
+    base = Session(world).lr(k=5).count()
+    specs = [base.seed(s).spec for s in range(RUNS)]
+    until = MaxSamples(SAMPLES[quick])
+    out: dict = {
+        "runs": RUNS,
+        "samples_per_run": SAMPLES[quick],
+        "workers": {},
+    }
+    baseline = None
+    for w in WORKER_COUNTS[quick]:
+        gc.collect()
+        t0 = time.perf_counter()
+        results = run_many_parallel(specs, until, workers=w, world=world)
+        wall = time.perf_counter() - t0
+        queries = sum(r.queries for r in results)
+        entry = {
+            "wall_seconds": round(wall, 3),
+            "total_queries": queries,
+            "aggregate_qps": round(queries / wall, 1),
+        }
+        if baseline is None:
+            baseline = wall
+        entry["speedup_vs_1"] = round(baseline / wall, 2)
+        out["workers"][str(w)] = entry
+    return out
+
+
+def run_bench(quick: bool = False) -> dict:
+    n = QUICK_N if quick else FULL_N
+    spec = worlds.get(WORLD).with_size(n)
+    print(f"  {WORLD}@{n:,}: world cache ...")
+    cache_row = bench_world_cache(spec)
+    print(f"    cold {cache_row['cold_build_seconds']}s  "
+          f"hit {cache_row['hit_seconds']}s  "
+          f"({cache_row['hit_speedup']}x)")
+    print(f"  {WORLD}@{n:,}: parallel fan-out ...")
+    par_row = bench_parallel(spec, quick)
+    for w, e in par_row["workers"].items():
+        print(f"    workers={w}: {e['wall_seconds']}s  "
+              f"{e['aggregate_qps']} q/s  ({e['speedup_vs_1']}x)")
+    return {
+        "meta": {
+            "world": WORLD,
+            "n": n,
+            "quick": quick,
+            "cpu_count": os.cpu_count(),
+            "cache_floor": CACHE_FLOOR,
+            "parallel_floor": PARALLEL_FLOOR,
+        },
+        "world_cache": cache_row,
+        "parallel": par_row,
+    }
+
+
+def check_report(report: dict) -> None:
+    """The CI floors; parallel scaling only where the cores exist."""
+    cache = report["world_cache"]
+    assert cache["hit_seconds"] > 0
+    assert cache["hit_speedup"] >= CACHE_FLOOR, (
+        f"world-cache hit only {cache['hit_speedup']}x a cold build "
+        f"(floor {CACHE_FLOOR}x)"
+    )
+    workers = report["parallel"]["workers"]
+    assert "1" in workers and "2" in workers
+    for e in workers.values():
+        assert e["aggregate_qps"] > 0
+    cpus = report["meta"]["cpu_count"] or 1
+    if cpus >= 2:
+        got = workers["2"]["speedup_vs_1"]
+        assert got >= PARALLEL_FLOOR, (
+            f"2 workers only {got}x one worker on a {cpus}-CPU machine "
+            f"(floor {PARALLEL_FLOOR}x)"
+        )
+    else:
+        print(f"    ({cpus} CPU: parallel floor recorded, not asserted)")
+
+
+def write_report(report: dict, out: Path) -> None:
+    out.write_text(json.dumps(report, indent=2, sort_keys=True) + "\n")
+    print(f"wrote {out}")
+
+
+def test_parallel_bench_quick(tmp_path):
+    """CI smoke: cache-hit floor always; 2-worker floor when the runner
+    has the cores.  Always the quick load under pytest."""
+    report = run_bench(quick=True)
+    out = tmp_path / "BENCH_parallel.json"
+    write_report(report, out)
+    check_report(json.loads(out.read_text()))
+
+
+if __name__ == "__main__":
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("--quick", action="store_true",
+                        help="100k world, 1/2 workers (CI smoke)")
+    parser.add_argument("--out", type=Path, default=None,
+                        help=f"output JSON path (default {DEFAULT_OUT}, or "
+                             f"{DEFAULT_QUICK_OUT} with --quick)")
+    args = parser.parse_args()
+    out = args.out if args.out is not None else (
+        DEFAULT_QUICK_OUT if args.quick else DEFAULT_OUT
+    )
+    report = run_bench(quick=args.quick)
+    check_report(report)
+    write_report(report, out)

@@ -34,14 +34,18 @@ from __future__ import annotations
 import argparse
 import gc
 import json
+import os
+import tempfile
 import time
 from pathlib import Path
 
 import numpy as np
 
 from repro import worlds
+from repro.api import MaxSamples, Session
 from repro.index import make_index, make_index_arrays
 from repro.lbs import ObfuscationModel, SpatialDatabase
+from repro.parallel import WorldCache, run_many_parallel
 from repro.worlds.attrs import synthesize_columns, synthesize_tuples
 
 K = 5
@@ -60,6 +64,19 @@ _QUERY_BUDGET = {"grid": 4_000, "kdtree": 2_000, "brute": 2_000}
 #: own scalar path by this factor at 10k points (a lost batch kernel
 #: drops to ~1x; normal runs sit far above).
 QUICK_BATCH_FLOOR = 2.0
+#: Process fan-out measured at each worker count per sweep cell; the
+#: same batch of LR COUNT runs each time, so ``speedup_vs_1`` is pure
+#: scaling (every worker count pays the same export/fork machinery).
+PARALLEL_WORKERS = (1, 2, 4)
+PARALLEL_RUNS = 4
+PARALLEL_SAMPLES = {True: 10, False: 25}
+#: World-cache hit (mmap load) vs cold build floors, by size.  At 10k a
+#: build is milliseconds and the ratio is noise; no floor there.
+CACHE_FLOOR_1M = 5.0
+CACHE_FLOOR_100K = 2.0
+#: 4 workers vs 1 on the full-scale wechat world — only meaningful on a
+#: machine that has the cores, so the assertion is cpu-gated.
+PARALLEL_FLOOR_4W = 3.0
 
 _REPO_ROOT = Path(__file__).resolve().parent.parent
 DEFAULT_OUT = _REPO_ROOT / "BENCH_scaling.json"
@@ -140,6 +157,54 @@ def bench_obfuscated_build(db) -> dict:
     }
 
 
+def bench_world_cache(world, build_s: float) -> dict:
+    """Cold build vs store vs mmap-load hit (throwaway cache root)."""
+    spec = world.spec
+    with tempfile.TemporaryDirectory() as root:
+        cache = WorldCache(root)
+        t0 = time.perf_counter()
+        cache.store(world)
+        store_s = time.perf_counter() - t0
+        gc.collect()
+        t0 = time.perf_counter()
+        loaded = cache.load(spec)
+        hit_s = time.perf_counter() - t0
+        assert loaded is not None and len(loaded.db) == len(world.db)
+    return {
+        "cold_build": round(build_s, 4),
+        "store": round(store_s, 4),
+        "hit": round(hit_s, 4),
+        "hit_speedup": round(build_s / hit_s, 1),
+    }
+
+
+def bench_parallel_runs(world, quick: bool) -> dict:
+    """The same batch of LR COUNT runs at each worker count."""
+    base = Session(world).lr(k=5).count()
+    specs = [base.seed(s).spec for s in range(PARALLEL_RUNS)]
+    until = MaxSamples(PARALLEL_SAMPLES[quick])
+    out: dict = {
+        "runs": PARALLEL_RUNS,
+        "samples_per_run": PARALLEL_SAMPLES[quick],
+        "workers": {},
+    }
+    baseline = None
+    for w in PARALLEL_WORKERS:
+        gc.collect()
+        t0 = time.perf_counter()
+        results = run_many_parallel(specs, until, workers=w, world=world)
+        wall = time.perf_counter() - t0
+        queries = sum(r.queries for r in results)
+        if baseline is None:
+            baseline = wall
+        out["workers"][str(w)] = {
+            "wall_seconds": round(wall, 3),
+            "aggregate_qps": round(queries / wall, 1),
+            "speedup_vs_1": round(baseline / wall, 2),
+        }
+    return out
+
+
 def bench_world(name: str, n: int, quick: bool, rng: np.random.Generator) -> dict:
     """One world at one size: build it, then sweep backends × batches."""
     spec = worlds.get(name).with_size(n)
@@ -204,6 +269,11 @@ def bench_world(name: str, n: int, quick: bool, rng: np.random.Generator) -> dic
     # Last: its row path materializes (and caches) every LbsTuple on
     # world.db, a population the query timings above must never carry.
     row["obfuscated_build_seconds"] = bench_obfuscated_build(world.db)
+    # The repro.parallel columns ride after the query timings too: the
+    # cache store walks every column and the fan-out forks the (by now
+    # tuple-heavy) process — neither may sit inside a timed knn loop.
+    row["world_cache_seconds"] = bench_world_cache(world, build_s)
+    row["parallel_qps"] = bench_parallel_runs(world, quick)
     return row
 
 
@@ -228,6 +298,8 @@ def run_bench(quick: bool = False) -> dict:
             "sizes": sizes,
             "backend_max_n": BACKEND_MAX_N,
             "worlds": worlds.names(),
+            "cpu_count": os.cpu_count(),
+            "parallel_workers": list(PARALLEL_WORKERS),
         },
         "results": results,
     }
@@ -270,6 +342,38 @@ def check_report(report: dict) -> None:
                 f"{g[top_batch] / g['1']:.1f}x its scalar path "
                 f"(floor {QUICK_BATCH_FLOOR}x)"
             )
+        cache = row["world_cache_seconds"]
+        assert cache["hit"] > 0 and cache["store"] > 0
+        if row["n"] >= 1_000_000:
+            floor = CACHE_FLOOR_1M
+        elif row["n"] >= 100_000:
+            floor = CACHE_FLOOR_100K
+        else:
+            floor = None  # millisecond builds: the ratio is noise
+        if floor is not None:
+            assert cache["hit_speedup"] >= floor, (
+                f"{row['world']}@{row['n']}: world-cache hit only "
+                f"{cache['hit_speedup']}x a cold build (floor {floor}x)"
+            )
+        par = row["parallel_qps"]["workers"]
+        assert set(par) == {str(w) for w in meta["parallel_workers"]}
+        for w, entry in par.items():
+            assert entry["aggregate_qps"] > 0, (
+                f"{row['world']}@{row['n']}: no throughput at {w} workers"
+            )
+    # Fan-out scaling is only meaningful with the cores to back it: on
+    # the full-scale wechat world, 4 workers must clear the floor when
+    # the machine has >= 4 CPUs (recorded either way).
+    cpus = meta.get("cpu_count") or 1
+    if cpus >= 4:
+        for row in report["results"]:
+            if row["world"] == "wechat-like-1m" and row["n"] >= 1_000_000:
+                got = row["parallel_qps"]["workers"]["4"]["speedup_vs_1"]
+                assert got >= PARALLEL_FLOOR_4W, (
+                    f"wechat-like-1m@{row['n']}: 4 workers only {got}x one "
+                    f"worker on a {cpus}-CPU machine "
+                    f"(floor {PARALLEL_FLOOR_4W}x)"
+                )
 
 
 def write_report(report: dict, out: Path) -> None:

@@ -79,6 +79,8 @@ from .stats import Checkpoint, EstimationResult
 from . import worlds
 from .worlds import RegionSpec, WorldSpec
 from . import api
+from . import parallel
+from .parallel import WorldCache, run_many_parallel
 from .api import (
     AggregateSpec,
     AnyRule,
@@ -97,7 +99,10 @@ __version__ = "1.1.0"
 __all__ = [
     "__version__",
     "api",
+    "parallel",
     "worlds",
+    "WorldCache",
+    "run_many_parallel",
     "WorldSpec",
     "RegionSpec",
     "Session",

@@ -213,11 +213,21 @@ class Session:
         return self._with(batch_size=batch_size)
 
     # ------------------------------------------------------------------
-    def build(self) -> EstimationDriver:
-        """Construct the estimator this session describes."""
+    def build(self, *, effective_coords=None, index=None) -> EstimationDriver:
+        """Construct the estimator this session describes.
+
+        ``effective_coords``/``index`` pass straight through to
+        :meth:`~repro.lbs.InterfaceSpec.build` — the parallel executor's
+        sharing hooks (pre-realized obfuscation jitters, a per-worker
+        spatial index reused across runs).  Leave them ``None`` for
+        ordinary sessions.
+        """
         spec = self.spec
         db, census = _resolve_world(self.world)
-        interface = spec.interface_spec().build(db, engine=spec.engine)
+        interface = spec.interface_spec().build(
+            db, engine=spec.engine,
+            effective_coords=effective_coords, index=index,
+        )
         agg = spec.aggregate
         if agg.pass_through:
             # Push the condition into the service (§5.1): the estimator
@@ -385,6 +395,7 @@ def run_many(
     runs: Sequence[SessionRun],
     *,
     max_total_queries: Optional[int] = None,
+    workers: Optional[int] = None,
 ) -> list[EstimationResult]:
     """Drive several runs concurrently against one shared query pool.
 
@@ -394,9 +405,37 @@ def run_many(
     over all runs — is exhausted, every run is paused where it stands
     and the partial results are returned (each run's own
     :meth:`SessionRun.to_state` remains valid for later resumption).
+
+    ``workers > 1`` fans the runs across a process pool instead
+    (:func:`repro.parallel.run_many_parallel`), with results
+    bit-identical to the sequential drive.  Parallel runs must be fully
+    declarative: every run's spec has to embed the same
+    :class:`~repro.worlds.WorldSpec` (the world is rebuilt/cached once
+    and shared over shared memory), none may have been advanced yet, and
+    ``max_total_queries`` — a *shared* pool, inherently sequential
+    bookkeeping — is not supported.
     """
     if max_total_queries is not None and max_total_queries < 0:
         raise ValueError("max_total_queries must be non-negative")
+    if workers is not None and workers > 1:
+        if max_total_queries is not None:
+            raise ValueError(
+                "a shared query pool (max_total_queries) is round-robin "
+                "bookkeeping across runs and cannot be parallelized; "
+                "drop workers= or the pool"
+            )
+        from ..parallel import run_many_parallel  # lazy: api must not depend on parallel
+
+        for run in runs:
+            if run.last is not None:
+                raise ValueError(
+                    "parallel run_many needs fresh runs; one was already advanced"
+                )
+        return run_many_parallel(
+            [run.spec for run in runs],
+            [run.until for run in runs],
+            workers=workers,
+        )
     active = {i: iter(run) for i, run in enumerate(runs)}
 
     def pool_exhausted() -> bool:

@@ -186,6 +186,17 @@ class EstimationSpec:
             return self.interface
         return InterfaceSpec(kind=interface_kind(self.method), k=self.k)
 
+    def world_content_hash(self) -> Optional[str]:
+        """Content address of the embedded world, or ``None`` when the
+        spec carries no :class:`~repro.worlds.WorldSpec`.
+
+        Delegates to :meth:`WorldSpec.content_hash` — the key under
+        which :class:`repro.parallel.WorldCache` persists the built
+        database, and the grouping key the parallel executor shares one
+        in-memory world across runs by.
+        """
+        return self.world.content_hash() if self.world is not None else None
+
     def replace(self, **changes) -> "EstimationSpec":
         """A copy with the given fields changed (specs are frozen)."""
         return replace(self, **changes)

@@ -120,7 +120,28 @@ class SpatialDatabase:
             xy, tids, {name: as_column(c, n) for name, c in columns.items()}, region
         )
         db._rows = None
+        # Ingested arrays become the database's storage without a copy,
+        # so an accidental in-place write through a kept reference — or
+        # through .coords/.column() — would silently corrupt the
+        # database (and, for mmapped / shared-memory worlds, every
+        # other attached process).  Enforce the "callers must not
+        # mutate" contract at the array level: mutation raises.
+        db._freeze_arrays()
         return db
+
+    def _freeze_arrays(self) -> None:
+        """Mark the coordinate/tid/column arrays read-only in place.
+
+        Always allowed regardless of ownership (NumPy only restricts
+        re-*enabling* writes), and a no-op on arrays that are already
+        read-only — e.g. the mmap-backed views of a world-cache load.
+        """
+        self._xy.flags.writeable = False
+        self._tids.flags.writeable = False
+        for col in self._columns.values():
+            col.values.flags.writeable = False
+            if col.present is not None:
+                col.present.flags.writeable = False
 
     def _init_columnar(
         self,
@@ -143,7 +164,12 @@ class SpatialDatabase:
         self._contiguous = bool(n == 0 or (np.diff(tids) == 1).all())
         if validate:
             self._validate(region)
-        self._index = make_index_arrays(self._xy, self._tids)
+        # The database's own index serves knn()/within_radius() only —
+        # interfaces build theirs over the coordinates they rank with
+        # (possibly obfuscated).  Built lazily on first query, so ingest
+        # (and a world-cache load, whose arrays arrive pre-validated and
+        # mmapped) never pays for an index nobody asks for.
+        self._index_cache: Optional[object] = None
 
     def _validate(self, region: Rect) -> None:
         n = len(self._tids)
@@ -189,6 +215,9 @@ class SpatialDatabase:
         )
         if self._rows is not None:
             db._rows = [self._rows[i] for i in idx.tolist()]
+        # Slices own fresh copies, but the read-only invariant is
+        # uniform: no database's storage is mutable through accessors.
+        db._freeze_arrays()
         return db
 
     # ------------------------------------------------------------------
@@ -354,6 +383,12 @@ class SpatialDatabase:
     # ------------------------------------------------------------------
     # kNN plumbing (used by interfaces)
     # ------------------------------------------------------------------
+    @property
+    def _index(self):
+        if self._index_cache is None:
+            self._index_cache = make_index_arrays(self._xy, self._tids)
+        return self._index_cache
+
     def knn(self, point: Point, k: int) -> list[tuple[float, LbsTuple]]:
         """The k nearest tuples as ``(distance, tuple)``, ties by id."""
         return [(d, self.get(tid)) for d, tid in self._index.knn(point.x, point.y, k)]

@@ -74,6 +74,7 @@ class KnnInterface:
         engine: Optional[QueryEngineConfig] = None,
         effective_coords: Optional[np.ndarray] = None,
         effective_locations: Optional[dict] = None,
+        index: Optional[object] = None,
     ):
         if k < 1:
             raise ValueError("k must be >= 1")
@@ -127,12 +128,20 @@ class KnnInterface:
             self._locations = database.coord_mapping(self._eff_xy)
             self._locations_identity = False
             coords = self._eff_xy
-        self._index = make_index_arrays(
-            coords,
-            database.tids,
-            self.engine.index_backend,
-            auto_brute_max=self.engine.auto_brute_max,
-        )
+        if index is not None:
+            # Injected pre-built index (the parallel executor builds one
+            # per worker and shares it across runs over the same
+            # coordinates).  The caller guarantees it was built over
+            # exactly ``coords``/``tids`` with this engine's backend —
+            # answers are then bit-identical to building it here.
+            self._index = index
+        else:
+            self._index = make_index_arrays(
+                coords,
+                database.tids,
+                self.engine.index_backend,
+                auto_brute_max=self.engine.auto_brute_max,
+            )
         self._prominence_config = dict(prominence) if prominence is not None else None
         if self._prominence_config is not None:
             ranking = ProminenceRanking.from_database(

@@ -183,8 +183,19 @@ class InterfaceSpec:
         *,
         budget: Optional[QueryBudget] = None,
         engine: Optional[QueryEngineConfig] = None,
+        effective_coords=None,
+        index=None,
     ) -> KnnInterface:
-        """Construct the live interface this spec describes."""
+        """Construct the live interface this spec describes.
+
+        ``effective_coords`` and ``index`` are sharing hooks for the
+        parallel executor: pre-realized obfuscated positions (the exact
+        ``(N, 2)`` array the interface would draw and clamp itself —
+        e.g. exported once over shared memory instead of redrawn per
+        worker) and a pre-built spatial index over the coordinates the
+        interface ranks with.  Both are bit-identity-preserving; leave
+        them ``None`` everywhere else.
+        """
         cls = LrLbsInterface if self.kind == "lr" else LnrLbsInterface
         return cls(
             database,
@@ -195,6 +206,8 @@ class InterfaceSpec:
             prominence=self.ranking.prominence_kwargs(),
             visible_attrs=self.visible_attrs,
             engine=engine,
+            effective_coords=effective_coords,
+            index=index,
         )
 
     # ------------------------------------------------------------------

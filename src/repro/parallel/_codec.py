@@ -1,0 +1,58 @@
+"""Column encodings shared by the world cache and the shared-memory export.
+
+Typed columns (float64/int64/bool) are already flat buffers and move as
+raw bytes — mmappable from a cache entry, copyable into a shared-memory
+segment.  Object-dtype columns are not: an object array stores pointers,
+so it can neither be mmapped nor live in another process's address
+space.  Two escapes:
+
+* ``"unicode"`` — a column whose *present* values are all ``str`` is
+  re-encoded as a fixed-width NumPy ``U`` array (absent slots get ``""``
+  as the never-read filler, exactly like typed columns use zero).  The
+  decoded column is *value-equal* to the original through every
+  consumer — ``value_at``/``gather_attrs`` convert through
+  ``.item()``/``.tolist()`` which return plain ``str``, and
+  ``AttrEquals`` masks gate absent slots by the present mask — but its
+  array dtype is ``U<n>`` rather than ``object``.
+* ``"object"`` — anything else keeps the object array and travels by
+  pickling (no mmap, no shared segment; each consumer gets a private
+  copy).
+
+Every world the :mod:`repro.worlds` synthesis pipeline builds encodes
+without the pickle fallback: its columns are typed or all-``str``.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from ..lbs.columns import Column
+
+__all__ = ["encode_column_values", "TYPED", "UNICODE", "OBJECT"]
+
+TYPED = "typed"
+UNICODE = "unicode"
+OBJECT = "object"
+
+
+def encode_column_values(col: Column) -> tuple[str, np.ndarray]:
+    """``(encoding, array)`` for one column's values.
+
+    ``"typed"`` and ``"unicode"`` arrays are flat-buffer encodable
+    (mmap / shared memory); ``"object"`` returns the original array for
+    the caller's pickle path.  The present mask, when any, travels
+    separately and unchanged.
+    """
+    values = col.values
+    if values.dtype != object:
+        return TYPED, values
+    vals = values.tolist()
+    if col.present is None:
+        live = vals
+    else:
+        live = [v for v, p in zip(vals, col.present.tolist()) if p]
+    if live and all(type(v) is str for v in live):
+        if col.present is not None:
+            vals = [v if p else "" for v, p in zip(vals, col.present.tolist())]
+        return UNICODE, np.array(vals, dtype="U")
+    return OBJECT, values

@@ -1,0 +1,372 @@
+"""Process-pool execution of estimation runs over one shared world.
+
+:func:`run_many_parallel` takes fully declarative runs — specs that all
+embed the *same* :class:`~repro.worlds.WorldSpec`, paired with stopping
+rules — builds (or cache-loads) the world once, exports it over shared
+memory, and fans the runs across a pool of worker processes.  Results
+are **bit-identical** to driving the same specs sequentially through
+:func:`repro.api.run_many`: runs are independent (each owns its seed,
+RNG stream, budget, and answer cache), so distributing them changes
+nothing about what any single run computes.
+
+What is shared, and why it is safe:
+
+* the database columns — read-only shared-memory views (a worker
+  physically cannot mutate them);
+* realized obfuscation jitters — the parent pre-draws each distinct
+  :class:`~repro.lbs.ObfuscationModel`'s ``(N, 2)`` effective-coordinate
+  array with the exact interface-construction arithmetic (draw + region
+  clamp) and exports it, so workers skip the draw *and* all runs agree
+  on the service's positions exactly as rebuilt interfaces do;
+* per-worker spatial indexes — each worker builds the index for a given
+  (coordinates, backend) combination once and reuses it across the runs
+  it executes; index construction is deterministic, so a shared index
+  answers bit-identically to a per-run one.
+
+Workers stream a :class:`RunProgress` event per checkpoint over the
+result queue, and optionally persist each run's
+:meth:`~repro.api.SessionRun.to_state` JSON (atomic replace) every
+``state_every`` samples — a run interrupted mid-stream resumes from its
+checkpoint file via :meth:`repro.api.Session.resume` like any
+sequential run.  A run that raises is reported with its spec and full
+traceback and the pool *keeps going*; after every run is accounted for,
+:class:`ParallelRunError` carries the failures plus all completed
+results (and completed runs' checkpoint files stay on disk).
+"""
+
+from __future__ import annotations
+
+import hashlib
+import json
+import multiprocessing as mp
+import os
+import queue as queue_mod
+import traceback
+from dataclasses import dataclass
+from typing import Callable, Optional, Sequence, Union
+
+import numpy as np
+
+from ..api.session import Session, SessionRun
+from ..api.spec import EstimationSpec
+from ..core import QueryEngineConfig, StoppingRule
+from ..index import make_index_arrays
+from ..stats import EstimationResult
+from ..worlds.spec import World, WorldSpec
+from .sharedmem import SharedWorld, cleanup_stale_segments
+from .worldcache import WorldCache
+
+__all__ = ["run_many_parallel", "ParallelRunError", "RunProgress"]
+
+
+@dataclass(frozen=True)
+class RunProgress:
+    """One worker-side checkpoint, streamed to the coordinating process."""
+
+    run_index: int
+    samples: int
+    queries: int
+    estimate: float
+
+
+class ParallelRunError(RuntimeError):
+    """One or more parallel runs failed (the rest completed normally).
+
+    ``failures`` lists ``(run_index, spec_json, traceback_text)`` per
+    failed run; ``results`` is the full result list with ``None`` at
+    the failed slots, so completed work is never thrown away.
+    """
+
+    def __init__(self, failures: list, results: list):
+        self.failures = failures
+        self.results = results
+        lines = [f"{len(failures)} of {len(results)} parallel runs failed:"]
+        for run_index, spec_json, tb in failures:
+            last = tb.strip().splitlines()[-1] if tb.strip() else "unknown error"
+            lines.append(f"  run {run_index}: {last}")
+            lines.append(f"    spec: {spec_json}")
+        lines.append("full tracebacks are in .failures; completed results in .results")
+        super().__init__("\n".join(lines))
+
+
+# ----------------------------------------------------------------------
+# Parent-side helpers
+# ----------------------------------------------------------------------
+def _effective_coords_key(obfuscation) -> str:
+    """Stable name for one obfuscation model's realized jitter array."""
+    text = json.dumps(obfuscation.to_dict(), sort_keys=True)
+    return "eff-" + hashlib.sha256(text.encode("utf-8")).hexdigest()[:16]
+
+
+def _realize_effective_coords(db, obfuscation) -> np.ndarray:
+    """Exactly the draw-and-clamp an interface performs at construction
+    (see ``KnnInterface.__init__``) — bit-identity depends on it."""
+    region = db.region
+    eff = obfuscation.effective_coords(db.coords, db.tids)
+    eff[:, 0] = np.minimum(np.maximum(eff[:, 0], region.x0), region.x1)
+    eff[:, 1] = np.minimum(np.maximum(eff[:, 1], region.y0), region.y1)
+    return eff
+
+
+def _default_context() -> mp.context.BaseContext:
+    # fork shares the parent's loaded modules for free; spawn is the
+    # portable fallback (everything shipped to workers pickles).
+    method = "fork" if "fork" in mp.get_all_start_methods() else "spawn"
+    return mp.get_context(method)
+
+
+# ----------------------------------------------------------------------
+# Worker side
+# ----------------------------------------------------------------------
+def _write_json_atomic(path: str, payload: dict) -> None:
+    tmp = f"{path}.tmp-{os.getpid()}"
+    with open(tmp, "w", encoding="utf-8") as f:
+        json.dump(payload, f)
+    os.replace(tmp, path)
+
+
+def _execute_run(world, db, shared, indexes, run_index, spec_json, until,
+                 eff_key, results_q, checkpoint_dir, state_every):
+    spec = EstimationSpec.from_json(spec_json)
+    eff = shared.extra(eff_key) if eff_key is not None else None
+    engine = spec.engine if spec.engine is not None else QueryEngineConfig()
+    index_key = (eff_key, engine.index_backend, engine.auto_brute_max)
+    index = indexes.get(index_key)
+    if index is None:
+        coords = eff if eff is not None else db.coords
+        index = indexes[index_key] = make_index_arrays(
+            coords, db.tids, engine.index_backend,
+            auto_brute_max=engine.auto_brute_max,
+        )
+    driver = Session(world, spec).build(effective_coords=eff, index=index)
+    run = SessionRun(spec, driver, until, batch_size=spec.batch_size,
+                     state_every=None, queries_start=0)
+    state_path = None
+    if checkpoint_dir is not None:
+        state_path = os.path.join(checkpoint_dir, f"run-{run_index:03d}.state.json")
+    for cp in run:
+        results_q.put(("progress", run_index, cp.samples, cp.queries, cp.estimate))
+        if state_path is not None and state_every is not None \
+                and cp.samples % state_every == 0:
+            # Between checkpoint yields the iterator is at rest, so
+            # to_state() is a valid pause snapshot — the rolling
+            # checkpoint a killed run resumes from.
+            _write_json_atomic(state_path, run.to_state())
+    if state_path is not None:
+        _write_json_atomic(state_path, run.to_state())
+    return run.result()
+
+
+def _worker_main(descriptor, tasks, results_q, checkpoint_dir, state_every):
+    shared = SharedWorld.attach(descriptor)
+    try:
+        world = shared.world()  # one attach + database per worker
+        db = world.db
+        indexes: dict = {}
+        while True:
+            task = tasks.get()
+            if task is None:
+                break
+            run_index, spec_json, until, eff_key = task
+            try:
+                result = _execute_run(
+                    world, db, shared, indexes, run_index, spec_json, until,
+                    eff_key, results_q, checkpoint_dir, state_every,
+                )
+                results_q.put(("done", run_index, result))
+            except Exception:
+                results_q.put(("error", run_index, spec_json,
+                               traceback.format_exc()))
+    finally:
+        shared.close()
+
+
+# ----------------------------------------------------------------------
+# The coordinator
+# ----------------------------------------------------------------------
+def run_many_parallel(
+    specs: Sequence[EstimationSpec],
+    untils: Union[StoppingRule, Sequence[StoppingRule]],
+    *,
+    workers: int = 2,
+    world: Optional[World] = None,
+    cache: Optional[WorldCache] = None,
+    checkpoint_dir: Optional[str] = None,
+    state_every: Optional[int] = None,
+    on_progress: Optional[Callable[[RunProgress], None]] = None,
+    mp_context=None,
+) -> list[EstimationResult]:
+    """Run every spec to its stopping rule across a process pool.
+
+    Parameters
+    ----------
+    specs:
+        Fully declarative runs — each must embed the *same*
+        :class:`~repro.worlds.WorldSpec` (compared by content hash) and
+        carry a serializable aggregate condition.
+    untils:
+        One stopping rule per spec, or a single rule applied to all.
+    workers:
+        Pool size (>= 1; ``1`` is the sequential baseline on the same
+        machinery).
+    world:
+        The pre-built world to share, when the caller already has it;
+        its spec's content hash must match the specs'.  Default: load
+        through ``cache`` when given, else build from the spec.
+    cache:
+        A :class:`WorldCache` to load/store the built world through.
+    checkpoint_dir / state_every:
+        When set, workers persist each run's pause snapshot to
+        ``<dir>/run-<i>.state.json`` (atomic replace) every
+        ``state_every`` samples and at completion —
+        :meth:`repro.api.Session.resume` picks any of them up.
+    on_progress:
+        Callback invoked in *this* process with a :class:`RunProgress`
+        per completed sample of any run.
+
+    Returns the results in spec order — bit-identical to running each
+    spec sequentially.  Raises :class:`ParallelRunError` when any run
+    failed (completed results and checkpoint files are preserved), or
+    ``RuntimeError`` when a worker process dies outright.
+    """
+    specs = list(specs)
+    if not specs:
+        return []
+    if workers < 1:
+        raise ValueError("workers must be >= 1")
+    if isinstance(untils, StoppingRule):
+        untils = [untils] * len(specs)
+    else:
+        untils = list(untils)
+        if len(untils) != len(specs):
+            raise ValueError(
+                f"{len(specs)} specs but {len(untils)} stopping rules"
+            )
+    world_hash = specs[0].world_content_hash()
+    if world_hash is None:
+        raise ValueError(
+            "parallel runs must embed a WorldSpec in every spec (build "
+            "sessions from a WorldSpec or registry name so the world is "
+            "declarative); spec 0 has none"
+        )
+    for i, spec in enumerate(specs):
+        if spec.world_content_hash() != world_hash:
+            raise ValueError(
+                f"all parallel runs must share one world: spec {i} embeds a "
+                "different WorldSpec than spec 0"
+            )
+    # Serializing up front also rejects ad-hoc callable conditions loudly
+    # here, not in a worker traceback.
+    spec_jsons = [spec.to_json() for spec in specs]
+
+    wspec = specs[0].world
+    if world is None:
+        world = cache.load_or_build(wspec) if cache is not None else wspec.build()
+    else:
+        supplied = getattr(world, "spec", None)
+        if not isinstance(supplied, WorldSpec) or supplied.content_hash() != world_hash:
+            raise ValueError(
+                "the supplied world does not match the WorldSpec embedded in "
+                "the specs (content hashes differ); pass the world built "
+                "from that spec, or let run_many_parallel build it"
+            )
+    db = world.db
+
+    # One realized jitter array per distinct obfuscation model.
+    eff_arrays: dict[str, np.ndarray] = {}
+    eff_keys: list[Optional[str]] = []
+    for spec in specs:
+        obf = spec.interface_spec().obfuscation
+        if obf is None:
+            eff_keys.append(None)
+            continue
+        key = _effective_coords_key(obf)
+        if key not in eff_arrays:
+            eff_arrays[key] = _realize_effective_coords(db, obf)
+        eff_keys.append(key)
+
+    if checkpoint_dir is not None:
+        checkpoint_dir = os.fspath(checkpoint_dir)
+        os.makedirs(checkpoint_dir, exist_ok=True)
+
+    ctx = mp_context if mp_context is not None else _default_context()
+    cleanup_stale_segments()
+    shared = SharedWorld.export(world, extras=eff_arrays)
+    procs: list = []
+    try:
+        tasks = ctx.Queue()
+        results_q = ctx.Queue()
+        for i, (spec_json, until) in enumerate(zip(spec_jsons, untils)):
+            tasks.put((i, spec_json, until, eff_keys[i]))
+        for _ in range(workers):
+            tasks.put(None)
+        descriptor = shared.descriptor()
+        for _ in range(workers):
+            p = ctx.Process(
+                target=_worker_main,
+                args=(descriptor, tasks, results_q, checkpoint_dir, state_every),
+                daemon=True,
+            )
+            p.start()
+            procs.append(p)
+
+        results: list[Optional[EstimationResult]] = [None] * len(specs)
+        failures: list = []
+        accounted = 0
+        while accounted < len(specs):
+            try:
+                msg = results_q.get(timeout=0.25)
+            except queue_mod.Empty:
+                if all(not p.is_alive() for p in procs):
+                    # Drain anything the feeder threads flushed late.
+                    while True:
+                        try:
+                            msg = results_q.get_nowait()
+                        except queue_mod.Empty:
+                            break
+                        accounted += _absorb(msg, results, failures, on_progress)
+                    if accounted >= len(specs):
+                        break
+                    reported = {i for i, _s, _t in failures}
+                    missing = [i for i in range(len(specs))
+                               if results[i] is None and i not in reported]
+                    codes = sorted({p.exitcode for p in procs})
+                    for i in missing:
+                        failures.append((
+                            i, spec_jsons[i],
+                            f"worker process died before reporting "
+                            f"(pool exit codes: {codes})",
+                        ))
+                    raise ParallelRunError(failures, results)
+                continue
+            accounted += _absorb(msg, results, failures, on_progress)
+        for p in procs:
+            p.join(timeout=10.0)
+    finally:
+        for p in procs:
+            if p.is_alive():
+                p.terminate()
+                p.join(timeout=5.0)
+        shared.destroy()
+    if failures:
+        raise ParallelRunError(failures, results)
+    return results
+
+
+def _absorb(msg, results, failures, on_progress) -> int:
+    """Apply one queue message; returns 1 when it settles a run."""
+    kind = msg[0]
+    if kind == "progress":
+        if on_progress is not None:
+            _kind, run_index, samples, queries, estimate = msg
+            on_progress(RunProgress(run_index, samples, queries, estimate))
+        return 0
+    if kind == "done":
+        _kind, run_index, result = msg
+        results[run_index] = result
+        return 1
+    if kind == "error":
+        _kind, run_index, spec_json, tb = msg
+        failures.append((run_index, spec_json, tb))
+        return 1
+    raise RuntimeError(f"unexpected worker message {msg!r}")

@@ -14,6 +14,7 @@ world and an entire experiment travel as one serializable document.
 
 from __future__ import annotations
 
+import hashlib
 import json
 from dataclasses import dataclass, field, replace
 from typing import Optional
@@ -25,10 +26,17 @@ from .attrs import AttrSchema, synthesize_columns
 from .region import RegionSpec
 from .spatial import SpatialModel, UniformField, spatial_model_from_dict
 
-__all__ = ["CensusSpec", "WorldSpec", "World"]
+__all__ = ["CensusSpec", "WorldSpec", "World", "WORLD_CACHE_FORMAT"]
 
 #: Stream-key prefix separating world generation from estimator RNG use.
 _WORLD_STREAM = 0x57D5
+
+#: Format version salted into :meth:`WorldSpec.content_hash`.  Bump it
+#: whenever the build pipeline changes in a way that alters built worlds
+#: (new RNG consumption order, changed synthesis kernels, new cache
+#: entry layout) — every persisted world-cache entry is invalidated at
+#: once, instead of silently serving stale databases.
+WORLD_CACHE_FORMAT = 1
 
 
 @dataclass(frozen=True)
@@ -156,6 +164,21 @@ class WorldSpec:
         return World(spec=self.replace(seed=seed), db=db, census=census)
 
     # ------------------------------------------------------------------
+    def content_hash(self) -> str:
+        """Content address of the world this spec builds (hex sha256).
+
+        Hashes the canonical serialized form — :meth:`to_json` sorts
+        keys, so two specs describing the same world hash identically no
+        matter what dict order they were loaded from — salted with
+        :data:`WORLD_CACHE_FORMAT`, so a pipeline change that alters
+        built worlds retires every existing cache entry.  Equal hashes
+        mean bit-identical :meth:`build` output; this is the key of the
+        persistent built-world cache
+        (:class:`repro.parallel.WorldCache`).
+        """
+        payload = f"repro.worlds/{WORLD_CACHE_FORMAT}\n{self.to_json()}"
+        return hashlib.sha256(payload.encode("utf-8")).hexdigest()
+
     def to_dict(self) -> dict:
         """JSON-serializable form; exact inverse of :meth:`from_dict`."""
         return {

@@ -351,3 +351,48 @@ def test_attr_equals_mask_matches_row_predicate(data, target):
     expected = [t.tid for t in db.tuples() if t.get("g") == target]
     assert db.ground_truth_count(cond) == len(expected)
     assert db.filtered(cond).tid_list() == expected
+
+
+class TestFrozenStorage:
+    """Ingested arrays become the database's storage without a copy, so
+    the ingest freezes them — accidental in-place writes raise instead
+    of silently corrupting the database (and, for shared-memory or
+    mmapped worlds, every attached process)."""
+
+    def _assert_frozen(self, db):
+        assert not db.coords.flags.writeable
+        assert not db.tids.flags.writeable
+        with pytest.raises((ValueError, RuntimeError)):
+            db.coords[0, 0] = 123.0
+        with pytest.raises((ValueError, RuntimeError)):
+            db.tids[0] = 999
+        for name in db.column_names():
+            col = db.column(name)
+            assert not col.values.flags.writeable, name
+            with pytest.raises((ValueError, RuntimeError)):
+                col.values[0] = col.values[0]
+            if col.present is not None:
+                assert not col.present.flags.writeable, name
+                with pytest.raises((ValueError, RuntimeError)):
+                    col.present[0] = True
+
+    def test_from_columns_freezes_ingested_arrays(self):
+        n = 16
+        xy = np.stack([np.linspace(1, 99, n), np.linspace(1, 79, n)], axis=1)
+        vals = np.arange(n, dtype=np.float64)
+        present = np.ones(n, dtype=bool)
+        db = SpatialDatabase.from_columns(
+            xy, np.arange(n), {"v": Column(vals, present)}, BOX
+        )
+        self._assert_frozen(db)
+        # The caller's own references hit the same storage: also frozen.
+        assert not xy.flags.writeable and not vals.flags.writeable
+
+    def test_world_builds_are_frozen(self):
+        db = worlds.registry.get("paper/clustered").with_size(200).build().db
+        self._assert_frozen(db)
+
+    def test_derived_databases_stay_frozen(self):
+        db = worlds.registry.get("paper/clustered").with_size(200).build().db
+        self._assert_frozen(db.filtered(AttrEquals("category", "restaurant")))
+        self._assert_frozen(db.subsample(0.5, np.random.default_rng(3)))

@@ -1,0 +1,160 @@
+"""SharedWorld: export/attach round trips, lifecycle, stale-segment sweep."""
+
+import multiprocessing as mp
+import os
+
+import numpy as np
+import pytest
+
+from repro.api import MaxSamples, Session
+from repro.parallel import SharedWorld, cleanup_stale_segments
+from repro.parallel.sharedmem import _PREFIX, _SHM_DIR
+from repro.worlds import registry
+
+
+@pytest.fixture(scope="module")
+def world():
+    return registry.get("paper/clustered").with_size(300).build()
+
+
+def _segment_names():
+    try:
+        return {e for e in os.listdir(_SHM_DIR) if e.startswith(_PREFIX + "-")}
+    except OSError:
+        return set()
+
+
+class TestRoundTrip:
+    def test_same_process_attach_is_value_identical(self, world):
+        with SharedWorld.export(world) as shared:
+            att = SharedWorld.attach(shared.descriptor())
+            try:
+                copy = att.world()
+                assert np.array_equal(copy.db.coords, world.db.coords)
+                assert np.array_equal(copy.db.tids, world.db.tids)
+                assert copy.db.tuples() == world.db.tuples()
+                assert copy.spec == world.spec
+                assert np.array_equal(copy.census.weights, world.census.weights)
+            finally:
+                att.close()
+
+    def test_attached_arrays_are_readonly(self, world):
+        with SharedWorld.export(world) as shared:
+            att = SharedWorld.attach(shared.descriptor())
+            try:
+                db = att.world().db
+                assert not db.coords.flags.writeable
+                with pytest.raises((ValueError, RuntimeError)):
+                    db.coords[0, 0] = 99.0
+            finally:
+                att.close()
+
+    def test_string_columns_round_trip(self):
+        world = registry.get("wechat-like-1m").with_size(400).build()
+        with SharedWorld.export(world) as shared:
+            att = SharedWorld.attach(shared.descriptor())
+            try:
+                assert att.world().db.tuples() == world.db.tuples()
+            finally:
+                att.close()
+
+    def test_extras_travel(self, world):
+        eff = world.db.coords + 1.0
+        with SharedWorld.export(world, extras={"eff": eff}) as shared:
+            att = SharedWorld.attach(shared.descriptor())
+            try:
+                got = att.extra("eff")
+                assert np.array_equal(got, eff)
+                assert not got.flags.writeable
+            finally:
+                att.close()
+
+    def test_estimation_over_attached_world_is_identical(self, world):
+        with SharedWorld.export(world) as shared:
+            att = SharedWorld.attach(shared.descriptor())
+            try:
+                r_shared = (Session(att.world()).lr(k=5).count().seed(2)
+                            .run(MaxSamples(20)))
+                r_local = (Session(world).lr(k=5).count().seed(2)
+                           .run(MaxSamples(20)))
+                assert r_shared.estimate == r_local.estimate
+                assert r_shared.queries == r_local.queries
+            finally:
+                att.close()
+
+    def test_descriptor_pickles_across_processes(self, world):
+        ctx = mp.get_context()
+        with SharedWorld.export(world) as shared:
+            parent, child = ctx.Pipe()
+            p = ctx.Process(target=_child_checksum,
+                            args=(shared.descriptor(), child))
+            p.start()
+            got = parent.recv()
+            p.join(timeout=30)
+            assert p.exitcode == 0
+            assert got == [
+                float(world.db.coords.sum()),
+                int(world.db.tids.sum()),
+                len(world.db),
+            ]
+
+    def test_export_requires_a_spec(self, world):
+        with pytest.raises(TypeError, match="WorldSpec"):
+            SharedWorld.export(world.db)
+
+
+def _child_checksum(descriptor, conn):
+    att = SharedWorld.attach(descriptor)
+    try:
+        db = att.world().db
+        conn.send([float(db.coords.sum()), int(db.tids.sum()), len(db)])
+    finally:
+        att.close()
+
+
+class TestLifecycle:
+    def test_destroy_removes_segments(self, world):
+        before = _segment_names()
+        shared = SharedWorld.export(world)
+        created = _segment_names() - before
+        assert created  # segments actually live in /dev/shm
+        shared.destroy()
+        assert not (_segment_names() & created)
+
+    def test_destroy_is_idempotent_and_owner_only(self, world):
+        shared = SharedWorld.export(world)
+        att = SharedWorld.attach(shared.descriptor())
+        with pytest.raises(RuntimeError, match="exporting process"):
+            att.destroy()
+        att.close()
+        att.close()
+        shared.destroy()
+        shared.destroy()
+
+    def test_attach_after_destroy_fails(self, world):
+        shared = SharedWorld.export(world)
+        descriptor = shared.descriptor()
+        shared.destroy()
+        with pytest.raises(FileNotFoundError):
+            SharedWorld.attach(descriptor)
+
+    def test_cleanup_stale_segments_sweeps_dead_pids_only(self, world):
+        if not os.path.isdir(_SHM_DIR):
+            pytest.skip("no /dev/shm on this platform")
+        # Forge a segment owned by a pid that cannot exist.
+        stale = f"{_PREFIX}-{0x7FFFFFFE:08x}-feedface"
+        stale_path = os.path.join(_SHM_DIR, stale)
+        with open(stale_path, "wb") as f:
+            f.write(b"\0" * 16)
+        shared = SharedWorld.export(world)  # live segments, our pid
+        try:
+            removed = cleanup_stale_segments()
+            assert stale in removed
+            assert not os.path.exists(stale_path)
+            # Our live export is untouched.
+            att = SharedWorld.attach(shared.descriptor())
+            att.close()
+        finally:
+            shared.destroy()
+            if os.path.exists(stale_path):
+                os.unlink(stale_path)

@@ -118,3 +118,45 @@ class TestBuild:
         w = _spec(spatial=UniformField(), census=None).build()
         xs = [t.location.x for t in w.db]
         assert min(xs) >= 0 and max(xs) <= 100
+
+
+class TestContentHash:
+    def test_stable_across_json_round_trip_and_key_order(self):
+        spec = _spec()
+        h = spec.content_hash()
+        assert len(h) == 64 and int(h, 16) >= 0  # hex sha256
+        # JSON round trip preserves the hash.
+        assert WorldSpec.from_json(spec.to_json()).content_hash() == h
+        # So does loading the dict form with scrambled key order.
+        data = spec.to_dict()
+        scrambled = json.loads(json.dumps(data, sort_keys=True))
+        shuffled = dict(reversed(list(scrambled.items())))
+        assert WorldSpec.from_dict(shuffled).content_hash() == h
+
+    def test_every_field_change_changes_the_hash(self):
+        spec = _spec()
+        h = spec.content_hash()
+        variants = [
+            spec.replace(name="other"),
+            spec.replace(n=401),
+            spec.replace(seed=6),
+            spec.replace(region=RegionSpec(0, 0, 100, 81)),
+            spec.replace(spatial=UniformField()),
+            spec.replace(census=None),
+            spec.replace(census=CensusSpec(nx=8, ny=6, noise=0.25)),
+            spec.replace(attrs=AttrSchema(fields=(Constant("category", "bank"),))),
+        ]
+        hashes = [v.content_hash() for v in variants]
+        assert h not in hashes
+        assert len(set(hashes)) == len(hashes)  # all distinct from each other
+
+    def test_identical_specs_hash_identically(self):
+        assert _spec().content_hash() == _spec().content_hash()
+
+    def test_estimation_spec_exposes_world_hash(self):
+        from repro.api import EstimationSpec
+
+        spec = _spec()
+        est = EstimationSpec(world=spec)
+        assert est.world_content_hash() == spec.content_hash()
+        assert EstimationSpec().world_content_hash() is None
