@@ -13,6 +13,10 @@ paper's largest surface):
   than at 1 worker (both pay the same export/fork machinery, so this is
   pure scaling).  Conditional on the machine actually having the cores:
   on fewer than 2 CPUs the measurement is recorded but not asserted.
+* **Sharded kNN fan-out** — :func:`repro.parallel.parallel_knn_batch` at
+  2 workers must beat the same call at 1 worker by ``SHARDED_FLOOR``x
+  (queries are routed by home tile; each worker builds only the tiles
+  its slice touches over the shared world).  Cpu-gated like the above.
 
 Runs standalone (``python benchmarks/bench_parallel.py [--quick] [--out
 PATH]``) or under pytest (always the quick load — the CI smoke uploads
@@ -31,8 +35,10 @@ import tempfile
 import time
 from pathlib import Path
 
+import numpy as np
+
 from repro.api import MaxSamples, Session
-from repro.parallel import WorldCache, run_many_parallel
+from repro.parallel import WorldCache, parallel_knn_batch, run_many_parallel
 from repro import worlds
 
 WORLD = "wechat-like-1m"
@@ -48,6 +54,14 @@ CACHE_FLOOR = 5.0
 #: 2 workers vs 1, same machinery both sides (asserted when the
 #: machine has >= 2 CPUs).
 PARALLEL_FLOOR = 1.6
+#: Sharded kNN fan-out: one batch of uniform queries routed by home
+#: tile, 2 workers vs 1 over the same SharedWorld (cpu-gated the same
+#: way).  The single-tile (one-worker) call is the baseline the ISSUE's
+#: floor names.
+SHARDED_FLOOR = 1.5
+SHARDED_QUERIES = {True: 1_000, False: 4_000}
+SHARDED_TILES = 4
+SHARDED_K = 5
 
 _REPO_ROOT = Path(__file__).resolve().parent.parent
 DEFAULT_OUT = _REPO_ROOT / "BENCH_parallel.json"
@@ -108,6 +122,45 @@ def bench_parallel(spec, quick: bool) -> dict:
     return out
 
 
+def bench_sharded_knn(spec, quick: bool) -> dict:
+    """One kNN batch fanned across workers by home tile."""
+    world = spec.build()
+    region = world.db.region
+    nq = SHARDED_QUERIES[quick]
+    rng = np.random.default_rng(20150810)
+    u = rng.random((nq, 2))
+    queries = [
+        (float(region.x0 + a * region.width),
+         float(region.y0 + b * region.height))
+        for a, b in u
+    ]
+    out: dict = {
+        "n_queries": nq,
+        "k": SHARDED_K,
+        "tiles_per_side": SHARDED_TILES,
+        "workers": {},
+    }
+    baseline = None
+    for w in WORKER_COUNTS[quick]:
+        gc.collect()
+        t0 = time.perf_counter()
+        _answers, stats = parallel_knn_batch(
+            world, queries, SHARDED_K, workers=w,
+            tiles_per_side=SHARDED_TILES, return_stats=True,
+        )
+        wall = time.perf_counter() - t0
+        if baseline is None:
+            baseline = wall
+        out["workers"][str(w)] = {
+            "wall_seconds": round(wall, 3),
+            "qps": round(nq / wall, 1),
+            "speedup_vs_1": round(baseline / wall, 2),
+            "tiles_built": [s["tiles_built"] for s in stats],
+            "tiles_nonempty": stats[0]["tiles_nonempty"] if stats else 0,
+        }
+    return out
+
+
 def run_bench(quick: bool = False) -> dict:
     n = QUICK_N if quick else FULL_N
     spec = worlds.get(WORLD).with_size(n)
@@ -121,6 +174,11 @@ def run_bench(quick: bool = False) -> dict:
     for w, e in par_row["workers"].items():
         print(f"    workers={w}: {e['wall_seconds']}s  "
               f"{e['aggregate_qps']} q/s  ({e['speedup_vs_1']}x)")
+    print(f"  {WORLD}@{n:,}: sharded kNN fan-out ...")
+    sharded_row = bench_sharded_knn(spec, quick)
+    for w, e in sharded_row["workers"].items():
+        print(f"    workers={w}: {e['wall_seconds']}s  "
+              f"{e['qps']} q/s  ({e['speedup_vs_1']}x)")
     return {
         "meta": {
             "world": WORLD,
@@ -129,9 +187,11 @@ def run_bench(quick: bool = False) -> dict:
             "cpu_count": os.cpu_count(),
             "cache_floor": CACHE_FLOOR,
             "parallel_floor": PARALLEL_FLOOR,
+            "sharded_floor": SHARDED_FLOOR,
         },
         "world_cache": cache_row,
         "parallel": par_row,
+        "sharded_knn": sharded_row,
     }
 
 
@@ -147,6 +207,11 @@ def check_report(report: dict) -> None:
     assert "1" in workers and "2" in workers
     for e in workers.values():
         assert e["aggregate_qps"] > 0
+    sharded = report["sharded_knn"]["workers"]
+    assert "1" in sharded and "2" in sharded
+    for e in sharded.values():
+        assert e["qps"] > 0
+        assert e["tiles_nonempty"] > 0
     cpus = report["meta"]["cpu_count"] or 1
     if cpus >= 2:
         got = workers["2"]["speedup_vs_1"]
@@ -154,8 +219,13 @@ def check_report(report: dict) -> None:
             f"2 workers only {got}x one worker on a {cpus}-CPU machine "
             f"(floor {PARALLEL_FLOOR}x)"
         )
+        got = sharded["2"]["speedup_vs_1"]
+        assert got >= SHARDED_FLOOR, (
+            f"sharded kNN fan-out at 2 workers only {got}x one worker "
+            f"on a {cpus}-CPU machine (floor {SHARDED_FLOOR}x)"
+        )
     else:
-        print(f"    ({cpus} CPU: parallel floor recorded, not asserted)")
+        print(f"    ({cpus} CPU: parallel floors recorded, not asserted)")
 
 
 def write_report(report: dict, out: Path) -> None:

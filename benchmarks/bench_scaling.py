@@ -14,10 +14,15 @@ matrix prominence) is measured against.  Recorded per combination:
 * obfuscated-interface build time down both paths — the ``{tid: Point}``
   jitter dict + per-point clamp loop vs one columnar ``(N, 2)`` draw +
   vectorized clip/clamp + array-native index — and their speedup,
-* index build time per backend,
+* index build time per backend (plus the index's own ``stats()``
+  counters when it keeps them — the grid's chunked-vs-fallback split
+  and the sharded index's settled/escalated routing),
 * kNN throughput at each batch size (``1`` = the scalar single-query
   path; larger sizes go through the vectorized ``knn_batch`` kernel in
-  chunks of that size).
+  chunks of that size),
+* ``sharded_qps``: one kNN batch routed by home tile and fanned across
+  worker processes over a SharedWorld (tiles × workers; each worker
+  builds only the tiles its queries touch).
 
 Backends that cannot sensibly run a size are *skipped and recorded*
 (no silent caps): the pure-Python KD-tree build and the O(n)-per-query
@@ -44,8 +49,9 @@ import numpy as np
 from repro import worlds
 from repro.api import MaxSamples, Session
 from repro.index import make_index, make_index_arrays
+from repro.index.sharded import auto_tiles_per_side
 from repro.lbs import ObfuscationModel, SpatialDatabase
-from repro.parallel import WorldCache, run_many_parallel
+from repro.parallel import WorldCache, parallel_knn_batch, run_many_parallel
 from repro.worlds.attrs import synthesize_columns, synthesize_tuples
 
 K = 5
@@ -55,11 +61,13 @@ BATCH_SIZES = (1, 64, 512)
 FULL_SIZES = {"10k": 10_000, "100k": 100_000, "1m": 1_000_000}
 QUICK_SIZES = {"10k": 10_000}
 #: Per-(backend, size) caps, recorded in the report when they bite.
-BACKEND_MAX_N = {"grid": 1_000_000, "kdtree": 100_000, "brute": 100_000}
+BACKEND_MAX_N = {"grid": 1_000_000, "sharded": 1_000_000,
+                 "kdtree": 100_000, "brute": 100_000}
 #: Rough per-query cost ratios used to budget query counts so the full
 #: sweep stays in minutes: brute is O(n) per query, the KD-tree batch
 #: path just loops the scalar search.
-_QUERY_BUDGET = {"grid": 4_000, "kdtree": 2_000, "brute": 2_000}
+_QUERY_BUDGET = {"grid": 4_000, "sharded": 4_000, "kdtree": 2_000,
+                 "brute": 2_000}
 #: The CI floor: on every world the grid's batched kernel must beat its
 #: own scalar path by this factor at 10k points (a lost batch kernel
 #: drops to ~1x; normal runs sit far above).
@@ -77,6 +85,22 @@ CACHE_FLOOR_100K = 2.0
 #: 4 workers vs 1 on the full-scale wechat world — only meaningful on a
 #: machine that has the cores, so the assertion is cpu-gated.
 PARALLEL_FLOOR_4W = 3.0
+#: One kNN batch fanned across workers by home tile (sharded_qps rows);
+#: query count per measurement, and the cpu-gated 2-worker floor on the
+#: full-scale wechat world.
+SHARDED_QUERIES = {True: 1_000, False: 4_000}
+SHARDED_FLOOR_2W = 1.5
+#: GridIndex's batched kernel may drop heavy-tail queries to the exact
+#: per-query path; the ``stats()`` counters make that visible, and this
+#: budget caps the fraction (measured: 0% on paper/clustered at 10k-1M,
+#: 0.05% on wechat-like-1m — a regression to per-query search shows up
+#: as a jump toward 1.0 long before wall-clock makes it obvious).
+GRID_FALLBACK_BUDGET = 0.05
+#: Batched kNN over the clustered world must beat its own scalar path
+#: by this factor from 100k points up (measured 5.8x at 100k, ~6x at
+#: 1M; the 10k cells sit at ~4.7x and stay under the generic
+#: QUICK_BATCH_FLOOR instead).
+CLUSTERED_BATCH_FLOOR = 5.0
 
 _REPO_ROOT = Path(__file__).resolve().parent.parent
 DEFAULT_OUT = _REPO_ROOT / "BENCH_scaling.json"
@@ -205,6 +229,54 @@ def bench_parallel_runs(world, quick: bool) -> dict:
     return out
 
 
+def bench_sharded_parallel(world, quick: bool,
+                           rng: np.random.Generator) -> dict:
+    """One kNN batch fanned across workers by home tile.
+
+    Every worker count pays the same SharedWorld export, fork, and
+    per-worker shell build, so ``speedup_vs_1`` is the scaling of the
+    real end-to-end path (dominated by the touched-tile builds, which
+    is exactly the work the sharding splits).  The tile count is forced
+    to at least 4 per side so multi-worker rows have tile groups to
+    split even at quick scale.
+    """
+    n = len(world.db)
+    tiles = max(4, auto_tiles_per_side(n))
+    region = world.db.region
+    nq = SHARDED_QUERIES[quick]
+    u = rng.random((nq, 2))
+    queries = [
+        (float(region.x0 + ux * region.width),
+         float(region.y0 + uy * region.height))
+        for ux, uy in u
+    ]
+    out: dict = {
+        "n_queries": nq,
+        "k": K,
+        "tiles_per_side": tiles,
+        "workers": {},
+    }
+    baseline = None
+    for w in PARALLEL_WORKERS:
+        gc.collect()
+        t0 = time.perf_counter()
+        _answers, stats = parallel_knn_batch(
+            world, queries, K, workers=w, tiles_per_side=tiles,
+            return_stats=True,
+        )
+        wall = time.perf_counter() - t0
+        if baseline is None:
+            baseline = wall
+        out["workers"][str(w)] = {
+            "wall_seconds": round(wall, 3),
+            "qps": round(nq / wall, 1),
+            "speedup_vs_1": round(baseline / wall, 2),
+            "tiles_built": [s["tiles_built"] for s in stats],
+            "tiles_nonempty": stats[0]["tiles_nonempty"] if stats else 0,
+        }
+    return out
+
+
 def bench_world(name: str, n: int, quick: bool, rng: np.random.Generator) -> dict:
     """One world at one size: build it, then sweep backends × batches."""
     spec = worlds.get(name).with_size(n)
@@ -261,11 +333,18 @@ def bench_world(name: str, n: int, quick: bool, rng: np.random.Generator) -> dic
             dt = time.perf_counter() - t0
             qps[str(batch)] = round(nq / dt, 1)
             n_queries[str(batch)] = nq
-        row["backends"][backend] = {
+        entry = {
             "index_build_seconds": round(index_s, 4),
             "n_queries": n_queries,
             "qps": qps,
         }
+        stats_fn = getattr(index, "stats", None)
+        if stats_fn is not None:
+            # Routing/fallback counters (grid: chunked vs per-query
+            # fallback; sharded: settled vs escalated, tiles built) —
+            # the no-longer-silent heavy-tail accounting.
+            entry["stats"] = stats_fn()
+        row["backends"][backend] = entry
     # Last: its row path materializes (and caches) every LbsTuple on
     # world.db, a population the query timings above must never carry.
     row["obfuscated_build_seconds"] = bench_obfuscated_build(world.db)
@@ -274,6 +353,7 @@ def bench_world(name: str, n: int, quick: bool, rng: np.random.Generator) -> dic
     # tuple-heavy) process — neither may sit inside a timed knn loop.
     row["world_cache_seconds"] = bench_world_cache(world, build_s)
     row["parallel_qps"] = bench_parallel_runs(world, quick)
+    row["sharded_qps"] = bench_sharded_parallel(world, quick, rng)
     return row
 
 
@@ -300,6 +380,7 @@ def run_bench(quick: bool = False) -> dict:
             "worlds": worlds.names(),
             "cpu_count": os.cpu_count(),
             "parallel_workers": list(PARALLEL_WORKERS),
+            "sharded_queries": SHARDED_QUERIES[quick],
         },
         "results": results,
     }
@@ -334,6 +415,19 @@ def check_report(report: dict) -> None:
         for backend, data in row["backends"].items():
             for batch, qps in data["qps"].items():
                 assert qps > 0, f"{row['world']}@{row['n']}:{backend}:{batch}"
+        if "grid" in row["backends"]:
+            # The clustered regression budget: the batched kernel's
+            # per-query fallback must stay a rounding error, or the
+            # batch speedups below are quietly rotting.
+            stats = row["backends"]["grid"].get("stats", {})
+            total = stats.get("batch_queries", 0)
+            if total:
+                frac = stats["batch_fallback"] / total
+                assert frac <= GRID_FALLBACK_BUDGET, (
+                    f"{row['world']}@{row['n']}: grid batch kernel fell "
+                    f"back to per-query search on {frac:.1%} of queries "
+                    f"(budget {GRID_FALLBACK_BUDGET:.0%})"
+                )
         if row["n"] == 10_000 and "grid" in row["backends"]:
             g = row["backends"]["grid"]["qps"]
             top_batch = str(max(map(int, g)))
@@ -342,6 +436,24 @@ def check_report(report: dict) -> None:
                 f"{g[top_batch] / g['1']:.1f}x its scalar path "
                 f"(floor {QUICK_BATCH_FLOOR}x)"
             )
+        if (row["world"] == "paper/clustered" and row["n"] >= 100_000
+                and "grid" in row["backends"]):
+            g = row["backends"]["grid"]["qps"]
+            top_batch = str(max(map(int, g)))
+            assert g[top_batch] >= CLUSTERED_BATCH_FLOOR * g["1"], (
+                f"paper/clustered@{row['n']}: batched kNN only "
+                f"{g[top_batch] / g['1']:.1f}x the scalar path "
+                f"(floor {CLUSTERED_BATCH_FLOOR}x)"
+            )
+        sharded = row["sharded_qps"]
+        assert set(sharded["workers"]) == {str(w) for w in
+                                           meta["parallel_workers"]}
+        for w, entry in sharded["workers"].items():
+            assert entry["qps"] > 0, (
+                f"{row['world']}@{row['n']}: no sharded kNN throughput "
+                f"at {w} workers"
+            )
+            assert entry["tiles_nonempty"] > 0
         cache = row["world_cache_seconds"]
         assert cache["hit"] > 0 and cache["store"] > 0
         if row["n"] >= 1_000_000:
@@ -373,6 +485,15 @@ def check_report(report: dict) -> None:
                     f"wechat-like-1m@{row['n']}: 4 workers only {got}x one "
                     f"worker on a {cpus}-CPU machine "
                     f"(floor {PARALLEL_FLOOR_4W}x)"
+                )
+    if cpus >= 2:
+        for row in report["results"]:
+            if row["world"] == "wechat-like-1m" and row["n"] >= 1_000_000:
+                got = row["sharded_qps"]["workers"]["2"]["speedup_vs_1"]
+                assert got >= SHARDED_FLOOR_2W, (
+                    f"wechat-like-1m@{row['n']}: sharded kNN fan-out at 2 "
+                    f"workers only {got}x one worker on a {cpus}-CPU "
+                    f"machine (floor {SHARDED_FLOOR_2W}x)"
                 )
 
 

@@ -4,7 +4,10 @@ Without arguments every figure/table is regenerated at the default
 (laptop) scale; pass experiment names (``fig14 table1 ...``) to select.
 ``--batch-size N`` routes every estimator's sample loop through the
 vectorized query-batch prefetch (keep the default of 1 to reproduce the
-paper's query accounting exactly).
+paper's query accounting exactly).  ``--workers N`` forks each cost
+table's independent estimation runs across N processes (experiments
+without a ``workers`` knob ignore it); results are identical at any
+worker count.
 """
 
 from __future__ import annotations
@@ -18,23 +21,31 @@ from . import ALL_EXPERIMENTS
 
 def main(argv: list[str]) -> int:
     batch_size = 1
+    workers = 1
     names: list[str] = []
     it = iter(argv)
     for arg in it:
         if arg == "--batch-size" or arg.startswith("--batch-size="):
-            if arg == "--batch-size":
-                value = next(it, None)
-            else:
-                value = arg.split("=", 1)[1]
+            value = next(it, None) if arg == "--batch-size" else arg.split("=", 1)[1]
             try:
                 batch_size = int(value)
             except (TypeError, ValueError):
                 print("--batch-size needs an integer value")
                 return 2
+        elif arg == "--workers" or arg.startswith("--workers="):
+            value = next(it, None) if arg == "--workers" else arg.split("=", 1)[1]
+            try:
+                workers = int(value)
+            except (TypeError, ValueError):
+                print("--workers needs an integer value")
+                return 2
         else:
             names.append(arg)
     if batch_size < 1:
         print("--batch-size must be >= 1")
+        return 2
+    if workers < 1:
+        print("--workers must be >= 1")
         return 2
     names = names or list(ALL_EXPERIMENTS)
     unknown = [n for n in names if n not in ALL_EXPERIMENTS]
@@ -44,12 +55,14 @@ def main(argv: list[str]) -> int:
     for name in names:
         start = time.time()
         fn = ALL_EXPERIMENTS[name]
-        # fig11/fig21 have no estimation loop, hence no batch knob.
-        kwargs = (
-            {"batch_size": batch_size}
-            if "batch_size" in inspect.signature(fn).parameters
-            else {}
-        )
+        # fig11/fig21 have no estimation loop, hence no batch/worker
+        # knobs; others opt into each knob by naming it.
+        params = inspect.signature(fn).parameters
+        kwargs = {}
+        if "batch_size" in params:
+            kwargs["batch_size"] = batch_size
+        if "workers" in params:
+            kwargs["workers"] = workers
         out = fn(**kwargs)
         table = out[0] if isinstance(out, tuple) else out
         table.show()

@@ -39,6 +39,7 @@ def cost_vs_error_table(
     include_lnr: bool = True,
     seed: int = 0,
     batch_size: int = 1,
+    workers: int = 1,
 ) -> ExperimentTable:
     """Build the three-algorithm cost-vs-error table for one aggregate.
 
@@ -46,6 +47,8 @@ def cost_vs_error_table(
     vectorized query-batch prefetch (see
     :func:`~repro.experiments.harness.cost_to_reach` for the accounting
     caveat; the default of 1 reproduces the paper's curves exactly).
+    ``workers`` forks each algorithm's independent runs across that many
+    processes — the tables are identical at any worker count.
     """
     sampler = sampler if sampler is not None else UniformSampler(world.region)
 
@@ -65,15 +68,15 @@ def cost_vs_error_table(
         )
 
     nno = cost_to_reach(make_nno, truth, targets, n_runs, max_queries, seed,
-                        batch_size=batch_size)
+                        batch_size=batch_size, workers=workers)
     lr = cost_to_reach(make_lr, truth, targets, n_runs, max_queries, seed,
-                       batch_size=batch_size)
+                       batch_size=batch_size, workers=workers)
     headers = ["rel. error", "LR-LBS-NNO", "LR-LBS-AGG"]
     lnr = None
     if include_lnr:
         lnr = cost_to_reach(
             make_lnr, truth, targets, n_runs, lnr_max_queries or 4 * max_queries, seed,
-            batch_size=batch_size,
+            batch_size=batch_size, workers=workers,
         )
         headers.append("LNR-LBS-AGG")
 

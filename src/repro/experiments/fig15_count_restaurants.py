@@ -13,7 +13,7 @@ __all__ = ["run"]
 
 
 def run(world: Optional[World] = None, n_runs: int = 3, max_queries: int = 4000,
-        seed: int = 0, batch_size: int = 1) -> ExperimentTable:
+        seed: int = 0, batch_size: int = 1, workers: int = 1) -> ExperimentTable:
     if world is None:
         world = poi_world()
     query = AggregateQuery.count(lambda attrs, _loc: attrs.get("category") == "restaurant")
@@ -21,5 +21,5 @@ def run(world: Optional[World] = None, n_runs: int = 3, max_queries: int = 4000,
     return cost_vs_error_table(
         "Figure 15 — COUNT(restaurants): query cost vs relative error",
         world, query, truth, n_runs=n_runs, max_queries=max_queries, seed=seed,
-        batch_size=batch_size,
+        batch_size=batch_size, workers=workers,
     )

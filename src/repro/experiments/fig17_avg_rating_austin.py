@@ -26,7 +26,8 @@ def metro_box(world: World) -> Rect:
 
 
 def run(world: Optional[World] = None, n_runs: int = 2, max_queries: int = 4000,
-        include_lnr: bool = True, seed: int = 0, batch_size: int = 1) -> ExperimentTable:
+        include_lnr: bool = True, seed: int = 0, batch_size: int = 1,
+        workers: int = 1) -> ExperimentTable:
     if world is None:
         world = poi_world()
     box = metro_box(world)
@@ -50,4 +51,5 @@ def run(world: Optional[World] = None, n_runs: int = 2, max_queries: int = 4000,
         n_runs=n_runs, max_queries=max_queries,
         sampler=UniformSampler(box),
         include_lnr=include_lnr, seed=seed, batch_size=batch_size,
+        workers=workers,
     )

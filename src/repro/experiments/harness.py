@@ -155,6 +155,59 @@ def user_world(
     return World(db, region, model, census)
 
 
+def _run_estimations(
+    make_estimator: Callable[[int], object],
+    seeds: Sequence[int],
+    max_queries: int,
+    batch_size: int,
+    workers: int,
+) -> list[EstimationResult]:
+    """The runs behind :func:`cost_to_reach`, optionally forked.
+
+    Runs are fully independent (each owns its seed, interface, and
+    budget), so fanning them across processes changes nothing about any
+    single result — the fan-out is fork-based because
+    ``make_estimator`` is typically a closure over a built world, which
+    a forked child inherits without pickling.  Platforms without fork
+    (and ``workers=1``) run sequentially; results always come back in
+    seed order.
+    """
+    import multiprocessing as mp
+
+    def run_one(s: int) -> EstimationResult:
+        return make_estimator(s).run(MaxQueries(max_queries), batch_size=batch_size)
+
+    if workers <= 1 or len(seeds) <= 1 or "fork" not in mp.get_all_start_methods():
+        return [run_one(s) for s in seeds]
+    ctx = mp.get_context("fork")
+
+    def child(conn, s: int) -> None:
+        try:
+            conn.send(("ok", run_one(s)))
+        except Exception as exc:  # surface the real error in the parent
+            conn.send(("error", repr(exc)))
+        finally:
+            conn.close()
+
+    results: list = [None] * len(seeds)
+    for wave_start in range(0, len(seeds), workers):
+        wave = list(enumerate(seeds))[wave_start : wave_start + workers]
+        procs = []
+        for pos, s in wave:
+            parent_conn, child_conn = ctx.Pipe(duplex=False)
+            p = ctx.Process(target=child, args=(child_conn, s), daemon=True)
+            p.start()
+            child_conn.close()
+            procs.append((pos, parent_conn, p))
+        for pos, conn, p in procs:
+            kind, payload = conn.recv()
+            p.join()
+            if kind == "error":
+                raise RuntimeError(f"estimation run (seed {seeds[pos]}) failed: {payload}")
+            results[pos] = payload
+    return results
+
+
 def cost_to_reach(
     make_estimator: Callable[[int], object],
     truth: float,
@@ -163,6 +216,7 @@ def cost_to_reach(
     max_queries: int = 4000,
     seed: int = 0,
     batch_size: int = 1,
+    workers: int = 1,
 ) -> dict[float, Optional[float]]:
     """Median query cost to *stay* within each relative-error target.
 
@@ -182,13 +236,16 @@ def cost_to_reach(
     and a query-bound run can stop up to a batch sooner.  Keep the
     default of 1 when reproducing the paper's cost curves exactly; use
     larger batches for throughput studies.
+
+    ``workers`` fans the independent runs across forked processes (see
+    :func:`_run_estimations`); the medians are identical at any worker
+    count.
     """
     per_target: dict[float, list[float]] = {t: [] for t in targets}
-    for run in range(n_runs):
-        estimator = make_estimator(seed + 1000 * run)
-        result: EstimationResult = estimator.run(
-            MaxQueries(max_queries), batch_size=batch_size
-        )
+    seeds = [seed + 1000 * run for run in range(n_runs)]
+    for result in _run_estimations(
+        make_estimator, seeds, max_queries, batch_size, workers
+    ):
         for target in targets:
             reached = result.queries_to_reach(truth, target)
             per_target[target].append(float(reached) if reached is not None else float(max_queries))

@@ -1,10 +1,13 @@
 """Spatial index substrate: pluggable backends behind one protocol.
 
-Three interchangeable backends implement :class:`SpatialIndex`:
+Four interchangeable backends implement :class:`SpatialIndex`:
 
 * :class:`KdTree` — pure-Python best-first search; good single-query
   latency, no vectorized batch kernel;
 * :class:`GridIndex` — NumPy uniform grid; the batched workhorse;
+* :class:`ShardedGridIndex` — a two-level grid of lazy ``GridIndex``
+  tiles; the large-world backend (per-tile grids adapt to local
+  density, and tiles shard across processes);
 * :class:`BruteForceIndex` — the O(n) oracle; its batch path is a fully
   vectorized distance matrix, unbeatable on tiny databases.
 
@@ -16,12 +19,14 @@ from .base import QueryEngineConfig, SpatialIndex, make_index, make_index_arrays
 from .brute import BruteForceIndex
 from .grid import GridIndex
 from .kdtree import KdTree
+from .sharded import ShardedGridIndex
 
 __all__ = [
     "SpatialIndex",
     "QueryEngineConfig",
     "KdTree",
     "GridIndex",
+    "ShardedGridIndex",
     "BruteForceIndex",
     "make_index",
     "make_index_arrays",

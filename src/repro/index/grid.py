@@ -99,6 +99,11 @@ class GridIndex:
         self._items = items
         n = len(items)
         self._size = n
+        self._stats = {
+            "batch_queries": 0,
+            "batch_chunked": 0,
+            "batch_fallback": 0,
+        }
         # Object array mirror of the id-sorted items, for vectorized
         # fancy-indexed emission in the batch kernels.
         self._items_arr = np.empty(n, dtype=object)
@@ -140,6 +145,18 @@ class GridIndex:
 
     def __len__(self) -> int:
         return self._size
+
+    def stats(self) -> dict:
+        """Batch-kernel path counters (a copy; never reset internally).
+
+        ``batch_chunked`` counts queries answered by the vectorized
+        padded-partition kernel, ``batch_fallback`` those that exceeded
+        the candidate cap and took the single-query search instead — the
+        heavy-tail path the clustered-world regression budget watches
+        (``benchmarks/bench_scaling.py``).  They sum to
+        ``batch_queries``.
+        """
+        return dict(self._stats)
 
     def _cell_x(self, v: float) -> int:
         """Clamp-then-truncate a float cell coordinate (clamping first
@@ -378,10 +395,15 @@ class GridIndex:
                 else:
                     out[qi] = list(zip(ed[row], eit[row]))
 
+        fallback = 0
         for qi, answer in enumerate(out):
             if answer is None:
+                fallback += 1
                 x, y = pts[qi]
                 out[qi] = self.knn(x, y, kk)
+        self._stats["batch_queries"] += m
+        self._stats["batch_chunked"] += m - fallback
+        self._stats["batch_fallback"] += fallback
         return out
 
     def range_batch(

@@ -141,6 +141,7 @@ class KnnInterface:
                 database.tids,
                 self.engine.index_backend,
                 auto_brute_max=self.engine.auto_brute_max,
+                auto_sharded_min=self.engine.auto_sharded_min,
             )
         self._prominence_config = dict(prominence) if prominence is not None else None
         if self._prominence_config is not None:

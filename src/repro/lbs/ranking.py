@@ -363,6 +363,34 @@ class ProminenceRanking:
         else:
             self._cap_fraction = 1.0
 
+    #: Entry budget per distance-matrix chunk: chunks of the (m, n)
+    #: query × tuple matrix stay ~30 MB of float64 intermediates.
+    _MATRIX_CHUNK_ENTRIES = 4_000_000
+
+    #: Cap-area fraction above which ``rank_batch`` switches from CSR
+    #: candidate pruning to the chunked full distance matrix.  Measured
+    #: on ``paper/places-prominence`` at n=100k (k=10, 1024 uniform
+    #: queries, best-of-3; cap sized so the cap disk covers the given
+    #: fraction of the bbox — 0.02 of the area is ~8% of a square
+    #: region's side):
+    #:
+    #: ========== =========== ===========
+    #: area frac   pruned q/s  matrix q/s
+    #: ========== =========== ===========
+    #: 0.010       1057        482
+    #: 0.015       695         475
+    #: 0.020       491         479
+    #: 0.025       391         452
+    #: 0.040       228         440
+    #: 0.094       86          471
+    #: 1.000       (—)         471
+    #: ========== =========== ===========
+    #:
+    #: The matrix kernel is flat in cap size (~470-490 q/s; the scalar
+    #: full-scan loop it replaced managed ~96-99); pruning decays as the
+    #: cap disk grows, so the crossover sits at 0.02.
+    _MATRIX_MIN_CAP_FRACTION = 0.02
+
     # ------------------------------------------------------------------
     def _scores(self, dist: np.ndarray, static: np.ndarray) -> np.ndarray:
         dscore = np.clip(1.0 - dist / self.distance_cap, 0.0, 1.0)
@@ -405,12 +433,17 @@ class ProminenceRanking:
             return []
         if kk == 0:
             return [[] for _ in pts]
-        if self._index is None or kk >= n or n <= 64 or self._cap_fraction >= 0.15:
-            # No index to prune with, nothing worth pruning, or a cap so
-            # wide that "pruning" would gather most of the database
-            # through CSR plumbing: the exact per-point full scan (pure
-            # NumPy over flat arrays) is the faster kernel there.
+        if kk >= n or n <= 64:
+            # Nothing worth pruning or partitioning — the per-point full
+            # scan is already the whole answer.
             return [self.rank(Point(x, y), k) for x, y in pts]
+        if self._index is None or self._cap_fraction >= self._MATRIX_MIN_CAP_FRACTION:
+            # No index to prune with, or a cap wide enough that
+            # "pruning" would gather much of the database through CSR
+            # plumbing: the chunked full distance matrix is the faster
+            # exact kernel there (see the measured crossover table on
+            # _MATRIX_MIN_CAP_FRACTION).
+            return self._rank_batch_matrix(pts, kk)
 
         # Candidate retrieval: everything within the cap (CSR form — no
         # per-candidate tuples), plus the guaranteed static top-k.
@@ -439,4 +472,44 @@ class ProminenceRanking:
         for pid in range(m):
             seg = order[offsets[pid] : offsets[pid + 1]][:kk]
             out.append([(float(dist[i]), int(self.tids[flat[i]])) for i in seg])
+        return out
+
+    def _rank_batch_matrix(self, pts: list, kk: int) -> list[list[Ranked]]:
+        """The gather-bound regime's kernel: a chunked full query × tuple
+        distance matrix, one score partition per row.
+
+        When the cap disk covers a sizeable share of the point cloud,
+        candidate pruning retrieves nearly everything anyway — so skip
+        retrieval and score *everything*, in matrix chunks of
+        ``_MATRIX_CHUNK_ENTRIES``.  Each row then needs only an
+        ``argpartition`` on the score (O(n) instead of the full-scan
+        lexsort's O(n log n)) plus a lexsort over the tiny top pool.
+
+        Exactness: the broadcast subtraction, ``sqrt``, ``clip``, and
+        weighted sum are the same elementwise IEEE operations as
+        :meth:`rank`; the pool keeps every tuple scoring >= the row's
+        ``kk``-th-largest score (float comparison is exact), so the
+        top-``kk`` by (score desc, tid asc) lies inside it and the pool
+        lexsort reproduces the full-scan order bit for bit.
+        """
+        n = int(self.tids.size)
+        rows = max(1, self._MATRIX_CHUNK_ENTRIES // max(n, 1))
+        px = np.array([x for x, _y in pts])
+        py = np.array([y for _x, y in pts])
+        static = self.static_scores[None, :]
+        out: list[list[Ranked]] = []
+        for i in range(0, len(pts), rows):
+            dx = self.xs[None, :] - px[i : i + rows, None]
+            dy = self.ys[None, :] - py[i : i + rows, None]
+            dist = np.sqrt(dx * dx + dy * dy)
+            score = self._scores(dist, static)
+            neg = -score
+            kth = np.partition(neg, kk - 1, axis=1)[:, kk - 1]
+            for row in range(dist.shape[0]):
+                pool = np.nonzero(neg[row] <= kth[row])[0]
+                order = np.lexsort((self.tids[pool], neg[row, pool]))
+                top = pool[order[:kk]]
+                out.append(
+                    [(float(dist[row, j]), int(self.tids[j])) for j in top]
+                )
         return out

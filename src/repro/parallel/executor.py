@@ -130,13 +130,15 @@ def _execute_run(world, db, shared, indexes, run_index, spec_json, until,
     spec = EstimationSpec.from_json(spec_json)
     eff = shared.extra(eff_key) if eff_key is not None else None
     engine = spec.engine if spec.engine is not None else QueryEngineConfig()
-    index_key = (eff_key, engine.index_backend, engine.auto_brute_max)
+    index_key = (eff_key, engine.index_backend, engine.auto_brute_max,
+                 engine.auto_sharded_min)
     index = indexes.get(index_key)
     if index is None:
         coords = eff if eff is not None else db.coords
         index = indexes[index_key] = make_index_arrays(
             coords, db.tids, engine.index_backend,
             auto_brute_max=engine.auto_brute_max,
+            auto_sharded_min=engine.auto_sharded_min,
         )
     driver = Session(world, spec).build(effective_coords=eff, index=index)
     run = SessionRun(spec, driver, until, batch_size=spec.batch_size,

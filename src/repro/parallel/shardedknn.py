@@ -1,0 +1,237 @@
+"""Parallel per-tile kNN: fan one query batch across workers by home tile.
+
+:func:`parallel_knn_batch` answers a single large kNN batch with a pool
+of worker processes over one :class:`~repro.parallel.sharedmem.SharedWorld`.
+The coordinator routes every query to its home tile (the same bbox
+geometry a :class:`~repro.index.sharded.ShardedGridIndex` derives — see
+:func:`~repro.index.sharded.route_home_tiles`), then greedily packs
+whole tile-groups onto the least-loaded worker.  Each worker attaches
+the shared segments zero-copy, builds only the cheap tile *shell*
+(binning, no per-tile grids), and answers its slice — the sharded
+index's lazy tiles mean a worker materializes just the tiles its
+queries touch, plus the occasional boundary neighbor an escalation
+pulls in.
+
+Answers are **bit-identical** to ``ShardedGridIndex.knn_batch`` in one
+process (and therefore to every other backend): workers run the exact
+same kernel over the exact same id-ordered arrays, and the coordinator
+only scatters per-query answer lists back into request order — it never
+re-ranks.
+
+Keeping whole tiles together is what makes the fan-out scale: a
+worker's queries are spatially concentrated, so its tile subset is
+small (``tiles_built`` ≪ ``tiles_nonempty`` in the returned stats) and
+its batches hit the index's per-tile delegate path instead of the
+cross-tile plane.
+"""
+
+from __future__ import annotations
+
+import traceback
+from typing import Optional, Sequence
+
+import numpy as np
+
+from ..index.sharded import ShardedGridIndex, route_home_tiles
+from .executor import _default_context
+from .sharedmem import SharedWorld, cleanup_stale_segments
+
+__all__ = ["parallel_knn_batch"]
+
+
+def _build_worker_index(db, tiles_per_side) -> ShardedGridIndex:
+    """The shell every worker builds: tile binning over the shared
+    read-only columns; per-tile grids stay lazy until queried.
+    ``prefer_delegate`` keeps batches on the per-tile path, so a worker
+    never materializes tiles outside its assigned region (plus the
+    boundary neighbors escalations pull in)."""
+    return ShardedGridIndex.from_arrays(
+        db.coords, db.tids, tiles_per_side=tiles_per_side,
+        prefer_delegate=True,
+    )
+
+
+def _pack_answers(answers: list, k: int):
+    """Compact a uniform-``k`` answer list into two (m, k) arrays for
+    the result queue; fall back to pickling the lists when ragged
+    (n < k) or when item ids are not integers."""
+    m = len(answers)
+    if any(len(a) != k for a in answers):
+        return ("lists", answers)
+    try:
+        d = np.fromiter(
+            (dd for a in answers for dd, _ in a), dtype=np.float64, count=m * k
+        )
+        it = np.fromiter(
+            (item for a in answers for _, item in a), dtype=np.int64, count=m * k
+        )
+    except (TypeError, ValueError, OverflowError):
+        return ("lists", answers)
+    return ("arrays", d.reshape(m, k), it.reshape(m, k))
+
+
+def _unpack_answers(payload, out: list, qidx: np.ndarray) -> None:
+    if payload[0] == "lists":
+        for qi, ans in zip(qidx, payload[1]):
+            out[qi] = ans
+    else:
+        _, d, it = payload
+        for row, qi in enumerate(qidx):
+            out[qi] = list(zip(d[row].tolist(), it[row].tolist()))
+
+
+def _knn_worker(descriptor, tiles_per_side, k, tasks, results_q):
+    shared = SharedWorld.attach(descriptor)
+    try:
+        db = shared.world().db
+        index = _build_worker_index(db, tiles_per_side)
+        while True:
+            task = tasks.get()
+            if task is None:
+                break
+            qidx, pts = task
+            try:
+                answers = index.knn_batch(pts, k)
+                results_q.put(
+                    ("done", qidx, _pack_answers(answers, k), index.stats())
+                )
+            except Exception:
+                results_q.put(("error", traceback.format_exc()))
+    finally:
+        shared.close()
+
+
+def _assign_tiles_to_workers(qt: np.ndarray, workers: int) -> list[np.ndarray]:
+    """Contiguous balanced partition: whole home-tile groups in
+    row-major tile order, split at cumulative-count boundaries.
+
+    Keeping each worker's tiles contiguous (a horizontal band of the
+    world) is deliberate: a worker's escalations then touch only the
+    band's boundary ring, so its lazily-built tile set stays a small
+    fraction of the world.  A greedy largest-first packing balances
+    loads slightly better but scatters tiles across the region, and the
+    scattered neighborhoods make every worker build almost everything.
+
+    Returns per-worker query-index arrays (original order within a
+    tile group)."""
+    order = np.argsort(qt, kind="stable")
+    _tiles, starts = np.unique(qt[order], return_index=True)
+    bounds = np.append(starts, len(qt))
+    groups = [order[bounds[g]:bounds[g + 1]] for g in range(len(bounds) - 1)]
+    target = len(qt) / workers
+    buckets: list[list] = [[] for _ in range(workers)]
+    w = load = assigned = 0
+    for grp in groups:
+        # Advance to the next bucket once this one has its fair share of
+        # the *remaining* queries (rebalanced so late buckets never starve).
+        if load >= target and w < workers - 1:
+            w += 1
+            target = (len(qt) - assigned) / (workers - w)
+            load = 0
+        buckets[w].append(grp)
+        load += len(grp)
+        assigned += len(grp)
+    return [
+        np.concatenate(b) if b else np.empty(0, dtype=np.intp) for b in buckets
+    ]
+
+
+def parallel_knn_batch(
+    world,
+    queries: Sequence[tuple[float, float]],
+    k: int,
+    *,
+    workers: int = 2,
+    tiles_per_side: Optional[int] = None,
+    mp_context=None,
+    return_stats: bool = False,
+):
+    """Answer one kNN batch across a worker pool, one shared world.
+
+    Parameters
+    ----------
+    world:
+        A built :class:`~repro.worlds.spec.World` (the coordinator
+        exports its database over shared memory).
+    queries / k:
+        The batch, as for ``knn_batch``.
+    workers:
+        Pool size; ``1`` short-circuits to an in-process
+        ``ShardedGridIndex`` over the same arrays (no pool, no shared
+        memory) — the sequential baseline on identical machinery.
+    tiles_per_side:
+        Tile-grid side for routing and for every worker's index;
+        default is the index's own size-based rule.
+    return_stats:
+        When true, returns ``(answers, stats_list)`` where
+        ``stats_list`` has one ``ShardedGridIndex.stats()`` dict per
+        worker that answered at least one query — the laziness
+        telemetry (``tiles_built`` vs ``tiles_nonempty``).
+
+    Returns the per-query answer lists in request order, bit-identical
+    to the single-process sharded (and grid, and brute) backends.
+    """
+    if workers < 1:
+        raise ValueError("workers must be >= 1")
+    if k < 1:
+        raise ValueError("k must be >= 1")
+    pts = [(float(x), float(y)) for x, y in queries]
+    db = world.db
+    if workers == 1 or len(pts) == 0:
+        index = _build_worker_index(db, tiles_per_side)
+        answers = index.knn_batch(pts, k)
+        return (answers, [index.stats()]) if return_stats else answers
+
+    qt, _t = route_home_tiles(db.coords, np.asarray(pts, dtype=np.float64),
+                              tiles_per_side)
+    buckets = _assign_tiles_to_workers(qt, workers)
+
+    ctx = mp_context if mp_context is not None else _default_context()
+    cleanup_stale_segments()
+    shared = SharedWorld.export(world)
+    procs: list = []
+    out: list = [None] * len(pts)
+    stats: list = []
+    try:
+        tasks = ctx.Queue()
+        results_q = ctx.Queue()
+        pending = 0
+        for qidx in buckets:
+            if len(qidx) == 0:
+                continue
+            tasks.put((qidx, [pts[i] for i in qidx]))
+            pending += 1
+        nworkers = min(workers, pending)
+        for _ in range(nworkers):
+            tasks.put(None)
+        descriptor = shared.descriptor()
+        for _ in range(nworkers):
+            p = ctx.Process(
+                target=_knn_worker,
+                args=(descriptor, tiles_per_side, k, tasks, results_q),
+                daemon=True,
+            )
+            p.start()
+            procs.append(p)
+        failures: list[str] = []
+        for _ in range(pending):
+            msg = results_q.get()
+            if msg[0] == "error":
+                failures.append(msg[1])
+                continue
+            _kind, qidx, payload, wstats = msg
+            _unpack_answers(payload, out, qidx)
+            stats.append(wstats)
+        for p in procs:
+            p.join(timeout=10.0)
+        if failures:
+            raise RuntimeError(
+                "parallel kNN worker failed:\n" + "\n".join(failures)
+            )
+    finally:
+        for p in procs:
+            if p.is_alive():
+                p.terminate()
+                p.join(timeout=5.0)
+        shared.destroy()
+    return (out, stats) if return_stats else out

@@ -12,7 +12,13 @@ re-run belongs in ``benchmarks/bench_scaling.py``.
 import numpy as np
 import pytest
 
-from repro.index import BruteForceIndex, GridIndex, QueryEngineConfig, make_index
+from repro.index import (
+    BruteForceIndex,
+    GridIndex,
+    QueryEngineConfig,
+    ShardedGridIndex,
+    make_index,
+)
 
 #: The measured scalar-path crossover (brute wins below, grid above).
 MEASURED_CROSSOVER = 96
@@ -44,6 +50,29 @@ class TestAutoSelection:
                           BruteForceIndex)
         assert isinstance(make_index(_pts(20), "auto", auto_brute_max=10),
                           GridIndex)
+
+    def test_auto_never_picks_sharded_by_default(self):
+        # The measured reality (see QueryEngineConfig.auto_sharded_min):
+        # the monolithic grid wins raw batch throughput at every size
+        # measured, so sharding is an opt-in for build-dominated and
+        # multi-process workloads, never an auto default.
+        assert QueryEngineConfig().auto_sharded_min is None
+        assert isinstance(make_index(_pts(4096), "auto"), GridIndex)
+
+    def test_auto_honours_sharded_threshold(self):
+        assert isinstance(
+            make_index(_pts(512), "auto", auto_sharded_min=500),
+            ShardedGridIndex,
+        )
+        assert isinstance(
+            make_index(_pts(512), "auto", auto_sharded_min=1000),
+            GridIndex,
+        )
+        # Brute still wins the bottom tier even with sharding enabled.
+        assert isinstance(
+            make_index(_pts(20), "auto", auto_sharded_min=10),
+            BruteForceIndex,
+        )
 
     def test_interface_threads_config_threshold(self):
         # The engine config's crossover reaches make_index through the

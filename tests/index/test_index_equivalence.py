@@ -1,10 +1,11 @@
 """Property-based equivalence of every SpatialIndex backend.
 
 BruteForceIndex's single-point loops are the executable specification;
-KdTree and GridIndex — single-point and batched — must match them
-answer-for-answer on randomized point sets, including tie-breaking by id
-and inclusive radius boundaries.  The interface-level test pins down
-``max_radius`` filtering across backends.
+KdTree, GridIndex, and ShardedGridIndex — single-point and batched —
+must match them answer-for-answer on randomized point sets, including
+tie-breaking by id and inclusive radius boundaries.  The
+interface-level test pins down ``max_radius`` filtering across
+backends.
 """
 
 import numpy as np
@@ -18,6 +19,7 @@ from repro.index import (
     GridIndex,
     KdTree,
     QueryEngineConfig,
+    ShardedGridIndex,
     SpatialIndex,
     make_index,
 )
@@ -25,7 +27,14 @@ from repro.lbs import LbsTuple, LrLbsInterface, SpatialDatabase
 
 coord = st.floats(min_value=-100, max_value=100, allow_nan=False)
 
-BACKENDS = [KdTree, GridIndex, BruteForceIndex]
+
+def _sharded(points):
+    # Force a multi-tile grid even at property-test sizes (the auto rule
+    # would give one tile, which is just GridIndex behind a router).
+    return ShardedGridIndex(points, tiles_per_side=3)
+
+
+BACKENDS = [KdTree, GridIndex, BruteForceIndex, _sharded]
 
 
 def build_all(points):
@@ -172,6 +181,7 @@ class TestMakeIndex:
         assert isinstance(make_index(pts, "kdtree"), KdTree)
         assert isinstance(make_index(pts, "grid"), GridIndex)
         assert isinstance(make_index(pts, "brute"), BruteForceIndex)
+        assert isinstance(make_index(pts, "sharded"), ShardedGridIndex)
 
     def test_auto_picks_by_size(self):
         small = [(float(i), float(i), i) for i in range(10)]
@@ -205,7 +215,7 @@ class TestInterfaceMaxRadius:
         rng = np.random.default_rng(11)
         queries = [Point(rng.random() * 100, rng.random() * 100) for _ in range(25)]
         answers = {}
-        for backend in ("kdtree", "grid", "brute"):
+        for backend in ("kdtree", "grid", "brute", "sharded"):
             api = LrLbsInterface(
                 db, k=8, max_radius=12.0,
                 engine=QueryEngineConfig(index_backend=backend),
@@ -214,4 +224,5 @@ class TestInterfaceMaxRadius:
             for ans in answers[backend]:
                 for r in ans:
                     assert r.distance <= 12.0
-        assert answers["kdtree"] == answers["grid"] == answers["brute"]
+        assert (answers["kdtree"] == answers["grid"] == answers["brute"]
+                == answers["sharded"])

@@ -1,0 +1,100 @@
+"""parallel_knn_batch: bit-identity vs single-process, laziness, edges."""
+
+import numpy as np
+import pytest
+
+from repro.index import BruteForceIndex, ShardedGridIndex
+from repro.parallel import parallel_knn_batch
+from repro.parallel.shardedknn import _assign_tiles_to_workers
+from repro.worlds import registry
+
+
+@pytest.fixture(scope="module")
+def world():
+    return registry.get("paper/clustered").with_size(3000).build()
+
+
+@pytest.fixture(scope="module")
+def queries(world):
+    region = world.db.region
+    rng = np.random.default_rng(21)
+    u = rng.random((400, 2))
+    return [(float(region.x0 + a * region.width),
+             float(region.y0 + b * region.height)) for a, b in u]
+
+
+@pytest.fixture(scope="module")
+def oracle(world, queries):
+    return BruteForceIndex.from_arrays(world.db.coords, world.db.tids)
+
+
+class TestBitIdentity:
+    def test_matches_oracle_two_workers(self, world, queries, oracle):
+        ans = parallel_knn_batch(world, queries, 5, workers=2, tiles_per_side=3)
+        assert ans == oracle.knn_batch(queries, 5)
+
+    def test_matches_single_process_sharded(self, world, queries):
+        single = ShardedGridIndex.from_arrays(
+            world.db.coords, world.db.tids, tiles_per_side=3
+        ).knn_batch(queries, 5)
+        assert parallel_knn_batch(
+            world, queries, 5, workers=2, tiles_per_side=3
+        ) == single
+
+    def test_workers_one_is_sequential_baseline(self, world, queries, oracle):
+        ans = parallel_knn_batch(world, queries, 5, workers=1, tiles_per_side=3)
+        assert ans == oracle.knn_batch(queries, 5)
+
+    def test_k_exceeding_tile_population(self, world, queries, oracle):
+        # ~333 points per tile at T=3: k=500 forces cross-tile merges in
+        # every worker.
+        ans = parallel_knn_batch(world, queries[:30], 500, workers=2,
+                                 tiles_per_side=3)
+        assert ans == oracle.knn_batch(queries[:30], 500)
+
+    def test_more_workers_than_tiles(self, world, queries, oracle):
+        ans = parallel_knn_batch(world, queries, 3, workers=5, tiles_per_side=2)
+        assert ans == oracle.knn_batch(queries, 3)
+
+
+class TestLazinessAndStats:
+    def test_workers_build_tile_subsets(self, world, queries):
+        _ans, stats = parallel_knn_batch(
+            world, queries, 5, workers=2, tiles_per_side=4, return_stats=True
+        )
+        assert 1 <= len(stats) <= 2
+        for s in stats:
+            assert s["tiles_built"] < s["tiles_nonempty"]
+
+    def test_empty_queries(self, world):
+        assert parallel_knn_batch(world, [], 5, workers=2) == []
+
+    def test_bad_args(self, world, queries):
+        with pytest.raises(ValueError):
+            parallel_knn_batch(world, queries, 5, workers=0)
+        with pytest.raises(ValueError):
+            parallel_knn_batch(world, queries, 0, workers=2)
+
+
+class TestAssignment:
+    def test_contiguous_balanced_partition(self):
+        qt = np.array([0] * 10 + [1] * 10 + [2] * 10 + [3] * 10)
+        buckets = _assign_tiles_to_workers(qt, 2)
+        assert sorted(len(b) for b in buckets) == [20, 20]
+        # whole tile groups, in tile order: worker 0 gets tiles {0, 1}
+        assert sorted(qt[buckets[0]].tolist()) == [0] * 10 + [1] * 10
+        assert sorted(qt[buckets[1]].tolist()) == [2] * 10 + [3] * 10
+
+    def test_every_query_assigned_exactly_once(self):
+        rng = np.random.default_rng(22)
+        qt = rng.integers(0, 9, 500)
+        buckets = _assign_tiles_to_workers(qt, 3)
+        together = np.concatenate(buckets)
+        assert sorted(together.tolist()) == list(range(500))
+
+    def test_skewed_groups_rebalance(self):
+        # one huge group + many small ones: later workers must not starve
+        qt = np.array([0] * 90 + [1, 2, 3, 4, 5, 6])
+        buckets = _assign_tiles_to_workers(qt, 3)
+        nonempty = [b for b in buckets if len(b)]
+        assert len(nonempty) >= 2
