@@ -38,6 +38,7 @@ from pathlib import Path
 import numpy as np
 
 from repro.api import MaxSamples, Session
+from repro.obs import registry as obs
 from repro.parallel import WorldCache, parallel_knn_batch, run_many_parallel
 from repro import worlds
 
@@ -249,10 +250,21 @@ if __name__ == "__main__":
     parser.add_argument("--out", type=Path, default=None,
                         help=f"output JSON path (default {DEFAULT_OUT}, or "
                              f"{DEFAULT_QUICK_OUT} with --quick)")
+    parser.add_argument("--metrics-out", type=Path, default=None,
+                        help="collect repro.obs metrics across the bench and "
+                             "write the registry snapshot to this JSON path")
     args = parser.parse_args()
     out = args.out if args.out is not None else (
         DEFAULT_QUICK_OUT if args.quick else DEFAULT_OUT
     )
-    report = run_bench(quick=args.quick)
+    if args.metrics_out is not None:
+        with obs.collecting() as reg:
+            report = run_bench(quick=args.quick)
+        args.metrics_out.write_text(
+            json.dumps(reg.to_dict(), indent=1, sort_keys=True) + "\n"
+        )
+        print(f"wrote {args.metrics_out} (obs registry snapshot)")
+    else:
+        report = run_bench(quick=args.quick)
     check_report(report)
     write_report(report, out)

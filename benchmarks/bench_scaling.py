@@ -51,6 +51,7 @@ from repro.api import MaxSamples, Session
 from repro.index import make_index, make_index_arrays
 from repro.index.sharded import auto_tiles_per_side
 from repro.lbs import ObfuscationModel, SpatialDatabase
+from repro.obs import registry as obs
 from repro.parallel import WorldCache, parallel_knn_batch, run_many_parallel
 from repro.worlds.attrs import synthesize_columns, synthesize_tuples
 
@@ -101,6 +102,16 @@ GRID_FALLBACK_BUDGET = 0.05
 #: 1M; the 10k cells sit at ~4.7x and stay under the generic
 #: QUICK_BATCH_FLOOR instead).
 CLUSTERED_BATCH_FLOOR = 5.0
+#: Instrumentation must stay free when nobody collects *and* near-free
+#: when someone does: grid ``knn_batch`` with an active obs registry may
+#: run at most this fraction slower than with registration disabled
+#: (min-of-reps, interleaved).  The hot path pays a handful of counter
+#: increments per batch chunk, so the true cost is ~0.1%; the budget
+#: leaves room for timer noise.
+OBS_OVERHEAD_BUDGET = 0.02
+OBS_OVERHEAD_N = {True: 100_000, False: 1_000_000}
+OBS_OVERHEAD_QUERIES = {True: 4_000, False: 8_000}
+OBS_OVERHEAD_REPS = 7
 
 _REPO_ROOT = Path(__file__).resolve().parent.parent
 DEFAULT_OUT = _REPO_ROOT / "BENCH_scaling.json"
@@ -277,6 +288,56 @@ def bench_sharded_parallel(world, quick: bool,
     return out
 
 
+def bench_obs_overhead(quick: bool, rng: np.random.Generator) -> dict:
+    """Enabled-vs-disabled cost of the obs registry on the hottest path.
+
+    Runs the same grid ``knn_batch`` workload with metrics collection
+    active and inactive, interleaved (so thermal/cache drift hits both
+    arms alike), and reports the min-of-reps ratio.  ``check_report``
+    holds ``overhead_frac`` to :data:`OBS_OVERHEAD_BUDGET` — the CI
+    gate that keeps instrumentation off the perf trajectory.
+    """
+    n = OBS_OVERHEAD_N[quick]
+    spec = worlds.get("wechat-like-1m").with_size(n)
+    world = spec.build()
+    db = world.db
+    region = db.region
+    index = make_index_arrays(db.coords, db.tids, "grid")
+    nq = OBS_OVERHEAD_QUERIES[quick]
+    batch = 512
+    u = rng.random((nq, 2))
+    queries = [
+        (float(region.x0 + ux * region.width),
+         float(region.y0 + uy * region.height))
+        for ux, uy in u
+    ]
+
+    def run_once() -> float:
+        gc.collect()
+        t0 = time.perf_counter()
+        for i in range(0, nq, batch):
+            index.knn_batch(queries[i:i + batch], K)
+        return time.perf_counter() - t0
+
+    run_once()  # warm the kernel and allocator before timing either arm
+    reg = obs.MetricsRegistry()
+    t_off = t_on = float("inf")
+    for _ in range(OBS_OVERHEAD_REPS):
+        with obs.paused():
+            t_off = min(t_off, run_once())
+        with obs.collecting(reg):
+            t_on = min(t_on, run_once())
+    return {
+        "n": n,
+        "n_queries": nq,
+        "batch": batch,
+        "reps": OBS_OVERHEAD_REPS,
+        "disabled_seconds": round(t_off, 4),
+        "enabled_seconds": round(t_on, 4),
+        "overhead_frac": round(t_on / t_off - 1.0, 4),
+    }
+
+
 def bench_world(name: str, n: int, quick: bool, rng: np.random.Generator) -> dict:
     """One world at one size: build it, then sweep backends × batches."""
     spec = worlds.get(name).with_size(n)
@@ -338,12 +399,12 @@ def bench_world(name: str, n: int, quick: bool, rng: np.random.Generator) -> dic
             "n_queries": n_queries,
             "qps": qps,
         }
-        stats_fn = getattr(index, "stats", None)
-        if stats_fn is not None:
+        counters_fn = getattr(index, "counters", None)
+        if counters_fn is not None:
             # Routing/fallback counters (grid: chunked vs per-query
             # fallback; sharded: settled vs escalated, tiles built) —
             # the no-longer-silent heavy-tail accounting.
-            entry["stats"] = stats_fn()
+            entry["stats"] = counters_fn()
         row["backends"][backend] = entry
     # Last: its row path materializes (and caches) every LbsTuple on
     # world.db, a population the query timings above must never carry.
@@ -370,6 +431,11 @@ def run_bench(quick: bool = False) -> dict:
                   f"{len(row['backends'])} backends  "
                   f"({time.perf_counter() - t0:6.1f}s total)")
             results.append(row)
+    overhead = bench_obs_overhead(quick, rng)
+    print(f"  obs overhead: {overhead['overhead_frac']:+.2%} "
+          f"(enabled {overhead['enabled_seconds']}s vs "
+          f"disabled {overhead['disabled_seconds']}s, "
+          f"grid knn_batch @ {overhead['n']:,} points)")
     return {
         "meta": {
             "k": K,
@@ -382,6 +448,7 @@ def run_bench(quick: bool = False) -> dict:
             "parallel_workers": list(PARALLEL_WORKERS),
             "sharded_queries": SHARDED_QUERIES[quick],
         },
+        "obs_overhead": overhead,
         "results": results,
     }
 
@@ -391,6 +458,12 @@ def check_report(report: dict) -> None:
     meta = report["meta"]
     world_names = set(meta["worlds"])
     assert len(world_names) >= 6, "registry must offer >= 6 worlds"
+    overhead = report["obs_overhead"]
+    assert overhead["overhead_frac"] <= OBS_OVERHEAD_BUDGET, (
+        f"obs instrumentation costs {overhead['overhead_frac']:+.2%} on the "
+        f"grid knn_batch hot path (budget {OBS_OVERHEAD_BUDGET:.0%}) — a "
+        f"guard moved off the `reg is None` fast path?"
+    )
     seen = {(r["world"], r["n"]) for r in report["results"]}
     for name in world_names:
         for n in meta["sizes"].values():
@@ -524,10 +597,21 @@ if __name__ == "__main__":
     parser.add_argument("--out", type=Path, default=None,
                         help=f"output JSON path (default {DEFAULT_OUT}, or "
                              f"{DEFAULT_QUICK_OUT} with --quick)")
+    parser.add_argument("--metrics-out", type=Path, default=None,
+                        help="collect repro.obs metrics across the sweep and "
+                             "write the registry snapshot to this JSON path")
     args = parser.parse_args()
     out = args.out if args.out is not None else (
         DEFAULT_QUICK_OUT if args.quick else DEFAULT_OUT
     )
-    report = run_bench(quick=args.quick)
+    if args.metrics_out is not None:
+        with obs.collecting() as reg:
+            report = run_bench(quick=args.quick)
+        args.metrics_out.write_text(
+            json.dumps(reg.to_dict(), indent=1, sort_keys=True) + "\n"
+        )
+        print(f"wrote {args.metrics_out} (obs registry snapshot)")
+    else:
+        report = run_bench(quick=args.quick)
     check_report(report)
     write_report(report, out)

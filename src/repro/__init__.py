@@ -74,6 +74,8 @@ from .lbs import (
     RankingSpec,
     SpatialDatabase,
 )
+from . import obs
+from .obs import MetricsRegistry, RunTelemetry
 from .sampling import GridWeightedSampler, UniformSampler
 from .stats import Checkpoint, EstimationResult
 from . import worlds
@@ -99,8 +101,11 @@ __version__ = "1.1.0"
 __all__ = [
     "__version__",
     "api",
+    "obs",
     "parallel",
     "worlds",
+    "MetricsRegistry",
+    "RunTelemetry",
     "WorldCache",
     "run_many_parallel",
     "WorldSpec",

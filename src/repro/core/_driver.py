@@ -30,11 +30,14 @@ driver-specific state.
 
 from __future__ import annotations
 
+import math
 import warnings
 from typing import Iterator, Optional
 
 from ..geometry import Point
 from ..lbs import BudgetExhausted
+from ..obs import registry as _obs
+from ..obs.telemetry import RunTelemetry
 from ..stats import (
     Checkpoint,
     EstimationResult,
@@ -58,24 +61,46 @@ def _checkpoint(est, queries_start: int, state: Optional[dict] = None) -> Checkp
     else:
         sem = stat.sem()
         ci = normal_ci(stat.mean, sem)
+    queries = est.interface.queries_used - queries_start
+    estimate = est.estimate()
     return Checkpoint(
-        queries=est.interface.queries_used - queries_start,
+        queries=queries,
         samples=est.samples,
-        estimate=est.estimate(),
+        estimate=estimate,
         ci=ci,
         sem=sem,
         state=state,
+        telemetry=_telemetry(est, queries, estimate, ci, sem),
+    )
+
+
+def _telemetry(est, queries: int, estimate: float, ci, sem: float) -> RunTelemetry:
+    """The run's :class:`RunTelemetry` — derived accounting, nothing fed
+    back into the estimator (telemetry observes, never branches)."""
+    rel = None
+    if math.isfinite(sem) and estimate != 0.0:
+        rel = (ci[1] - ci[0]) / 2.0 / abs(estimate)
+    cache = est.interface.cache_stats
+    return RunTelemetry(
+        samples=est.samples,
+        queries=queries,
+        checkpoints=getattr(est, "_obs_checkpoints", 0),
+        cache_hits=cache["hits"],
+        cache_misses=cache["misses"],
+        ci_rel_halfwidth=rel,
     )
 
 
 def build_result(est, queries_start: int) -> EstimationResult:
     """The :class:`EstimationResult` of a (possibly resumed) run."""
+    cp = _checkpoint(est, queries_start)
     return EstimationResult(
-        estimate=est.estimate(),
-        queries=est.interface.queries_used - queries_start,
+        estimate=cp.estimate,
+        queries=cp.queries,
         samples=est.samples,
         stat=est._ratio.numerator if est.query.is_ratio else est._stat,
         trace=list(est._trace),
+        telemetry=cp.telemetry,
     )
 
 
@@ -167,7 +192,19 @@ def _drive(est, until, batch_size, state_every, start):
             state = None
             if state_every is not None and est.samples % state_every == 0:
                 state = est.to_state(queries_start=start)
-            yield _checkpoint(est, start, state)
+            # One checkpoint is yielded per completed sample; the counter
+            # is bumped first so the yielded telemetry includes it.
+            est._obs_checkpoints = getattr(est, "_obs_checkpoints", 0) + 1
+            cp = _checkpoint(est, start, state)
+            reg = _obs._active
+            if reg is not None:
+                reg.inc("run_samples_total")
+                reg.inc("run_checkpoints_total")
+                reg.set_gauge("run_queries_spent", float(cp.queries))
+                rel = cp.telemetry.ci_rel_halfwidth
+                if rel is not None:
+                    reg.set_gauge("run_ci_relative_halfwidth", rel)
+            yield cp
 
 
 class EstimationDriver:
@@ -311,9 +348,10 @@ class EstimationDriver:
         """
         state = {
             "kind": self.kind,
-            # v2: lazy-reveal prefetch (staged answers in the history
-            # state) and the LR oracle's own RNG stream.
-            "version": 2,
+            # v3: per-run telemetry rides the snapshot (v2 added the
+            # lazy-reveal prefetch and the LR oracle's own RNG stream).
+            "version": 3,
+            "telemetry": _checkpoint(self, queries_start or 0).telemetry.to_dict(),
             "queries_start": queries_start,
             "rng": self.rng.bit_generator.state,
             "stat": self._stat.state_dict(),
@@ -338,15 +376,21 @@ class EstimationDriver:
                 f"state is for a {state.get('kind')!r} driver, not {self.kind!r}"
             )
         version = state.get("version", 1)
-        if version != 2:
+        if version != 3:
             # v1 snapshots predate the lazy-reveal prefetch and the LR
-            # oracle's own RNG stream; resuming one here would silently
-            # diverge from its original run instead of being
+            # oracle's own RNG stream, v2 ones the run telemetry;
+            # resuming either here would silently lose accounting (or,
+            # for v1, diverge from the original run) instead of being
             # bit-identical, so refuse loudly.
             raise ValueError(
                 f"cannot resume a version-{version} snapshot with this release "
-                "(state format v2); rerun from the spec instead"
+                "(state format v3); rerun from the spec instead"
             )
+        telemetry = RunTelemetry.from_dict(state.get("telemetry"))
+        # Telemetry is derived accounting: only the checkpoint counter
+        # must be carried over (everything else re-derives from the
+        # restored accumulators and engine state).
+        self._obs_checkpoints = telemetry.checkpoints
         self.rng.bit_generator.state = state["rng"]
         self._stat = RunningStat.from_state(state["stat"])
         self._ratio = RatioStat.from_state(state["ratio"])

@@ -7,21 +7,36 @@ vectorized query-batch prefetch (keep the default of 1 to reproduce the
 paper's query accounting exactly).  ``--workers N`` forks each cost
 table's independent estimation runs across N processes (experiments
 without a ``workers`` knob ignore it); results are identical at any
-worker count.
+worker count.  ``--metrics-out PATH`` enables the :mod:`repro.obs`
+registry around each experiment and writes its snapshot as JSON — to
+``PATH`` when one experiment runs, to per-experiment siblings
+(``name-<experiment>.json``) when several do.  Worker forks report
+through the same registry (see ``_run_estimations``), so the snapshot
+is complete at any ``--workers`` count.
 """
 
 from __future__ import annotations
 
 import inspect
+import json
+import os
 import sys
 import time
 
 from . import ALL_EXPERIMENTS
 
 
+def _metrics_path(base: str, name: str, many: bool) -> str:
+    if not many:
+        return base
+    stem, ext = os.path.splitext(base)
+    return f"{stem}-{name}{ext or '.json'}"
+
+
 def main(argv: list[str]) -> int:
     batch_size = 1
     workers = 1
+    metrics_out = None
     names: list[str] = []
     it = iter(argv)
     for arg in it:
@@ -39,6 +54,12 @@ def main(argv: list[str]) -> int:
             except (TypeError, ValueError):
                 print("--workers needs an integer value")
                 return 2
+        elif arg == "--metrics-out" or arg.startswith("--metrics-out="):
+            value = next(it, None) if arg == "--metrics-out" else arg.split("=", 1)[1]
+            if not value:
+                print("--metrics-out needs a file path")
+                return 2
+            metrics_out = value
         else:
             names.append(arg)
     if batch_size < 1:
@@ -63,7 +84,17 @@ def main(argv: list[str]) -> int:
             kwargs["batch_size"] = batch_size
         if "workers" in params:
             kwargs["workers"] = workers
-        out = fn(**kwargs)
+        if metrics_out is not None:
+            from ..obs import registry as obs
+
+            with obs.collecting() as reg:
+                out = fn(**kwargs)
+            path = _metrics_path(metrics_out, name, len(names) > 1)
+            with open(path, "w", encoding="utf-8") as f:
+                json.dump(reg.to_dict(), f, indent=1, sort_keys=True)
+            print(f"[metrics for {name} written to {path}]")
+        else:
+            out = fn(**kwargs)
         table = out[0] if isinstance(out, tuple) else out
         table.show()
         print(f"[{name} done in {time.time() - start:.1f}s]\n")

@@ -35,6 +35,7 @@ from ..datasets import (
 )
 from ..geometry import Rect
 from ..lbs import SpatialDatabase
+from ..obs import registry as _obs
 from ..stats import EstimationResult
 
 __all__ = [
@@ -180,12 +181,22 @@ def _run_estimations(
     if workers <= 1 or len(seeds) <= 1 or "fork" not in mp.get_all_start_methods():
         return [run_one(s) for s in seeds]
     ctx = mp.get_context("fork")
+    # When a metrics registry is active here, each forked child collects
+    # into a fresh one and its snapshot rides the result pipe back — the
+    # fork waves stay metric-transparent at any worker count.
+    parent_reg = _obs._active
+    collect = parent_reg is not None
 
     def child(conn, s: int) -> None:
         try:
-            conn.send(("ok", run_one(s)))
+            if collect:
+                with _obs.collecting() as reg:
+                    result = run_one(s)
+                conn.send(("ok", result, reg.to_dict()))
+            else:
+                conn.send(("ok", run_one(s), None))
         except Exception as exc:  # surface the real error in the parent
-            conn.send(("error", repr(exc)))
+            conn.send(("error", repr(exc), None))
         finally:
             conn.close()
 
@@ -200,10 +211,12 @@ def _run_estimations(
             child_conn.close()
             procs.append((pos, parent_conn, p))
         for pos, conn, p in procs:
-            kind, payload = conn.recv()
+            kind, payload, snap = conn.recv()
             p.join()
             if kind == "error":
                 raise RuntimeError(f"estimation run (seed {seeds[pos]}) failed: {payload}")
+            if parent_reg is not None and snap is not None:
+                parent_reg.merge(snap)
             results[pos] = payload
     return results
 

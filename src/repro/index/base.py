@@ -33,6 +33,8 @@ from typing import Hashable, Optional, Protocol, Sequence, runtime_checkable
 
 import numpy as np
 
+from ..obs.tracing import span as _span
+
 __all__ = [
     "SpatialIndex",
     "QueryEngineConfig",
@@ -230,7 +232,9 @@ def make_index(
     All backends return identical answers; only throughput differs.
     """
     pts = points if isinstance(points, list) else list(points)
-    return _resolve_backend(backend, len(pts), auto_brute_max, auto_sharded_min)(pts)
+    cls = _resolve_backend(backend, len(pts), auto_brute_max, auto_sharded_min)
+    with _span("index_build", backend=cls.__name__):
+        return cls(pts)
 
 
 def make_index_arrays(
@@ -256,8 +260,9 @@ def make_index_arrays(
     if xy.ndim != 2 or xy.shape[1] != 2:
         raise ValueError("xy must be an (N, 2) coordinate array")
     cls = _resolve_backend(backend, len(xy), auto_brute_max, auto_sharded_min)
-    from_arrays = getattr(cls, "from_arrays", None)
-    if from_arrays is not None:
-        return from_arrays(xy, items)
-    items_list = items.tolist() if isinstance(items, np.ndarray) else list(items)
-    return cls(list(zip(xy[:, 0].tolist(), xy[:, 1].tolist(), items_list)))
+    with _span("index_build", backend=cls.__name__):
+        from_arrays = getattr(cls, "from_arrays", None)
+        if from_arrays is not None:
+            return from_arrays(xy, items)
+        items_list = items.tolist() if isinstance(items, np.ndarray) else list(items)
+        return cls(list(zip(xy[:, 0].tolist(), xy[:, 1].tolist(), items_list)))

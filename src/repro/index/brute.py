@@ -16,7 +16,13 @@ from typing import Hashable, Sequence
 
 import numpy as np
 
+from ..obs import registry as _obs
+
 __all__ = ["BruteForceIndex"]
+
+# Shared label dicts for the registry hot path (never mutated).
+_BRUTE_SCALAR = {"backend": "brute", "mode": "scalar"}
+_BRUTE_BATCH = {"backend": "brute", "mode": "batch"}
 
 #: Cap on (queries x points) entries materialized per distance matrix.
 _CHUNK_ENTRIES = 4_000_000
@@ -63,6 +69,9 @@ class BruteForceIndex:
     # Single-point queries (the executable specification)
     # ------------------------------------------------------------------
     def knn(self, x: float, y: float, k: int) -> list[tuple[float, Hashable]]:
+        reg = _obs._active
+        if reg is not None:
+            reg.inc("index_queries_total", 1.0, _BRUTE_SCALAR)
         ranked = sorted(
             ((px - x) * (px - x) + (py - y) * (py - y), item)
             for px, py, item in self._points
@@ -102,6 +111,9 @@ class BruteForceIndex:
         n = len(self._points)
         if n == 0 or k <= 0:
             return [[] for _ in points]
+        reg = _obs._active
+        if reg is not None:
+            reg.inc("index_queries_total", float(len(points)), _BRUTE_BATCH)
         kk = min(k, n)
         id_rank = self._id_rank
         results: list[list[tuple[float, Hashable]]] = []

@@ -22,15 +22,23 @@ be pruned), never the ordering itself.
 from __future__ import annotations
 
 import math
+import warnings
 from typing import Hashable, Sequence
 
 import numpy as np
+
+from ..obs import registry as _obs
 
 __all__ = ["GridIndex"]
 
 #: Relative slack when comparing distances against cell-boundary
 #: clearances (cell edges are themselves rounded); pruning-only.
 _SLACK = 1e-9
+
+# Shared label dicts for the registry hot path (never mutated).
+_GRID = {"backend": "grid"}
+_GRID_SCALAR = {"backend": "grid", "mode": "scalar"}
+_GRID_BATCH = {"backend": "grid", "mode": "batch"}
 
 
 def _sq(v):
@@ -99,11 +107,15 @@ class GridIndex:
         self._items = items
         n = len(items)
         self._size = n
-        self._stats = {
-            "batch_queries": 0,
-            "batch_chunked": 0,
-            "batch_fallback": 0,
-        }
+        # Counter lifecycle: counters live for the *instance* and survive
+        # internal rebuilds — only a fresh instance or an explicit
+        # reset_stats() zeroes them (they used to reset silently here).
+        if getattr(self, "_stats", None) is None:
+            self._stats = {
+                "batch_queries": 0,
+                "batch_chunked": 0,
+                "batch_fallback": 0,
+            }
         # Object array mirror of the id-sorted items, for vectorized
         # fancy-indexed emission in the batch kernels.
         self._items_arr = np.empty(n, dtype=object)
@@ -146,8 +158,8 @@ class GridIndex:
     def __len__(self) -> int:
         return self._size
 
-    def stats(self) -> dict:
-        """Batch-kernel path counters (a copy; never reset internally).
+    def counters(self) -> dict:
+        """Batch-kernel path counters (a copy).
 
         ``batch_chunked`` counts queries answered by the vectorized
         padded-partition kernel, ``batch_fallback`` those that exceeded
@@ -155,8 +167,29 @@ class GridIndex:
         heavy-tail path the clustered-world regression budget watches
         (``benchmarks/bench_scaling.py``).  They sum to
         ``batch_queries``.
+
+        Lifecycle: counters accumulate for the life of the instance —
+        internal rebuilds never zero them; only :meth:`reset_stats`
+        does.  The same counts stream to the process-wide registry
+        (``index_batch_*_total{backend="grid"}``) when :mod:`repro.obs`
+        is enabled.
         """
         return dict(self._stats)
+
+    def reset_stats(self) -> None:
+        """Explicitly zero the batch-path counters (nothing else does)."""
+        for key in self._stats:
+            self._stats[key] = 0
+
+    def stats(self) -> dict:
+        """Deprecated alias of :meth:`counters`; removed next release."""
+        warnings.warn(
+            "GridIndex.stats() is deprecated; use counters() (same dict) "
+            "or the repro.obs registry",
+            DeprecationWarning,
+            stacklevel=2,
+        )
+        return self.counters()
 
     def _cell_x(self, v: float) -> int:
         """Clamp-then-truncate a float cell coordinate (clamping first
@@ -184,6 +217,9 @@ class GridIndex:
     def knn(self, x: float, y: float, k: int) -> list[tuple[float, Hashable]]:
         if self._size == 0 or k <= 0:
             return []
+        reg = _obs._active
+        if reg is not None:
+            reg.inc("index_queries_total", 1.0, _GRID_SCALAR)
         x = float(x)
         y = float(y)
         kk = min(k, self._size)
@@ -404,6 +440,15 @@ class GridIndex:
         self._stats["batch_queries"] += m
         self._stats["batch_chunked"] += m - fallback
         self._stats["batch_fallback"] += fallback
+        # Once per ~1024-query chunk: the registry mirror of the counters
+        # above (kernel-level counts; batch fallbacks also appear as
+        # scalar index_queries_total increments from the knn() calls).
+        reg = _obs._active
+        if reg is not None:
+            reg.inc("index_queries_total", float(m), _GRID_BATCH)
+            reg.inc("index_batch_queries_total", float(m), _GRID)
+            reg.inc("index_batch_chunked_total", float(m - fallback), _GRID)
+            reg.inc("index_batch_fallback_total", float(fallback), _GRID)
         return out
 
     def range_batch(

@@ -25,7 +25,12 @@ from typing import Hashable, Sequence
 
 import numpy as np
 
+from ..obs import registry as _obs
+
 __all__ = ["KdTree"]
+
+# Shared label dict for the registry hot path (never mutated).
+_KDTREE_SCALAR = {"backend": "kdtree", "mode": "scalar"}
 
 
 class _Node:
@@ -97,6 +102,11 @@ class KdTree:
         """
         if self.root is None or k <= 0:
             return []
+        reg = _obs._active
+        if reg is not None:
+            # knn_batch loops this method, so scalar counts cover both
+            # entry points for the tree (no separate batch kernel).
+            reg.inc("index_queries_total", 1.0, _KDTREE_SCALAR)
         # Max-heap via negated keys: worst current candidate on top.
         best: list[tuple[float, object, Hashable]] = []  # (-dist2, neg_item_key, item)
         stack = [self.root]

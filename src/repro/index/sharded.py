@@ -11,7 +11,7 @@ Two properties fall out of the split:
   sized to the cluster's extent, not the whole region's — candidate
   sets around dense clusters shrink by orders of magnitude, which is
   exactly the heavy-tail case where the monolithic grid's batch kernel
-  falls back to per-query search (see ``GridIndex.stats()``).
+  falls back to per-query search (see ``GridIndex.counters()``).
 * **Independence.**  Tiles are built lazily, one frozen ``GridIndex``
   per tile over a row-slice of the columnar store.  A process that only
   ever queries a corner of the world only pays for that corner's tiles —
@@ -40,13 +40,20 @@ holds this backend to the same contract as the other three.
 from __future__ import annotations
 
 import math
+import warnings
 from typing import Hashable, Sequence
 
 import numpy as np
 
+from ..obs import registry as _obs
 from .grid import GridIndex, _SLACK
 
 __all__ = ["ShardedGridIndex", "auto_tiles_per_side", "route_home_tiles"]
+
+# Shared label dicts for the registry hot path (never mutated).
+_SHARDED = {"backend": "sharded"}
+_SHARDED_SCALAR = {"backend": "sharded", "mode": "scalar"}
+_SHARDED_BATCH = {"backend": "sharded", "mode": "batch"}
 
 #: Auto tile-count target: points per tile.  Big enough that the
 #: settled fast path dominates (escalations scale with tile perimeter
@@ -186,12 +193,15 @@ class ShardedGridIndex:
         self._items_arr = np.empty(n, dtype=object)
         self._items_arr[:] = items
         self._target_per_cell = target_per_cell
-        self._stats = {
-            "batch_queries": 0,
-            "batch_settled": 0,
-            "batch_escalated": 0,
-            "batch_scalar": 0,
-        }
+        # Counter lifecycle: instance-lifetime, like GridIndex — internal
+        # rebuilds preserve them; only reset_stats() zeroes.
+        if getattr(self, "_stats", None) is None:
+            self._stats = {
+                "batch_queries": 0,
+                "batch_settled": 0,
+                "batch_escalated": 0,
+                "batch_scalar": 0,
+            }
         if tiles_per_side is None:
             tiles_per_side = auto_tiles_per_side(n)
         if tiles_per_side < 1:
@@ -236,7 +246,7 @@ class ShardedGridIndex:
     def tiles_per_side(self) -> int:
         return self._t
 
-    def stats(self) -> dict:
+    def counters(self) -> dict:
         """Routing counters plus tile-construction progress.
 
         ``batch_settled`` counts batch queries answered entirely by
@@ -245,8 +255,16 @@ class ShardedGridIndex:
         was too small for ``k`` (full scalar routing).  ``tiles_built``
         over ``tiles_nonempty`` shows how much of the world this index
         actually materialized — the laziness the parallel fan-out banks
-        on.  Inner-grid counters (see ``GridIndex.stats()``) are summed
-        over the built tiles.
+        on.  Inner-grid counters (see ``GridIndex.counters()``) are
+        summed over the built tiles.
+
+        Lifecycle: counters accumulate for the life of the instance —
+        internal rebuilds never zero them; only :meth:`reset_stats`
+        does.  The same counts stream to the process-wide registry
+        (``index_batch_*_total{backend="sharded"}``,
+        ``index_tiles_built_total``; inner tiles report under
+        ``backend="grid"`` — they *are* grid kernels) when
+        :mod:`repro.obs` is enabled.
         """
         out = dict(self._stats)
         out["tiles_per_side"] = self._t
@@ -257,10 +275,29 @@ class ShardedGridIndex:
         inner = {"batch_queries": 0, "batch_chunked": 0, "batch_fallback": 0}
         for tile in self._tiles:
             if tile is not None:
-                for key, val in tile.stats().items():
+                for key, val in tile.counters().items():
                     inner[key] += val
         out["inner"] = inner
         return out
+
+    def reset_stats(self) -> None:
+        """Explicitly zero the routing counters and every built tile's
+        inner-grid counters (nothing else does)."""
+        for key in self._stats:
+            self._stats[key] = 0
+        for tile in self._tiles:
+            if tile is not None:
+                tile.reset_stats()
+
+    def stats(self) -> dict:
+        """Deprecated alias of :meth:`counters`; removed next release."""
+        warnings.warn(
+            "ShardedGridIndex.stats() is deprecated; use counters() "
+            "(same dict) or the repro.obs registry",
+            DeprecationWarning,
+            stacklevel=2,
+        )
+        return self.counters()
 
     # ------------------------------------------------------------------
     # Tile plumbing
@@ -278,6 +315,9 @@ class ShardedGridIndex:
             tile = GridIndex.from_arrays(xy, ranks, self._target_per_cell)
             self._tiles[t] = tile
             self._tiles_built += 1
+            reg = _obs._active
+            if reg is not None:
+                reg.inc("index_tiles_built_total", 1.0, _SHARDED)
         return tile
 
     def _get_plane(self) -> tuple:
@@ -397,6 +437,9 @@ class ShardedGridIndex:
     def knn(self, x: float, y: float, k: int) -> list[tuple[float, Hashable]]:
         if self._size == 0 or k <= 0:
             return []
+        reg = _obs._active
+        if reg is not None:
+            reg.inc("index_queries_total", 1.0, _SHARDED_SCALAR)
         x = float(x)
         y = float(y)
         kk = min(k, self._size)
@@ -526,6 +569,11 @@ class ShardedGridIndex:
         self._stats["batch_queries"] += m
         if t == 1:
             self._stats["batch_settled"] += m
+            reg = _obs._active
+            if reg is not None:
+                reg.inc("index_queries_total", float(m), _SHARDED_BATCH)
+                reg.inc("index_batch_queries_total", float(m), _SHARDED)
+                reg.inc("index_batch_settled_total", float(m), _SHARDED)
             items = self._items
             tile = self._tile(0)
             return [
@@ -556,6 +604,19 @@ class ShardedGridIndex:
         self._stats["batch_settled"] += m - len(pending) - len(scalar)
         self._stats["batch_escalated"] += len(pending)
         self._stats["batch_scalar"] += len(scalar)
+        # Once per batch: the registry mirror of the routing counters
+        # (kernel-level counts; scalar-routed queries also hit the
+        # scalar index_queries_total from knn()).
+        reg = _obs._active
+        if reg is not None:
+            reg.inc("index_queries_total", float(m), _SHARDED_BATCH)
+            reg.inc("index_batch_queries_total", float(m), _SHARDED)
+            reg.inc(
+                "index_batch_settled_total",
+                float(m - len(pending) - len(scalar)), _SHARDED,
+            )
+            reg.inc("index_batch_escalated_total", float(len(pending)), _SHARDED)
+            reg.inc("index_batch_scalar_total", float(len(scalar)), _SHARDED)
         for i, reach in pending:
             px, py = pts[i]
             out[i] = self._knn_with_bound(px, py, kk, reach)

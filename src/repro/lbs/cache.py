@@ -17,7 +17,10 @@ results (see ``tests/lbs/test_query_cache.py``).
 
 from __future__ import annotations
 
+import warnings
 from collections import OrderedDict
+
+from ..obs import registry as _obs
 
 __all__ = ["QueryAnswerCache"]
 
@@ -59,11 +62,16 @@ class QueryAnswerCache:
         if self.capacity == 0:
             return None
         answer = self._entries.get(key)
+        reg = _obs._active
         if answer is None:
             self.misses += 1
+            if reg is not None:
+                reg.inc("interface_cache_misses_total")
             return None
         self._entries.move_to_end(key)
         self.hits += 1
+        if reg is not None:
+            reg.inc("interface_cache_hits_total")
         return answer
 
     def peek(self, key: Key):
@@ -89,13 +97,29 @@ class QueryAnswerCache:
         eviction order, which checkpoint restore relies on."""
         return list(self._entries.values())
 
-    def stats(self) -> dict:
+    def counters(self) -> dict:
+        """Instance-lifetime hit/miss counters (and size/capacity).
+
+        The same counts stream to the process-wide registry as
+        ``interface_cache_hits_total`` / ``interface_cache_misses_total``
+        when :mod:`repro.obs` is enabled.
+        """
         return {
             "size": len(self._entries),
             "capacity": self.capacity,
             "hits": self.hits,
             "misses": self.misses,
         }
+
+    def stats(self) -> dict:
+        """Deprecated alias of :meth:`counters`; removed next release."""
+        warnings.warn(
+            "QueryAnswerCache.stats() is deprecated; use counters() "
+            "(same dict) or the repro.obs registry",
+            DeprecationWarning,
+            stacklevel=2,
+        )
+        return self.counters()
 
     def __repr__(self) -> str:  # pragma: no cover - debugging aid
         return (

@@ -37,6 +37,7 @@ import numpy as np
 
 from ..geometry import Point
 from ..index import QueryEngineConfig, make_index_arrays
+from ..obs import registry as _obs
 from .budget import BudgetExhausted, QueryBudget
 from .cache import QueryAnswerCache
 from .database import SpatialDatabase
@@ -80,6 +81,9 @@ class KnnInterface:
             raise ValueError("k must be >= 1")
         self.database = database
         self.k = k
+        # Reused label dict for the registry hot path (one per interface,
+        # never mutated).
+        self._obs_labels = {"kind": "lr" if self.returns_location else "lnr"}
         self.budget = budget if budget is not None else QueryBudget(None)
         self.max_radius = max_radius
         self.obfuscation = obfuscation
@@ -202,7 +206,7 @@ class KnnInterface:
     @property
     def cache_stats(self) -> dict:
         """Hit/miss counters of the per-interface answer cache."""
-        return self._cache.stats()
+        return self._cache.counters()
 
     def query(self, point: Point) -> QueryAnswer:
         """Issue one kNN query.
@@ -217,6 +221,14 @@ class KnnInterface:
         if hit is not None:
             return hit
         self.budget.spend(1)
+        reg = _obs._active
+        if reg is not None:
+            # Counted exactly at the spend site: spend() raises *before*
+            # incrementing on exhaustion, so this counter mirrors
+            # budget.used — the acceptance invariant merged snapshots
+            # rely on.
+            reg.inc("interface_queries_total", 1.0, self._obs_labels)
+            reg.inc("interface_answers_total", 1.0, self._obs_labels)
         answer = self._answer(point)
         self._cache.put(key, answer)
         return answer
@@ -240,6 +252,10 @@ class KnnInterface:
             paid = self.budget.affordable(len(pts))
             if paid:
                 self.budget.spend(paid)
+                reg = _obs._active
+                if reg is not None:
+                    reg.inc("interface_queries_total", float(paid), self._obs_labels)
+                    reg.inc("interface_answers_total", float(paid), self._obs_labels)
                 answers = self._answer_batch(pts[:paid])
             else:
                 answers = []
@@ -263,6 +279,10 @@ class KnnInterface:
         paid = self.budget.affordable(len(missing))
         if paid:
             self.budget.spend(paid)
+            reg = _obs._active
+            if reg is not None:
+                reg.inc("interface_queries_total", float(paid), self._obs_labels)
+                reg.inc("interface_answers_total", float(paid), self._obs_labels)
             for p, key, answer in zip(
                 missing[:paid], missing_keys[:paid], self._answer_batch(missing[:paid])
             ):

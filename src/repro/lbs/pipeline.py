@@ -26,6 +26,8 @@ from dataclasses import dataclass
 from typing import Optional, Sequence
 
 from ..geometry import Point
+from ..obs import registry as _obs
+from ..obs.tracing import span as _span
 from .ranking import Ranked, RankingPolicy
 
 __all__ = [
@@ -261,11 +263,37 @@ class AnswerPipeline:
         self.projection = projection
 
     def answer(self, point: Point) -> QueryAnswer:
+        reg = _obs._active
         ranked = self.ranking.rank(point, self.k)
-        return self.projection.report(point, truncate_ranked(ranked, self.max_radius))
+        truncated = truncate_ranked(ranked, self.max_radius)
+        answer = self.projection.report(point, truncated)
+        if reg is not None:
+            reg.inc("pipeline_answers_total", 1.0, {"mode": "scalar"})
+            reg.inc("pipeline_returned_tuples_total", float(len(truncated)))
+            cut = len(ranked) - len(truncated)
+            if cut:
+                reg.inc("pipeline_truncated_tuples_total", float(cut))
+        return answer
 
     def answer_batch(self, points: Sequence[Point]) -> list[QueryAnswer]:
-        ranked_lists = self.ranking.rank_batch(points, self.k)
-        return self.projection.report_batch(
-            points, [truncate_ranked(r, self.max_radius) for r in ranked_lists]
+        reg = _obs._active
+        if reg is None:
+            ranked_lists = self.ranking.rank_batch(points, self.k)
+            return self.projection.report_batch(
+                points, [truncate_ranked(r, self.max_radius) for r in ranked_lists]
+            )
+        # Instrumented path: identical stages, per-stage spans + counters.
+        with _span("pipeline.rank_batch"):
+            ranked_lists = self.ranking.rank_batch(points, self.k)
+        truncated = [truncate_ranked(r, self.max_radius) for r in ranked_lists]
+        with _span("pipeline.project_batch"):
+            out = self.projection.report_batch(points, truncated)
+        reg.inc("pipeline_answers_total", float(len(points)), {"mode": "batch"})
+        reg.inc(
+            "pipeline_returned_tuples_total",
+            float(sum(len(t) for t in truncated)),
         )
+        cut = sum(len(r) for r in ranked_lists) - sum(len(t) for t in truncated)
+        if cut:
+            reg.inc("pipeline_truncated_tuples_total", float(cut))
+        return out

@@ -1,0 +1,72 @@
+"""Per-run telemetry attached to checkpoints, results, and saved state.
+
+:class:`RunTelemetry` is the run-scoped companion to the process-wide
+:class:`~repro.obs.registry.MetricsRegistry`: a small frozen record of
+where one estimation run stands — samples drawn, queries spent, answer
+cache traffic, CI width — that rides on every
+:class:`~repro.stats.result.Checkpoint` and
+:class:`~repro.stats.result.EstimationResult` and JSON-round-trips
+through the pause/resume state (driver state format v3).
+
+It is derived from the estimator, never fed back into it: deleting the
+telemetry from a state dict changes nothing about the resumed estimates
+except that loading refuses (missing telemetry means the snapshot
+predates v3).
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+from typing import Optional
+
+__all__ = ["RunTelemetry"]
+
+_FIELDS = ("samples", "queries", "checkpoints", "cache_hits", "cache_misses")
+
+
+@dataclass(frozen=True)
+class RunTelemetry:
+    """Snapshot of one run's cost accounting at a point in time.
+
+    ``ci_rel_halfwidth`` is the relative CI half-width at the snapshot,
+    or ``None`` while it is undefined (too few samples, zero estimate,
+    or non-finite sem).
+    """
+
+    samples: int = 0
+    queries: int = 0
+    checkpoints: int = 0
+    cache_hits: int = 0
+    cache_misses: int = 0
+    ci_rel_halfwidth: Optional[float] = None
+
+    def to_dict(self) -> dict:
+        rel = self.ci_rel_halfwidth
+        if rel is not None and not math.isfinite(rel):
+            rel = None
+        return {
+            "samples": int(self.samples),
+            "queries": int(self.queries),
+            "checkpoints": int(self.checkpoints),
+            "cache_hits": int(self.cache_hits),
+            "cache_misses": int(self.cache_misses),
+            "ci_rel_halfwidth": rel,
+        }
+
+    @classmethod
+    def from_dict(cls, payload: dict) -> "RunTelemetry":
+        if not isinstance(payload, dict):
+            raise ValueError(f"run telemetry must be a dict, got {type(payload).__name__}")
+        missing = [k for k in _FIELDS if k not in payload]
+        if missing:
+            raise ValueError(f"run telemetry snapshot is missing keys: {missing}")
+        rel = payload.get("ci_rel_halfwidth")
+        return cls(
+            samples=int(payload["samples"]),
+            queries=int(payload["queries"]),
+            checkpoints=int(payload["checkpoints"]),
+            cache_hits=int(payload["cache_hits"]),
+            cache_misses=int(payload["cache_misses"]),
+            ci_rel_halfwidth=None if rel is None else float(rel),
+        )

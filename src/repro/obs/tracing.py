@@ -1,0 +1,72 @@
+"""Lightweight tracing spans on top of the metrics registry.
+
+A span measures one timed block::
+
+    with obs.span("index_build", backend="grid"):
+        index = GridIndex.from_arrays(...)
+
+When no registry is active, :func:`span` returns a shared no-op context
+manager — no clock is read and nothing is allocated, so disabled spans
+cost one function call.  When active, the span's duration lands in the
+``span_seconds`` histogram (labelled ``span=<name>`` plus any keyword
+labels) and a record is appended to the registry's bounded span trace
+(``registry.spans``), which rides along in ``to_dict()`` snapshots.
+"""
+
+from __future__ import annotations
+
+import time
+
+from . import registry as _registry
+
+__all__ = ["span", "Span"]
+
+
+class _NullSpan:
+    __slots__ = ()
+
+    def __enter__(self):
+        return self
+
+    def __exit__(self, *exc):
+        return False
+
+
+_NULL_SPAN = _NullSpan()
+
+
+class Span:
+    __slots__ = ("_registry", "name", "labels", "_t0", "_wall")
+
+    def __init__(self, registry, name: str, labels: dict) -> None:
+        self._registry = registry
+        self.name = name
+        self.labels = labels
+
+    def __enter__(self):
+        self._wall = time.time()
+        self._t0 = time.perf_counter()
+        return self
+
+    def __exit__(self, *exc):
+        seconds = time.perf_counter() - self._t0
+        labels = {"span": self.name}
+        labels.update(self.labels)
+        self._registry.observe("span_seconds", seconds, labels)
+        self._registry.add_span(
+            {
+                "name": self.name,
+                "labels": dict(self.labels),
+                "start": self._wall,
+                "seconds": seconds,
+            }
+        )
+        return False
+
+
+def span(name: str, **labels: str):
+    """A context manager timing one block; no-op when obs is disabled."""
+    reg = _registry._active
+    if reg is None:
+        return _NULL_SPAN
+    return Span(reg, name, labels)

@@ -51,6 +51,7 @@ from ..api.session import Session, SessionRun
 from ..api.spec import EstimationSpec
 from ..core import QueryEngineConfig, StoppingRule
 from ..index import make_index_arrays
+from ..obs import registry as _obs
 from ..stats import EstimationResult
 from ..worlds.spec import World, WorldSpec
 from .sharedmem import SharedWorld, cleanup_stale_segments
@@ -159,7 +160,8 @@ def _execute_run(world, db, shared, indexes, run_index, spec_json, until,
     return run.result()
 
 
-def _worker_main(descriptor, tasks, results_q, checkpoint_dir, state_every):
+def _worker_main(descriptor, tasks, results_q, checkpoint_dir, state_every,
+                 collect):
     shared = SharedWorld.attach(descriptor)
     try:
         world = shared.world()  # one attach + database per worker
@@ -170,15 +172,30 @@ def _worker_main(descriptor, tasks, results_q, checkpoint_dir, state_every):
             if task is None:
                 break
             run_index, spec_json, until, eff_key = task
+            # One fresh registry per run (when the parent had one active
+            # at fan-out time), snapshotted onto the result message so
+            # the coordinator can merge per-run metrics exactly once —
+            # including the partial counts of a run that raised.
+            reg = _obs.MetricsRegistry() if collect else None
             try:
-                result = _execute_run(
-                    world, db, shared, indexes, run_index, spec_json, until,
-                    eff_key, results_q, checkpoint_dir, state_every,
-                )
-                results_q.put(("done", run_index, result))
+                if reg is not None:
+                    with _obs.collecting(reg):
+                        result = _execute_run(
+                            world, db, shared, indexes, run_index, spec_json,
+                            until, eff_key, results_q, checkpoint_dir,
+                            state_every,
+                        )
+                else:
+                    result = _execute_run(
+                        world, db, shared, indexes, run_index, spec_json,
+                        until, eff_key, results_q, checkpoint_dir, state_every,
+                    )
+                snap = reg.to_dict() if reg is not None else None
+                results_q.put(("done", run_index, result, snap))
             except Exception:
+                snap = reg.to_dict() if reg is not None else None
                 results_q.put(("error", run_index, spec_json,
-                               traceback.format_exc()))
+                               traceback.format_exc(), snap))
     finally:
         shared.close()
 
@@ -293,6 +310,11 @@ def run_many_parallel(
 
     ctx = mp_context if mp_context is not None else _default_context()
     cleanup_stale_segments()
+    # Captured before forking: when a registry is active here, every
+    # worker collects into a fresh one per run and the snapshots merge
+    # back into this registry as runs settle.
+    parent_reg = _obs._active
+    collect = parent_reg is not None
     shared = SharedWorld.export(world, extras=eff_arrays)
     procs: list = []
     try:
@@ -306,7 +328,8 @@ def run_many_parallel(
         for _ in range(workers):
             p = ctx.Process(
                 target=_worker_main,
-                args=(descriptor, tasks, results_q, checkpoint_dir, state_every),
+                args=(descriptor, tasks, results_q, checkpoint_dir,
+                      state_every, collect),
                 daemon=True,
             )
             p.start()
@@ -326,7 +349,8 @@ def run_many_parallel(
                             msg = results_q.get_nowait()
                         except queue_mod.Empty:
                             break
-                        accounted += _absorb(msg, results, failures, on_progress)
+                        accounted += _absorb(msg, results, failures,
+                                             on_progress, parent_reg)
                     if accounted >= len(specs):
                         break
                     reported = {i for i, _s, _t in failures}
@@ -341,7 +365,8 @@ def run_many_parallel(
                         ))
                     raise ParallelRunError(failures, results)
                 continue
-            accounted += _absorb(msg, results, failures, on_progress)
+            accounted += _absorb(msg, results, failures, on_progress,
+                                 parent_reg)
         for p in procs:
             p.join(timeout=10.0)
     finally:
@@ -355,8 +380,14 @@ def run_many_parallel(
     return results
 
 
-def _absorb(msg, results, failures, on_progress) -> int:
-    """Apply one queue message; returns 1 when it settles a run."""
+def _absorb(msg, results, failures, on_progress, parent_reg=None) -> int:
+    """Apply one queue message; returns 1 when it settles a run.
+
+    Each run's metrics snapshot (collected in the worker, riding the
+    settlement message) is merged into ``parent_reg`` here and nowhere
+    else — once per run, so counters never double-count.  A failed run's
+    partial counts are kept but stamped ``outcome="failed"``.
+    """
     kind = msg[0]
     if kind == "progress":
         if on_progress is not None:
@@ -364,11 +395,19 @@ def _absorb(msg, results, failures, on_progress) -> int:
             on_progress(RunProgress(run_index, samples, queries, estimate))
         return 0
     if kind == "done":
-        _kind, run_index, result = msg
+        _kind, run_index, result, snap = msg
         results[run_index] = result
+        if parent_reg is not None:
+            if snap is not None:
+                parent_reg.merge(snap)
+            parent_reg.inc("parallel_runs_total", 1.0, {"outcome": "ok"})
         return 1
     if kind == "error":
-        _kind, run_index, spec_json, tb = msg
+        _kind, run_index, spec_json, tb, snap = msg
         failures.append((run_index, spec_json, tb))
+        if parent_reg is not None:
+            if snap is not None:
+                parent_reg.merge(snap, extra_labels={"outcome": "failed"})
+            parent_reg.inc("parallel_runs_total", 1.0, {"outcome": "error"})
         return 1
     raise RuntimeError(f"unexpected worker message {msg!r}")

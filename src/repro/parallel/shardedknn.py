@@ -33,6 +33,7 @@ from typing import Optional, Sequence
 import numpy as np
 
 from ..index.sharded import ShardedGridIndex, route_home_tiles
+from ..obs import registry as _obs
 from .executor import _default_context
 from .sharedmem import SharedWorld, cleanup_stale_segments
 
@@ -80,7 +81,7 @@ def _unpack_answers(payload, out: list, qidx: np.ndarray) -> None:
             out[qi] = list(zip(d[row].tolist(), it[row].tolist()))
 
 
-def _knn_worker(descriptor, tiles_per_side, k, tasks, results_q):
+def _knn_worker(descriptor, tiles_per_side, k, tasks, results_q, collect):
     shared = SharedWorld.attach(descriptor)
     try:
         db = shared.world().db
@@ -90,10 +91,19 @@ def _knn_worker(descriptor, tiles_per_side, k, tasks, results_q):
             if task is None:
                 break
             qidx, pts = task
+            # Fresh registry per task slice; its snapshot rides the done
+            # message and is merged coordinator-side exactly once.
+            reg = _obs.MetricsRegistry() if collect else None
             try:
-                answers = index.knn_batch(pts, k)
+                if reg is not None:
+                    with _obs.collecting(reg):
+                        answers = index.knn_batch(pts, k)
+                else:
+                    answers = index.knn_batch(pts, k)
+                snap = reg.to_dict() if reg is not None else None
                 results_q.put(
-                    ("done", qidx, _pack_answers(answers, k), index.stats())
+                    ("done", qidx, _pack_answers(answers, k),
+                     index.counters(), snap)
                 )
             except Exception:
                 results_q.put(("error", traceback.format_exc()))
@@ -164,9 +174,12 @@ def parallel_knn_batch(
         default is the index's own size-based rule.
     return_stats:
         When true, returns ``(answers, stats_list)`` where
-        ``stats_list`` has one ``ShardedGridIndex.stats()`` dict per
+        ``stats_list`` has one ``ShardedGridIndex.counters()`` dict per
         worker that answered at least one query — the laziness
-        telemetry (``tiles_built`` vs ``tiles_nonempty``).
+        telemetry (``tiles_built`` vs ``tiles_nonempty``).  When a
+        :mod:`repro.obs` registry is active in the coordinator, each
+        worker slice additionally snapshots its registry and the
+        snapshots merge into the coordinator's.
 
     Returns the per-query answer lists in request order, bit-identical
     to the single-process sharded (and grid, and brute) backends.
@@ -180,7 +193,7 @@ def parallel_knn_batch(
     if workers == 1 or len(pts) == 0:
         index = _build_worker_index(db, tiles_per_side)
         answers = index.knn_batch(pts, k)
-        return (answers, [index.stats()]) if return_stats else answers
+        return (answers, [index.counters()]) if return_stats else answers
 
     qt, _t = route_home_tiles(db.coords, np.asarray(pts, dtype=np.float64),
                               tiles_per_side)
@@ -188,6 +201,8 @@ def parallel_knn_batch(
 
     ctx = mp_context if mp_context is not None else _default_context()
     cleanup_stale_segments()
+    parent_reg = _obs._active
+    collect = parent_reg is not None
     shared = SharedWorld.export(world)
     procs: list = []
     out: list = [None] * len(pts)
@@ -208,7 +223,8 @@ def parallel_knn_batch(
         for _ in range(nworkers):
             p = ctx.Process(
                 target=_knn_worker,
-                args=(descriptor, tiles_per_side, k, tasks, results_q),
+                args=(descriptor, tiles_per_side, k, tasks, results_q,
+                      collect),
                 daemon=True,
             )
             p.start()
@@ -219,9 +235,11 @@ def parallel_knn_batch(
             if msg[0] == "error":
                 failures.append(msg[1])
                 continue
-            _kind, qidx, payload, wstats = msg
+            _kind, qidx, payload, wstats, snap = msg
             _unpack_answers(payload, out, qidx)
             stats.append(wstats)
+            if parent_reg is not None and snap is not None:
+                parent_reg.merge(snap)
         for p in procs:
             p.join(timeout=10.0)
         if failures:

@@ -33,6 +33,7 @@ from __future__ import annotations
 import json
 import os
 import shutil
+import warnings
 from pathlib import Path
 from typing import Optional, Union
 
@@ -40,6 +41,8 @@ import numpy as np
 
 from ..lbs.columns import Column
 from ..lbs.database import SpatialDatabase
+from ..obs import registry as _obs
+from ..obs.tracing import span as _span
 from ..worlds.spec import WORLD_CACHE_FORMAT, World, WorldSpec
 from ._codec import OBJECT, encode_column_values
 
@@ -222,15 +225,22 @@ class WorldCache:
         if seed is not None:
             spec = spec.replace(seed=seed)
         try:
-            world = self.load(spec)
+            with _span("world_cache_load"):
+                world = self.load(spec)
         except WorldCacheError:
             self.evict(spec)
             world = None
+        reg = _obs._active
         if world is not None:
             self.hits += 1
+            if reg is not None:
+                reg.inc("world_cache_hits_total")
             return world
         self.misses += 1
-        world = spec.build()
+        if reg is not None:
+            reg.inc("world_cache_misses_total")
+        with _span("world_build"):
+            world = spec.build()
         self.store(world)
         return world
 
@@ -256,8 +266,24 @@ class WorldCache:
             removed += 1
         return removed
 
-    def stats(self) -> dict:
-        """Hit/miss counters plus how many entries are on disk."""
+    def counters(self) -> dict:
+        """Hit/miss counters plus how many entries are on disk.
+
+        Counters are per-instance and live for the instance's lifetime.
+        When an :mod:`repro.obs` registry is active, the same outcomes
+        also stream into ``world_cache_hits_total`` /
+        ``world_cache_misses_total``.
+        """
         entries = sum(1 for p in self.root.iterdir()
                       if p.is_dir() and not p.name.startswith("."))
         return {"hits": self.hits, "misses": self.misses, "entries": entries}
+
+    def stats(self) -> dict:
+        """Deprecated alias of :meth:`counters`."""
+        warnings.warn(
+            "WorldCache.stats() is deprecated; use counters() "
+            "(and the repro.obs registry for cross-process aggregation)",
+            DeprecationWarning,
+            stacklevel=2,
+        )
+        return self.counters()

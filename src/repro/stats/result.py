@@ -6,6 +6,7 @@ import math
 from dataclasses import dataclass, field
 from typing import Optional
 
+from ..obs.telemetry import RunTelemetry
 from .running import RunningStat
 
 __all__ = ["TracePoint", "Checkpoint", "EstimationResult", "normal_ci", "z_value"]
@@ -57,6 +58,9 @@ class Checkpoint:
     ci: tuple[float, float]
     sem: float
     state: Optional[dict] = None
+    #: The run's :class:`~repro.obs.RunTelemetry` at this step — derived
+    #: accounting only, never fed back into the estimate.
+    telemetry: Optional[RunTelemetry] = None
 
     def relative_ci_halfwidth(self) -> float:
         """Half the CI width relative to the estimate (``inf`` when
@@ -79,6 +83,8 @@ class EstimationResult:
     samples: int
     stat: Optional[RunningStat] = None
     trace: list[TracePoint] = field(default_factory=list)
+    #: Final :class:`~repro.obs.RunTelemetry` of the run (cost accounting).
+    telemetry: Optional[RunTelemetry] = None
 
     def relative_error(self, truth: float) -> float:
         if truth == 0.0:

@@ -86,7 +86,7 @@ class TestSmallAndEmptyTiles:
         pts.append((100.0, 100.0, 80))  # stretch the bbox
         idx = ShardedGridIndex(pts, tiles_per_side=4)
         oracle = _oracle(pts)
-        stats = idx.stats()
+        stats = idx.counters()
         assert stats["tiles_nonempty"] < 16
         for x, y in [(95.0, 95.0), (50.0, 50.0), (5.0, 95.0), (0.0, 0.0)]:
             assert idx.knn(x, y, 7) == oracle.knn(x, y, 7)
@@ -120,7 +120,7 @@ class TestBatchPaths:
         queries = [(float(x), float(y)) for x, y in rng.random((300, 2)) * 110 - 5]
         # scattered homes keep m < homes * _DELEGATE_MIN_GROUP -> plane
         assert idx.knn_batch(queries, 5) == oracle.knn_batch(queries, 5)
-        assert idx.stats()["batch_queries"] == 300
+        assert idx.counters()["batch_queries"] == 300
 
     def test_delegate_path_matches_oracle_and_stays_lazy(self):
         pts = self._clustered()
@@ -132,7 +132,7 @@ class TestBatchPaths:
         queries = [(float(10 + dx), float(10 + dy))
                    for dx, dy in rng.normal(0, 3.0, (200, 2))]
         assert idx.knn_batch(queries, 5) == oracle.knn_batch(queries, 5)
-        stats = idx.stats()
+        stats = idx.counters()
         assert stats["tiles_built"] < stats["tiles_nonempty"]
 
     def test_stats_accounting(self):
@@ -141,7 +141,7 @@ class TestBatchPaths:
         rng = np.random.default_rng(8)
         queries = [(float(x), float(y)) for x, y in rng.random((150, 2)) * 100]
         idx.knn_batch(queries, 4)
-        s = idx.stats()
+        s = idx.counters()
         assert (s["batch_settled"] + s["batch_escalated"] + s["batch_scalar"]
                 == s["batch_queries"] == 150)
         # inner grid counters (satellite: the no-longer-silent fallback)

@@ -1,0 +1,133 @@
+"""Index counter lifecycle: counters(), reset_stats(), deprecation shims.
+
+Counters live for the *instance*: internal rebuilds must never zero them
+(they used to, silently), and only an explicit ``reset_stats()`` does.
+The legacy ``stats()`` spelling survives as a deprecation shim on every
+carrier (grid, sharded, answer cache, world cache).
+"""
+
+import numpy as np
+import pytest
+
+from repro.geometry import Point, Rect
+from repro.index.grid import GridIndex
+from repro.index.sharded import ShardedGridIndex
+from repro.lbs import LrLbsInterface
+from repro.obs import registry as obs
+from repro.parallel import WorldCache
+from repro.worlds import registry as worlds
+
+
+def _grid(n=200, seed=0):
+    rng = np.random.default_rng(seed)
+    xy = rng.random((n, 2)) * 100.0
+    return GridIndex.from_arrays(xy, np.arange(n)), xy
+
+
+class TestGridLifecycle:
+    def test_counters_accumulate_and_reset_explicitly(self):
+        idx, xy = _grid()
+        idx.knn_batch([(10.0, 10.0), (50.0, 50.0)], 3)
+        c = idx.counters()
+        assert c["batch_queries"] == 2
+        idx.reset_stats()
+        assert idx.counters()["batch_queries"] == 0
+
+    def test_counters_survive_internal_rebuild(self):
+        idx, xy = _grid()
+        idx.knn_batch([(10.0, 10.0)], 3)
+        before = idx.counters()["batch_queries"]
+        # An in-place rebuild (what from_arrays does under the hood) must
+        # preserve the instance's counters — the silent-reset bug.
+        idx._build(np.ascontiguousarray(xy[:, 0]), np.ascontiguousarray(xy[:, 1]),
+                   list(range(len(xy))), 0.5)
+        assert idx.counters()["batch_queries"] == before == 1
+
+    def test_stats_shim_warns_and_matches_counters(self):
+        idx, _xy = _grid()
+        idx.knn_batch([(10.0, 10.0)], 3)
+        with pytest.warns(DeprecationWarning, match="counters"):
+            legacy = idx.stats()
+        assert legacy == idx.counters()
+
+    def test_registry_mirrors_batch_accounting(self):
+        idx, _xy = _grid()
+        with obs.collecting() as reg:
+            idx.knn_batch([(10.0, 10.0), (20.0, 20.0), (30.0, 30.0)], 3)
+            idx.knn(40.0, 40.0, 3)
+        assert reg.get("index_queries_total",
+                       {"backend": "grid", "mode": "batch"}) == 3.0
+        assert reg.get("index_queries_total",
+                       {"backend": "grid", "mode": "scalar"}) == 1.0
+        assert reg.total("index_batch_queries_total") == 3.0
+
+
+class TestShardedLifecycle:
+    def _sharded(self, n=400, seed=1):
+        rng = np.random.default_rng(seed)
+        xy = rng.random((n, 2)) * 100.0
+        return ShardedGridIndex.from_arrays(xy, np.arange(n), tiles_per_side=4)
+
+    def test_reset_zeroes_inner_tiles_too(self):
+        idx = self._sharded()
+        idx.knn_batch([(10.0, 10.0), (90.0, 90.0)], 3)
+        assert idx.counters()["batch_queries"] == 2
+        idx.reset_stats()
+        c = idx.counters()
+        assert c["batch_queries"] == 0
+        # Built tiles stay built; only their counters reset.
+        assert c["tiles_built"] > 0
+        assert c["inner"]["batch_queries"] == 0
+
+    def test_stats_shim_warns(self):
+        idx = self._sharded()
+        with pytest.warns(DeprecationWarning, match="counters"):
+            idx.stats()
+
+    def test_inner_tiles_report_under_grid_backend(self):
+        # prefer_delegate routes settled batches through the per-tile
+        # GridIndex kernels, which count as grid — kernel-level
+        # accounting, documented in counters().
+        rng = np.random.default_rng(1)
+        xy = rng.random((400, 2)) * 100.0
+        idx = ShardedGridIndex.from_arrays(xy, np.arange(400),
+                                           tiles_per_side=4,
+                                           prefer_delegate=True)
+        with obs.collecting() as reg:
+            idx.knn_batch([(10.0, 10.0), (90.0, 90.0)], 3)
+        assert reg.get("index_queries_total",
+                       {"backend": "sharded", "mode": "batch"}) == 2.0
+        assert reg.get("index_queries_total",
+                       {"backend": "grid", "mode": "batch"}) is not None
+        assert reg.total("index_tiles_built_total") > 0
+
+
+class TestCacheShims:
+    def test_answer_cache_stats_shim_warns(self, small_db):
+        api = LrLbsInterface(small_db, k=3)
+        api.query(Point(20, 30))
+        with pytest.warns(DeprecationWarning, match="counters"):
+            legacy = api._cache.stats()
+        assert legacy == api._cache.counters()
+        assert legacy["misses"] == 1
+
+    def test_world_cache_stats_shim_warns(self, tmp_path):
+        cache = WorldCache(tmp_path)
+        spec = worlds.get("paper/uniform-10k").with_size(50)
+        cache.load_or_build(spec)
+        with pytest.warns(DeprecationWarning, match="counters"):
+            legacy = cache.stats()
+        assert legacy == cache.counters()
+        assert legacy == {"hits": 0, "misses": 1, "entries": 1}
+
+    def test_world_cache_registry_counters(self, tmp_path):
+        cache = WorldCache(tmp_path)
+        spec = worlds.get("paper/uniform-10k").with_size(50)
+        with obs.collecting() as reg:
+            cache.load_or_build(spec)
+            cache.load_or_build(spec)
+        assert reg.total("world_cache_misses_total") == 1.0
+        assert reg.total("world_cache_hits_total") == 1.0
+        # The build and the cache load each left a span behind.
+        names = {r["name"] for r in reg.spans}
+        assert "world_build" in names and "world_cache_load" in names

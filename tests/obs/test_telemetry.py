@@ -1,0 +1,48 @@
+"""RunTelemetry: JSON round-trip, strict parsing, non-finite scrubbing."""
+
+import json
+import math
+
+import pytest
+
+from repro.obs import RunTelemetry
+
+
+class TestRoundTrip:
+    def test_round_trips_through_json(self):
+        t = RunTelemetry(samples=10, queries=55, checkpoints=10,
+                         cache_hits=3, cache_misses=52, ci_rel_halfwidth=0.25)
+        back = RunTelemetry.from_dict(json.loads(json.dumps(t.to_dict())))
+        assert back == t
+
+    def test_defaults_are_zeroed(self):
+        t = RunTelemetry()
+        assert t.samples == t.queries == t.checkpoints == 0
+        assert t.cache_hits == t.cache_misses == 0
+        assert t.ci_rel_halfwidth is None
+
+    def test_non_finite_rel_serializes_as_null(self):
+        t = RunTelemetry(samples=1, ci_rel_halfwidth=math.inf)
+        payload = t.to_dict()
+        assert payload["ci_rel_halfwidth"] is None
+        json.dumps(payload)  # stays strict-JSON safe (no Infinity literal)
+        assert RunTelemetry.from_dict(payload).ci_rel_halfwidth is None
+
+
+class TestStrictParsing:
+    def test_missing_keys_rejected(self):
+        payload = RunTelemetry().to_dict()
+        del payload["queries"]
+        with pytest.raises(ValueError, match="missing keys.*queries"):
+            RunTelemetry.from_dict(payload)
+
+    def test_non_dict_rejected(self):
+        with pytest.raises(ValueError, match="must be a dict"):
+            RunTelemetry.from_dict(None)
+        with pytest.raises(ValueError, match="must be a dict"):
+            RunTelemetry.from_dict([1, 2, 3])
+
+    def test_frozen(self):
+        t = RunTelemetry()
+        with pytest.raises(AttributeError):
+            t.samples = 5

@@ -1,0 +1,67 @@
+"""Spans: shared no-op when disabled, histogram + trace when enabled."""
+
+import json
+
+from repro.obs import registry as obs
+from repro.obs.tracing import _NULL_SPAN, Span, span
+
+
+class TestDisabled:
+    def test_span_returns_the_shared_null_singleton(self):
+        assert obs.active() is None
+        s1 = span("anything", backend="grid")
+        s2 = span("else")
+        assert s1 is _NULL_SPAN and s2 is _NULL_SPAN
+        with s1:
+            pass  # no registry, no clock, no record
+
+    def test_null_span_swallows_nothing(self):
+        try:
+            with span("x"):
+                raise RuntimeError("boom")
+        except RuntimeError:
+            pass
+        else:
+            raise AssertionError("exceptions must propagate through spans")
+
+
+class TestEnabled:
+    def test_span_records_histogram_and_trace(self):
+        with obs.collecting() as reg:
+            with span("index_build", backend="grid") as s:
+                assert isinstance(s, Span)
+        assert reg.total("span_seconds") == 1.0
+        (record,) = reg.spans
+        assert record["name"] == "index_build"
+        assert record["labels"] == {"backend": "grid"}
+        assert record["seconds"] >= 0.0
+        assert record["start"] > 0.0
+
+    def test_span_labels_reach_the_histogram_series(self):
+        with obs.collecting() as reg:
+            with span("work", phase="a"):
+                pass
+            with span("work", phase="b"):
+                pass
+        snap = reg.to_dict()["metrics"]["span_seconds"]["series"]
+        label_sets = [entry["labels"] for entry in snap]
+        assert {"span": "work", "phase": "a"} in label_sets
+        assert {"span": "work", "phase": "b"} in label_sets
+
+    def test_trace_is_bounded_and_json_safe(self):
+        with obs.collecting(obs.MetricsRegistry(span_limit=4)) as reg:
+            for i in range(10):
+                with span("tick", i=str(i)):
+                    pass
+        assert len(reg.spans) == 4
+        assert [r["labels"]["i"] for r in reg.spans] == ["6", "7", "8", "9"]
+        json.dumps(reg.to_dict())  # spans ride along, JSON-safe
+
+    def test_exception_inside_span_still_records(self):
+        with obs.collecting() as reg:
+            try:
+                with span("failing"):
+                    raise ValueError("boom")
+            except ValueError:
+                pass
+        assert reg.total("span_seconds") == 1.0

@@ -37,7 +37,7 @@ class TestRoundTrip:
         w1 = cache.load_or_build(spec)
         assert cache.has(spec)
         w2 = cache.load_or_build(spec)
-        assert cache.stats() == {"hits": 1, "misses": 1, "entries": 1}
+        assert cache.counters() == {"hits": 1, "misses": 1, "entries": 1}
         assert_worlds_identical(w1, w2)
 
     def test_hit_matches_fresh_build(self, tmp_path):
@@ -106,7 +106,7 @@ class TestStorageProperties:
         spec = small_spec()
         w5 = cache.load_or_build(spec, seed=5)
         w6 = cache.load_or_build(spec, seed=6)
-        assert cache.misses == 2 and cache.stats()["entries"] == 2
+        assert cache.misses == 2 and cache.counters()["entries"] == 2
         assert not np.array_equal(w5.db.coords, w6.db.coords)
         again = cache.load_or_build(spec, seed=5)
         assert cache.hits == 1
