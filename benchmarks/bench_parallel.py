@@ -17,6 +17,11 @@ paper's largest surface):
   2 workers must beat the same call at 1 worker by ``SHARDED_FLOOR``x
   (queries are routed by home tile; each worker builds only the tiles
   its slice touches over the shared world).  Cpu-gated like the above.
+* **Resilience** — one run driven through injected interface faults
+  (:class:`repro.resilience.FaultSpec` + retry) must produce the exact
+  result of the fault-free run (bit-identity is the assertion; the
+  fault-path wall-clock ratio is recorded, not asserted — retries are
+  ``sleep=False`` so the cost is pure re-draw work).
 
 Runs standalone (``python benchmarks/bench_parallel.py [--quick] [--out
 PATH]``) or under pytest (always the quick load — the CI smoke uploads
@@ -38,8 +43,10 @@ from pathlib import Path
 import numpy as np
 
 from repro.api import MaxSamples, Session
+from repro.obs import MetricsRegistry
 from repro.obs import registry as obs
 from repro.parallel import WorldCache, parallel_knn_batch, run_many_parallel
+from repro.resilience import FaultSpec, RetryPolicy
 from repro import worlds
 
 WORLD = "wechat-like-1m"
@@ -162,6 +169,44 @@ def bench_sharded_knn(spec, quick: bool) -> dict:
     return out
 
 
+def bench_resilience(spec, quick: bool) -> dict:
+    """One run through injected faults vs the same run fault-free.
+
+    The gate is bit-identity (estimate/queries/trace equal exactly);
+    the wall-clock ratio is informational — ``sleep=False`` retries
+    cost only the re-drawn fault stream, not real backoff time.
+    """
+    world = spec.build()
+    until = MaxSamples(SAMPLES[quick])
+    base = Session(world).lr(k=5).count().seed(0)
+    faulty = base.resilience(
+        fault=FaultSpec(timeout_rate=0.05, rate_limit_rate=0.03,
+                        drop_rate=0.02, seed=23),
+        retry=RetryPolicy(max_attempts=10),
+    )
+    gc.collect()
+    t0 = time.perf_counter()
+    plain = base.run(until)
+    plain_wall = time.perf_counter() - t0
+    gc.collect()
+    reg = MetricsRegistry()
+    t0 = time.perf_counter()
+    with obs.collecting(reg):
+        recovered = faulty.run(until)
+    faulty_wall = time.perf_counter() - t0
+    return {
+        "samples": SAMPLES[quick],
+        "plain_wall_seconds": round(plain_wall, 3),
+        "faulty_wall_seconds": round(faulty_wall, 3),
+        "faulty_over_plain": round(faulty_wall / plain_wall, 2),
+        "faults_injected": int(reg.total("faults_injected_total")),
+        "retries": int(reg.total("retries_total")),
+        "bit_identical": (recovered.estimate == plain.estimate
+                          and recovered.queries == plain.queries
+                          and recovered.trace == plain.trace),
+    }
+
+
 def run_bench(quick: bool = False) -> dict:
     n = QUICK_N if quick else FULL_N
     spec = worlds.get(WORLD).with_size(n)
@@ -180,6 +225,14 @@ def run_bench(quick: bool = False) -> dict:
     for w, e in sharded_row["workers"].items():
         print(f"    workers={w}: {e['wall_seconds']}s  "
               f"{e['qps']} q/s  ({e['speedup_vs_1']}x)")
+    print(f"  {WORLD}@{n:,}: resilience (faulty vs fault-free run) ...")
+    res_row = bench_resilience(spec, quick)
+    print(f"    plain {res_row['plain_wall_seconds']}s  "
+          f"faulty {res_row['faulty_wall_seconds']}s  "
+          f"({res_row['faulty_over_plain']}x, "
+          f"{res_row['faults_injected']} faults, "
+          f"{res_row['retries']} retries, "
+          f"identical={res_row['bit_identical']})")
     return {
         "meta": {
             "world": WORLD,
@@ -193,6 +246,7 @@ def run_bench(quick: bool = False) -> dict:
         "world_cache": cache_row,
         "parallel": par_row,
         "sharded_knn": sharded_row,
+        "resilience": res_row,
     }
 
 
@@ -213,6 +267,12 @@ def check_report(report: dict) -> None:
     for e in sharded.values():
         assert e["qps"] > 0
         assert e["tiles_nonempty"] > 0
+    res = report["resilience"]
+    assert res["faults_injected"] > 0, "fault stream never fired"
+    assert res["retries"] > 0, "no fault was retried"
+    assert res["bit_identical"], (
+        "run through injected faults diverged from the fault-free run"
+    )
     cpus = report["meta"]["cpu_count"] or 1
     if cpus >= 2:
         got = workers["2"]["speedup_vs_1"]

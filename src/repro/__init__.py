@@ -76,6 +76,8 @@ from .lbs import (
 )
 from . import obs
 from .obs import MetricsRegistry, RunTelemetry
+from . import resilience
+from .resilience import FaultSpec, ResilientInterface, RetryPolicy
 from .sampling import GridWeightedSampler, UniformSampler
 from .stats import Checkpoint, EstimationResult
 from . import worlds
@@ -103,9 +105,13 @@ __all__ = [
     "api",
     "obs",
     "parallel",
+    "resilience",
     "worlds",
     "MetricsRegistry",
     "RunTelemetry",
+    "FaultSpec",
+    "RetryPolicy",
+    "ResilientInterface",
     "WorldCache",
     "run_many_parallel",
     "WorldSpec",

@@ -58,6 +58,7 @@ from ..core import (
 )
 from ..core._driver import EstimationDriver, build_result
 from ..lbs import InterfaceSpec, ObfuscationModel, RankingSpec, SpatialDatabase
+from ..resilience import FaultSpec, RetryPolicy
 from ..sampling import GridWeightedSampler, UniformSampler
 from ..stats import Checkpoint, EstimationResult
 from ..worlds import WorldSpec
@@ -146,16 +147,18 @@ class Session:
         visible_attrs: Optional[Sequence[str]] = None,
         obfuscation: Optional[ObfuscationModel] = None,
         ranking: Optional[RankingSpec] = None,
+        fault: Optional[FaultSpec] = None,
+        retry: Optional[RetryPolicy] = None,
     ) -> "Session":
         """Describe the service's capability surface declaratively.
 
         Either pass a full :class:`~repro.lbs.InterfaceSpec`, or the
         individual capabilities — coverage radius (§5.3), disclosed
         attributes, position obfuscation (§6.3), ranking policy (§5.3
-        prominence) — and the session derives kind/k from the current
-        method.  The capabilities serialize with the spec, so
-        WeChat-style obfuscated LNR scenarios checkpoint and resume like
-        any other run.
+        prominence), connection fault model and retry policy — and the
+        session derives kind/k from the current method.  The
+        capabilities serialize with the spec, so WeChat-style obfuscated
+        LNR scenarios checkpoint and resume like any other run.
         """
         if interface is None:
             interface = InterfaceSpec(
@@ -165,10 +168,38 @@ class Session:
                 visible_attrs=tuple(visible_attrs) if visible_attrs is not None else None,
                 obfuscation=obfuscation,
                 ranking=ranking if ranking is not None else RankingSpec(),
+                fault=fault,
+                retry=retry,
             )
-        elif any(v is not None for v in (max_radius, visible_attrs, obfuscation, ranking)):
+        elif any(
+            v is not None
+            for v in (max_radius, visible_attrs, obfuscation, ranking, fault, retry)
+        ):
             raise ValueError("pass either a full InterfaceSpec or capability kwargs, not both")
         return self._with(interface=interface)
+
+    def resilience(
+        self,
+        fault: Optional[FaultSpec] = None,
+        retry: Optional[RetryPolicy] = None,
+    ) -> "Session":
+        """Put the service connection behind a deterministic fault model.
+
+        ``fault`` injects seeded transient faults (timeouts, rate
+        limits, dropped answers) into every genuine service call;
+        ``retry`` retries them with capped exponential backoff and
+        deterministic jitter.  Both ride the embedded
+        :class:`~repro.lbs.InterfaceSpec` (created here if the session
+        has none yet), so faulty runs serialize, pause, and resume —
+        bit-identically — like any other run.  ``resilience()`` with
+        both ``None`` clears the fault model.
+        """
+        interface = self.spec.interface
+        if interface is None:
+            interface = InterfaceSpec(
+                kind=interface_kind(self.spec.method), k=self.spec.k
+            )
+        return self._with(interface=interface.replace(fault=fault, retry=retry))
 
     # -- sampling ------------------------------------------------------
     def uniform(self) -> "Session":

@@ -348,9 +348,11 @@ class EstimationDriver:
         """
         state = {
             "kind": self.kind,
-            # v3: per-run telemetry rides the snapshot (v2 added the
-            # lazy-reveal prefetch and the LR oracle's own RNG stream).
-            "version": 3,
+            # v4: the interface engine state may carry a "resilience"
+            # section — fault-stream position and retry tallies (v3
+            # added per-run telemetry, v2 the lazy-reveal prefetch and
+            # the LR oracle's own RNG stream).
+            "version": 4,
             "telemetry": _checkpoint(self, queries_start or 0).telemetry.to_dict(),
             "queries_start": queries_start,
             "rng": self.rng.bit_generator.state,
@@ -376,15 +378,17 @@ class EstimationDriver:
                 f"state is for a {state.get('kind')!r} driver, not {self.kind!r}"
             )
         version = state.get("version", 1)
-        if version != 3:
+        if version != 4:
             # v1 snapshots predate the lazy-reveal prefetch and the LR
-            # oracle's own RNG stream, v2 ones the run telemetry;
-            # resuming either here would silently lose accounting (or,
-            # for v1, diverge from the original run) instead of being
-            # bit-identical, so refuse loudly.
+            # oracle's own RNG stream, v2 ones the run telemetry, v3
+            # ones the resilience fault-stream position; resuming any
+            # of them here would silently lose accounting (or diverge
+            # from the original run — a resumed faulty connection would
+            # restart its fault stream) instead of being bit-identical,
+            # so refuse loudly.
             raise ValueError(
                 f"cannot resume a version-{version} snapshot with this release "
-                "(state format v3); rerun from the spec instead"
+                "(state format v4); rerun from the spec instead"
             )
         telemetry = RunTelemetry.from_dict(state.get("telemetry"))
         # Telemetry is derived accounting: only the checkpoint counter

@@ -211,7 +211,19 @@ def _run_estimations(
             child_conn.close()
             procs.append((pos, parent_conn, p))
         for pos, conn, p in procs:
-            kind, payload, snap = conn.recv()
+            try:
+                kind, payload, snap = conn.recv()
+            except EOFError:
+                # The child died without reporting (crash, OOM kill).
+                # The run is deterministic and owns nothing shared, so
+                # recover by rerunning the seed right here — with the
+                # parent's registry active, its metrics land directly
+                # (no snapshot to merge).
+                p.join()
+                results[pos] = run_one(seeds[pos])
+                if parent_reg is not None:
+                    parent_reg.inc("runs_recovered_total")
+                continue
             p.join()
             if kind == "error":
                 raise RuntimeError(f"estimation run (seed {seeds[pos]}) failed: {payload}")

@@ -233,6 +233,17 @@ class KnnInterface:
         self._cache.put(key, answer)
         return answer
 
+    def cached_answer(self, point: Point) -> Optional[QueryAnswer]:
+        """The cached answer :meth:`query` would return for free, or None.
+
+        A pure probe: no budget, no hit/miss counters, no LRU refresh —
+        callers that need to know whether a query would be a genuine
+        service call (e.g. the resilience wrapper, which only faults
+        network calls) can ask without disturbing anything.
+        """
+        point = Point(*point)
+        return self._cache.peek(self._cache.key(point.x, point.y))
+
     def query_batch(self, points: Iterable[Point]) -> list[QueryAnswer]:
         """Answer a batch of queries, in order, as one engine call.
 

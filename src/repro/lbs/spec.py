@@ -30,6 +30,7 @@ from dataclasses import dataclass, field, replace
 from typing import Optional, Sequence
 
 from ..index import QueryEngineConfig
+from ..resilience import FaultSpec, ResilientInterface, RetryPolicy
 from .budget import QueryBudget
 from .database import SpatialDatabase
 from .interface import KnnInterface, LnrLbsInterface, LrLbsInterface
@@ -149,6 +150,17 @@ class InterfaceSpec:
         databases.
     ranking:
         The :class:`RankingSpec` ordering policy.
+    fault:
+        Optional :class:`~repro.resilience.FaultSpec` — the service
+        connection injects deterministic, seeded transient faults
+        (timeouts, rate limits, dropped answers).  Answers are never
+        altered, and with the field absent the built interface is the
+        bare one, bit for bit.
+    retry:
+        Optional :class:`~repro.resilience.RetryPolicy` — retry faulted
+        attempts with capped exponential backoff and deterministic
+        jitter.  Meaningful with ``fault`` (or a wrapper-injected fault
+        source); legal alone.
     """
 
     kind: str = "lr"
@@ -157,6 +169,8 @@ class InterfaceSpec:
     visible_attrs: Optional[tuple[str, ...]] = None
     obfuscation: Optional[ObfuscationModel] = None
     ranking: RankingSpec = field(default_factory=RankingSpec)
+    fault: Optional[FaultSpec] = None
+    retry: Optional[RetryPolicy] = None
 
     def __post_init__(self) -> None:
         if self.kind not in KINDS:
@@ -197,7 +211,7 @@ class InterfaceSpec:
         them ``None`` everywhere else.
         """
         cls = LrLbsInterface if self.kind == "lr" else LnrLbsInterface
-        return cls(
+        interface: KnnInterface = cls(
             database,
             self.k,
             budget=budget,
@@ -209,6 +223,9 @@ class InterfaceSpec:
             effective_coords=effective_coords,
             index=index,
         )
+        if self.fault is not None or self.retry is not None:
+            return ResilientInterface(interface, fault=self.fault, retry=self.retry)
+        return interface
 
     # ------------------------------------------------------------------
     def to_dict(self) -> dict:
@@ -220,6 +237,8 @@ class InterfaceSpec:
             "visible_attrs": list(self.visible_attrs) if self.visible_attrs is not None else None,
             "obfuscation": self.obfuscation.to_dict() if self.obfuscation is not None else None,
             "ranking": self.ranking.to_dict(),
+            "fault": self.fault.to_dict() if self.fault is not None else None,
+            "retry": self.retry.to_dict() if self.retry is not None else None,
         }
 
     @classmethod
@@ -227,6 +246,8 @@ class InterfaceSpec:
         visible: Optional[Sequence[str]] = data.get("visible_attrs")
         obf = data.get("obfuscation")
         ranking = data.get("ranking")
+        fault = data.get("fault")
+        retry = data.get("retry")
         return cls(
             kind=data["kind"],
             k=data["k"],
@@ -234,6 +255,8 @@ class InterfaceSpec:
             visible_attrs=tuple(visible) if visible is not None else None,
             obfuscation=ObfuscationModel.from_dict(obf) if obf is not None else None,
             ranking=RankingSpec.from_dict(ranking) if ranking is not None else RankingSpec(),
+            fault=FaultSpec.from_dict(fault) if fault is not None else None,
+            retry=RetryPolicy.from_dict(retry) if retry is not None else None,
         )
 
     def to_json(self) -> str:

@@ -28,10 +28,26 @@ result queue, and optionally persist each run's
 :meth:`~repro.api.SessionRun.to_state` JSON (atomic replace) every
 ``state_every`` samples — a run interrupted mid-stream resumes from its
 checkpoint file via :meth:`repro.api.Session.resume` like any
-sequential run.  A run that raises is reported with its spec and full
-traceback and the pool *keeps going*; after every run is accounted for,
-:class:`ParallelRunError` carries the failures plus all completed
-results (and completed runs' checkpoint files stay on disk).
+sequential run.
+
+Failure handling (``retries`` / ``run_deadline``):
+
+* A run that *raises* inside a worker is reported with its spec and
+  full traceback and the pool keeps going — the exception is
+  deterministic (it would raise identically on a retry), so the run
+  settles as a failure immediately.
+* A worker that *dies* (crash, OOM kill, ``os._exit``) or *hangs*
+  (no checkpoint for ``run_deadline`` seconds — the heartbeat watchdog
+  on the progress stream) takes only its in-flight run with it: the
+  run is re-enqueued up to ``retries`` times, resuming from its latest
+  per-run checkpoint file when one exists (bit-identical to never
+  crashing — resume is), and a replacement worker is spawned while the
+  respawn budget (``workers * (retries + 1)`` process starts) lasts,
+  degrading gracefully to a smaller pool afterwards.
+* Only after every run is accounted for is :class:`ParallelRunError`
+  raised, carrying the failures plus all completed results (completed
+  runs' checkpoint files stay on disk for manual
+  :meth:`~repro.api.Session.resume`).
 """
 
 from __future__ import annotations
@@ -41,7 +57,9 @@ import json
 import multiprocessing as mp
 import os
 import queue as queue_mod
+import time
 import traceback
+from collections import deque
 from dataclasses import dataclass
 from typing import Callable, Optional, Sequence, Union
 
@@ -58,6 +76,12 @@ from .sharedmem import SharedWorld, cleanup_stale_segments
 from .worldcache import WorldCache
 
 __all__ = ["run_many_parallel", "ParallelRunError", "RunProgress"]
+
+#: Test seam: when set (in the parent, before fan-out — fork propagates
+#: it), called in the worker as ``hook(run_index, samples, attempt)``
+#: before each checkpoint is reported.  Tests use it to crash
+#: (``os._exit``) or wedge (``time.sleep``) a worker at an exact sample.
+_test_checkpoint_hook: Optional[Callable[[int, int, int], None]] = None
 
 
 @dataclass(frozen=True)
@@ -126,8 +150,25 @@ def _write_json_atomic(path: str, payload: dict) -> None:
     os.replace(tmp, path)
 
 
+def _load_resume_state(state_path: Optional[str], attempt: int) -> Optional[dict]:
+    """The checkpoint a retried run resumes from, or None to start fresh.
+
+    Only retry attempts resume; a torn or unreadable file (the crash may
+    have raced the atomic replace's temp file, never the published one,
+    but be defensive) falls back to a fresh start — correct either way,
+    since resume is bit-identical to never pausing.
+    """
+    if attempt == 0 or state_path is None or not os.path.exists(state_path):
+        return None
+    try:
+        with open(state_path, encoding="utf-8") as f:
+            return json.load(f)
+    except (OSError, ValueError):
+        return None
+
+
 def _execute_run(world, db, shared, indexes, run_index, spec_json, until,
-                 eff_key, results_q, checkpoint_dir, state_every):
+                 eff_key, results_q, checkpoint_dir, state_every, attempt):
     spec = EstimationSpec.from_json(spec_json)
     eff = shared.extra(eff_key) if eff_key is not None else None
     engine = spec.engine if spec.engine is not None else QueryEngineConfig()
@@ -141,13 +182,24 @@ def _execute_run(world, db, shared, indexes, run_index, spec_json, until,
             auto_brute_max=engine.auto_brute_max,
             auto_sharded_min=engine.auto_sharded_min,
         )
-    driver = Session(world, spec).build(effective_coords=eff, index=index)
-    run = SessionRun(spec, driver, until, batch_size=spec.batch_size,
-                     state_every=None, queries_start=0)
     state_path = None
     if checkpoint_dir is not None:
         state_path = os.path.join(checkpoint_dir, f"run-{run_index:03d}.state.json")
+    driver = Session(world, spec).build(effective_coords=eff, index=index)
+    queries_start = 0
+    state = _load_resume_state(state_path, attempt)
+    if state is not None:
+        # Session.resume's exact recipe, on a driver built with the
+        # shared-memory hooks: restore the learned half onto the
+        # configured half and keep counting from the original origin.
+        driver.load_state(state["driver"])
+        queries_start = state["driver"].get("queries_start") or 0
+    run = SessionRun(spec, driver, until, batch_size=spec.batch_size,
+                     state_every=None, queries_start=queries_start)
     for cp in run:
+        hook = _test_checkpoint_hook
+        if hook is not None:
+            hook(run_index, cp.samples, attempt)
         results_q.put(("progress", run_index, cp.samples, cp.queries, cp.estimate))
         if state_path is not None and state_every is not None \
                 and cp.samples % state_every == 0:
@@ -160,7 +212,7 @@ def _execute_run(world, db, shared, indexes, run_index, spec_json, until,
     return run.result()
 
 
-def _worker_main(descriptor, tasks, results_q, checkpoint_dir, state_every,
+def _worker_main(descriptor, task_q, results_q, checkpoint_dir, state_every,
                  collect):
     shared = SharedWorld.attach(descriptor)
     try:
@@ -168,10 +220,10 @@ def _worker_main(descriptor, tasks, results_q, checkpoint_dir, state_every,
         db = world.db
         indexes: dict = {}
         while True:
-            task = tasks.get()
+            task = task_q.get()
             if task is None:
                 break
-            run_index, spec_json, until, eff_key = task
+            run_index, spec_json, until, eff_key, attempt = task
             # One fresh registry per run (when the parent had one active
             # at fan-out time), snapshotted onto the result message so
             # the coordinator can merge per-run metrics exactly once —
@@ -183,18 +235,19 @@ def _worker_main(descriptor, tasks, results_q, checkpoint_dir, state_every,
                         result = _execute_run(
                             world, db, shared, indexes, run_index, spec_json,
                             until, eff_key, results_q, checkpoint_dir,
-                            state_every,
+                            state_every, attempt,
                         )
                 else:
                     result = _execute_run(
                         world, db, shared, indexes, run_index, spec_json,
-                        until, eff_key, results_q, checkpoint_dir, state_every,
+                        until, eff_key, results_q, checkpoint_dir,
+                        state_every, attempt,
                     )
                 snap = reg.to_dict() if reg is not None else None
-                results_q.put(("done", run_index, result, snap))
+                results_q.put(("done", run_index, attempt, result, snap))
             except Exception:
                 snap = reg.to_dict() if reg is not None else None
-                results_q.put(("error", run_index, spec_json,
+                results_q.put(("error", run_index, attempt, spec_json,
                                traceback.format_exc(), snap))
     finally:
         shared.close()
@@ -203,6 +256,51 @@ def _worker_main(descriptor, tasks, results_q, checkpoint_dir, state_every,
 # ----------------------------------------------------------------------
 # The coordinator
 # ----------------------------------------------------------------------
+class _Worker:
+    """Parent-side handle of one pool process.
+
+    Each worker owns a private task queue, so the coordinator always
+    knows exactly which run a dead worker was holding — there is no
+    window where a task has been taken off a shared queue but not yet
+    announced.
+    """
+
+    __slots__ = ("proc", "task_q", "run_index", "attempt", "last_activity")
+
+    def __init__(self, proc, task_q):
+        self.proc = proc
+        self.task_q = task_q
+        self.run_index: Optional[int] = None  # None = idle
+        self.attempt = 0
+        self.last_activity = time.monotonic()
+
+
+def _reap(procs: Sequence) -> None:
+    """Deterministic shutdown: join, then escalate terminate → kill.
+
+    Every process is left *reaped* (joined) — no zombies survive a hang,
+    and no timeout path silently leaves a live child behind.
+    """
+    for p in procs:
+        if p.is_alive():
+            p.join(timeout=5.0)
+    for p in procs:
+        if p.is_alive():
+            p.terminate()
+    for p in procs:
+        if p.is_alive():
+            p.join(timeout=2.0)
+    for p in procs:
+        if p.is_alive():
+            p.kill()
+            p.join()
+    for p in procs:
+        # Already-exited processes still need their final join to be
+        # reaped on POSIX.
+        if p.exitcode is not None:
+            p.join()
+
+
 def run_many_parallel(
     specs: Sequence[EstimationSpec],
     untils: Union[StoppingRule, Sequence[StoppingRule]],
@@ -214,6 +312,8 @@ def run_many_parallel(
     state_every: Optional[int] = None,
     on_progress: Optional[Callable[[RunProgress], None]] = None,
     mp_context=None,
+    retries: int = 2,
+    run_deadline: Optional[float] = None,
 ) -> list[EstimationResult]:
     """Run every spec to its stopping rule across a process pool.
 
@@ -238,21 +338,40 @@ def run_many_parallel(
         When set, workers persist each run's pause snapshot to
         ``<dir>/run-<i>.state.json`` (atomic replace) every
         ``state_every`` samples and at completion —
-        :meth:`repro.api.Session.resume` picks any of them up.
+        :meth:`repro.api.Session.resume` picks any of them up, and
+        crashed-worker retries resume from them automatically.
     on_progress:
         Callback invoked in *this* process with a :class:`RunProgress`
         per completed sample of any run.
+    retries:
+        How many times a run whose *worker died or hung* is re-enqueued
+        (resuming from its latest checkpoint file when available)
+        before it settles as a failure.  Worker deaths also draw from a
+        respawn budget of ``workers * (retries + 1)`` process starts;
+        past it the pool degrades to the surviving workers.  Runs that
+        raise an ordinary exception are *not* retried — the exception
+        is deterministic and would simply raise again.
+    run_deadline:
+        Optional per-run heartbeat deadline in seconds: a worker whose
+        in-flight run reports no checkpoint for this long is presumed
+        hung, killed, and its run retried like a crash.  ``None``
+        (default) disables the watchdog.
 
     Returns the results in spec order — bit-identical to running each
-    spec sequentially.  Raises :class:`ParallelRunError` when any run
-    failed (completed results and checkpoint files are preserved), or
-    ``RuntimeError`` when a worker process dies outright.
+    spec sequentially (crash-recovered runs included: resume is
+    bit-identical).  Raises :class:`ParallelRunError` when any run
+    failed after its retries (completed results and checkpoint files
+    are preserved).
     """
     specs = list(specs)
     if not specs:
         return []
     if workers < 1:
         raise ValueError("workers must be >= 1")
+    if retries < 0:
+        raise ValueError("retries must be non-negative")
+    if run_deadline is not None and run_deadline <= 0.0:
+        raise ValueError("run_deadline must be positive (or None)")
     if isinstance(untils, StoppingRule):
         untils = [untils] * len(specs)
     else:
@@ -315,99 +434,181 @@ def run_many_parallel(
     # back into this registry as runs settle.
     parent_reg = _obs._active
     collect = parent_reg is not None
-    shared = SharedWorld.export(world, extras=eff_arrays)
-    procs: list = []
-    try:
-        tasks = ctx.Queue()
-        results_q = ctx.Queue()
-        for i, (spec_json, until) in enumerate(zip(spec_jsons, untils)):
-            tasks.put((i, spec_json, until, eff_keys[i]))
-        for _ in range(workers):
-            tasks.put(None)
-        descriptor = shared.descriptor()
-        for _ in range(workers):
-            p = ctx.Process(
-                target=_worker_main,
-                args=(descriptor, tasks, results_q, checkpoint_dir,
-                      state_every, collect),
-                daemon=True,
-            )
-            p.start()
-            procs.append(p)
 
-        results: list[Optional[EstimationResult]] = [None] * len(specs)
-        failures: list = []
-        accounted = 0
-        while accounted < len(specs):
+    def pinc(name: str, labels: Optional[dict] = None) -> None:
+        if parent_reg is not None:
+            parent_reg.inc(name, 1.0, labels)
+
+    shared = SharedWorld.export(world, extras=eff_arrays)
+    results_q = ctx.Queue()
+    descriptor = shared.descriptor()
+
+    pool: list[_Worker] = []          # live (or not-yet-reaped) workers
+    all_procs: list = []              # every process ever spawned
+    spawned = 0
+    max_spawns = workers * (retries + 1)
+    pending: deque = deque((i, 0) for i in range(len(specs)))
+    results: list[Optional[EstimationResult]] = [None] * len(specs)
+    failures: list = []
+    settled = 0
+    settled_runs: set[int] = set()
+
+    def spawn_worker() -> _Worker:
+        nonlocal spawned
+        task_q = ctx.Queue()
+        p = ctx.Process(
+            target=_worker_main,
+            args=(descriptor, task_q, results_q, checkpoint_dir,
+                  state_every, collect),
+            daemon=True,
+        )
+        p.start()
+        spawned += 1
+        all_procs.append(p)
+        w = _Worker(p, task_q)
+        pool.append(w)
+        return w
+
+    def settle_failure(run_index: int, attempt: int, reason: str) -> None:
+        nonlocal settled
+        failures.append((run_index, spec_jsons[run_index], reason))
+        settled += 1
+        settled_runs.add(run_index)
+        pinc("parallel_runs_total", {"outcome": "crashed"})
+
+    def handle_lost_worker(w: _Worker, reason: str, exitcode) -> None:
+        """A dead (already-reaped) or killed worker leaves the pool; its
+        in-flight run is re-enqueued or settled."""
+        pool.remove(w)
+        if w.run_index is None:
+            return
+        ri, attempt = w.run_index, w.attempt
+        w.run_index = None
+        pinc("parallel_worker_deaths_total", {"reason": reason})
+        if attempt < retries:
+            # Highest priority: the recovered run is furthest along.
+            pending.appendleft((ri, attempt + 1))
+        else:
+            settle_failure(
+                ri, attempt,
+                f"worker process {reason} (exit code {exitcode}) on attempt "
+                f"{attempt + 1}/{retries + 1}; retries exhausted",
+            )
+
+    def absorb(msg) -> None:
+        nonlocal settled
+        kind = msg[0]
+        if kind == "progress":
+            _kind, run_index, samples, queries, estimate = msg
+            for w in pool:
+                if w.run_index == run_index:
+                    w.last_activity = time.monotonic()
+                    break
+            if on_progress is not None:
+                on_progress(RunProgress(run_index, samples, queries, estimate))
+            return
+        if kind == "done":
+            _kind, run_index, attempt, result, snap = msg
+            if run_index in settled_runs:
+                # A worker killed as hung can have raced its completion
+                # onto the queue before dying while the retry also ran;
+                # both completions are bit-identical — count one.
+                return
+            settled_runs.add(run_index)
+            results[run_index] = result
+            settled += 1
+            if parent_reg is not None and snap is not None:
+                parent_reg.merge(snap)
+            pinc("parallel_runs_total", {"outcome": "ok"})
+            if attempt > 0:
+                pinc("runs_recovered_total")
+        elif kind == "error":
+            _kind, run_index, attempt, spec_json, tb, snap = msg
+            if run_index in settled_runs:
+                return
+            settled_runs.add(run_index)
+            failures.append((run_index, spec_json, tb))
+            settled += 1
+            if parent_reg is not None and snap is not None:
+                parent_reg.merge(snap, extra_labels={"outcome": "failed"})
+            pinc("parallel_runs_total", {"outcome": "error"})
+        else:
+            raise RuntimeError(f"unexpected worker message {msg!r}")
+        for w in pool:
+            if w.run_index == run_index:
+                w.run_index = None  # idle again
+                break
+
+    try:
+        for _ in range(min(workers, len(specs))):
+            spawn_worker()
+
+        while settled < len(specs):
+            # 1) Reap crashed workers and recover their in-flight runs.
+            for w in list(pool):
+                if not w.proc.is_alive():
+                    w.proc.join()  # reap now; exitcode is final
+                    handle_lost_worker(w, "died", w.proc.exitcode)
+            # 2) Heartbeat watchdog: a busy worker silent past the
+            #    per-run deadline is hung — kill it and retry the run.
+            if run_deadline is not None:
+                now = time.monotonic()
+                for w in list(pool):
+                    if w.run_index is not None and \
+                            now - w.last_activity > run_deadline:
+                        w.proc.terminate()
+                        w.proc.join(timeout=2.0)
+                        if w.proc.is_alive():
+                            w.proc.kill()
+                            w.proc.join()
+                        handle_lost_worker(w, "hung", w.proc.exitcode)
+            # 3) Keep the pool at strength while work and budget remain.
+            idle = [w for w in pool if w.run_index is None]
+            while (pending and len(idle) < len(pending)
+                   and len(pool) < workers and spawned < max_spawns):
+                idle.append(spawn_worker())
+            # 4) Dispatch pending runs to idle workers.
+            while pending and idle:
+                w = idle.pop()
+                ri, attempt = pending.popleft()
+                w.run_index, w.attempt = ri, attempt
+                w.last_activity = time.monotonic()
+                w.task_q.put((ri, spec_jsons[ri], untils[ri],
+                              eff_keys[ri], attempt))
+            # 5) A non-empty backlog with no pool left and no budget to
+            #    rebuild one can never settle — fail it out loudly
+            #    rather than spinning forever.
+            if pending and not pool and spawned >= max_spawns:
+                while pending:
+                    ri, attempt = pending.popleft()
+                    settle_failure(
+                        ri, attempt,
+                        f"respawn budget exhausted ({spawned} worker starts, "
+                        f"limit {max_spawns}); run never got a worker",
+                    )
+                continue
+            # 6) Drain results.  queue.Empty is the *only* exception
+            #    swallowed here, and only to loop back into the
+            #    liveness/watchdog checks above — a dead pool cannot
+            #    spin: step 1 recovers or settles its runs, steps 3/5
+            #    rebuild or fail out.
             try:
                 msg = results_q.get(timeout=0.25)
             except queue_mod.Empty:
-                if all(not p.is_alive() for p in procs):
-                    # Drain anything the feeder threads flushed late.
-                    while True:
-                        try:
-                            msg = results_q.get_nowait()
-                        except queue_mod.Empty:
-                            break
-                        accounted += _absorb(msg, results, failures,
-                                             on_progress, parent_reg)
-                    if accounted >= len(specs):
-                        break
-                    reported = {i for i, _s, _t in failures}
-                    missing = [i for i in range(len(specs))
-                               if results[i] is None and i not in reported]
-                    codes = sorted({p.exitcode for p in procs})
-                    for i in missing:
-                        failures.append((
-                            i, spec_jsons[i],
-                            f"worker process died before reporting "
-                            f"(pool exit codes: {codes})",
-                        ))
-                    raise ParallelRunError(failures, results)
                 continue
-            accounted += _absorb(msg, results, failures, on_progress,
-                                 parent_reg)
-        for p in procs:
-            p.join(timeout=10.0)
+            absorb(msg)
+            while True:  # flush whatever else already arrived
+                try:
+                    msg = results_q.get_nowait()
+                except queue_mod.Empty:
+                    break
+                absorb(msg)
+
+        for w in pool:
+            w.task_q.put(None)  # all runs settled: workers may exit
     finally:
-        for p in procs:
-            if p.is_alive():
-                p.terminate()
-                p.join(timeout=5.0)
+        _reap(all_procs)
         shared.destroy()
     if failures:
         raise ParallelRunError(failures, results)
     return results
-
-
-def _absorb(msg, results, failures, on_progress, parent_reg=None) -> int:
-    """Apply one queue message; returns 1 when it settles a run.
-
-    Each run's metrics snapshot (collected in the worker, riding the
-    settlement message) is merged into ``parent_reg`` here and nowhere
-    else — once per run, so counters never double-count.  A failed run's
-    partial counts are kept but stamped ``outcome="failed"``.
-    """
-    kind = msg[0]
-    if kind == "progress":
-        if on_progress is not None:
-            _kind, run_index, samples, queries, estimate = msg
-            on_progress(RunProgress(run_index, samples, queries, estimate))
-        return 0
-    if kind == "done":
-        _kind, run_index, result, snap = msg
-        results[run_index] = result
-        if parent_reg is not None:
-            if snap is not None:
-                parent_reg.merge(snap)
-            parent_reg.inc("parallel_runs_total", 1.0, {"outcome": "ok"})
-        return 1
-    if kind == "error":
-        _kind, run_index, spec_json, tb, snap = msg
-        failures.append((run_index, spec_json, tb))
-        if parent_reg is not None:
-            if snap is not None:
-                parent_reg.merge(snap, extra_labels={"outcome": "failed"})
-            parent_reg.inc("parallel_runs_total", 1.0, {"outcome": "error"})
-        return 1
-    raise RuntimeError(f"unexpected worker message {msg!r}")

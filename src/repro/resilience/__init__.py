@@ -1,0 +1,38 @@
+"""repro.resilience — deterministic faults, retries, and recovery.
+
+The robustness layer: a seeded, JSON-round-tripping fault model for the
+simulated LBS connection (:class:`FaultSpec`), capped-exponential-backoff
+retries with deterministic jitter (:class:`RetryPolicy`), and the
+:class:`ResilientInterface` wrapper that threads both through any
+:class:`~repro.lbs.KnnInterface` without touching a single estimation
+RNG.  Crash-recovering parallel execution builds on the same pieces in
+:mod:`repro.parallel`.
+"""
+
+from .faults import (
+    FAULT_KINDS,
+    AnswerDropped,
+    FaultSpec,
+    FaultState,
+    RetriesExhausted,
+    ServiceRateLimited,
+    ServiceTimeout,
+    TransientServiceError,
+    fault_error,
+)
+from .retry import RetryPolicy
+from .wrapper import ResilientInterface
+
+__all__ = [
+    "FAULT_KINDS",
+    "AnswerDropped",
+    "FaultSpec",
+    "FaultState",
+    "RetriesExhausted",
+    "RetryPolicy",
+    "ResilientInterface",
+    "ServiceRateLimited",
+    "ServiceTimeout",
+    "TransientServiceError",
+    "fault_error",
+]

@@ -1,0 +1,282 @@
+"""Deterministic fault injection for simulated LBS interfaces.
+
+The paper's estimators ran against *live* services (WeChat, Sina Weibo,
+Google Maps) that time out, rate-limit, and drop queries.  Our simulated
+interfaces never fail — which means nothing downstream (retry loops,
+budget semantics under throttling, parallel-pool recovery) can be
+exercised, let alone tested deterministically.  :class:`FaultSpec`
+closes that gap: a frozen, JSON-round-tripping description of a lossy
+service connection whose faults are drawn from a dedicated counter-based
+RNG substream, so
+
+* the *same spec + same query sequence* always faults at the same
+  attempts (a faulty run is exactly reproducible, pause/resume
+  included — the attempt counter serializes with the engine state);
+* the fault stream is completely separate from every estimation RNG —
+  answers, sample points, and oracle draws are untouched, so a run that
+  retries through its faults produces an estimate **bit-identical** to
+  the fault-free run of the same spec;
+* with no :class:`FaultSpec` configured nothing is wrapped and nothing
+  changes, bit for bit.
+
+Fault kinds mirror what real LBS front doors do (§2.1's rate limits):
+
+* ``"timeout"`` — the call never completes (:class:`ServiceTimeout`);
+* ``"rate_limit"`` — the service throttles the caller
+  (:class:`ServiceRateLimited`);
+* ``"drop"`` — the call goes through but the answer is lost in transit
+  (:class:`AnswerDropped`).
+
+All three are :class:`TransientServiceError` subclasses — a
+:class:`~repro.resilience.RetryPolicy` treats them uniformly; only the
+metric label (``faults_injected_total{kind}``) and the exception type
+differ.
+"""
+
+from __future__ import annotations
+
+import json
+from dataclasses import dataclass, replace
+from typing import Optional
+
+__all__ = [
+    "FAULT_KINDS",
+    "FaultSpec",
+    "FaultState",
+    "TransientServiceError",
+    "ServiceTimeout",
+    "ServiceRateLimited",
+    "AnswerDropped",
+    "RetriesExhausted",
+    "fault_error",
+]
+
+#: Injectable fault kinds, in cumulative-probability order.
+FAULT_KINDS = ("timeout", "rate_limit", "drop")
+
+_M64 = (1 << 64) - 1
+
+
+def _mix64(z: int) -> int:
+    """One splitmix64 mixing round over plain Python ints (no NumPy —
+    this module sits below the lbs import graph)."""
+    z = (z + 0x9E3779B97F4A7C15) & _M64
+    z = ((z ^ (z >> 30)) * 0xBF58476D1CE4E5B9) & _M64
+    z = ((z ^ (z >> 27)) * 0x94D049BB133111EB) & _M64
+    return z ^ (z >> 31)
+
+
+def _uniform(seed: int, counter: int) -> float:
+    """Deterministic uniform in [0, 1) for one (seed, counter) cell."""
+    h = _mix64(_mix64(seed & _M64) ^ (counter & _M64))
+    return (h >> 11) * (2.0 ** -53)
+
+
+# ----------------------------------------------------------------------
+# Exceptions
+# ----------------------------------------------------------------------
+class TransientServiceError(RuntimeError):
+    """A fault the service may not repeat — retrying can succeed."""
+
+    kind = "transient"
+
+
+class ServiceTimeout(TransientServiceError):
+    """The simulated service call timed out."""
+
+    kind = "timeout"
+
+
+class ServiceRateLimited(TransientServiceError):
+    """The simulated service throttled the caller."""
+
+    kind = "rate_limit"
+
+
+class AnswerDropped(TransientServiceError):
+    """The simulated answer was lost in transit."""
+
+    kind = "drop"
+
+
+_ERRORS = {
+    "timeout": ServiceTimeout,
+    "rate_limit": ServiceRateLimited,
+    "drop": AnswerDropped,
+}
+
+
+def fault_error(kind: str, attempt: int) -> TransientServiceError:
+    """The exception instance for one injected fault."""
+    return _ERRORS[kind](f"injected {kind} fault (attempt {attempt})")
+
+
+class RetriesExhausted(RuntimeError):
+    """Every attempt a :class:`~repro.resilience.RetryPolicy` allows
+    faulted; the query was given up on."""
+
+    def __init__(self, kind: str, attempts: int):
+        super().__init__(
+            f"query gave up after {attempts} attempts (last fault: {kind})"
+        )
+        self.kind = kind
+        self.attempts = attempts
+
+
+# ----------------------------------------------------------------------
+# The spec
+# ----------------------------------------------------------------------
+@dataclass(frozen=True)
+class FaultSpec:
+    """A frozen, seeded description of a lossy service connection.
+
+    Attributes
+    ----------
+    timeout_rate / rate_limit_rate / drop_rate:
+        Per-attempt probabilities of each fault kind (their sum must be
+        < 1, or no query could ever succeed).
+    seed:
+        Seeds the dedicated fault substream.  Faults are drawn
+        counter-based — attempt ``i`` of the connection's lifetime hashes
+        ``(seed, i)`` — so the stream is independent of every estimation
+        RNG and reproducible across pause/resume (the counter is part of
+        the engine state).
+    max_faults:
+        Optional cap on the total number of faults injected; afterwards
+        the connection behaves perfectly (the stream still ticks, so
+        enabling the cap never shifts later draws).  Handy for tests
+        that must terminate.
+    """
+
+    timeout_rate: float = 0.0
+    rate_limit_rate: float = 0.0
+    drop_rate: float = 0.0
+    seed: int = 0
+    max_faults: Optional[int] = None
+
+    def __post_init__(self) -> None:
+        for name in ("timeout_rate", "rate_limit_rate", "drop_rate"):
+            rate = getattr(self, name)
+            if not 0.0 <= rate <= 1.0:
+                raise ValueError(f"{name} must be in [0, 1], got {rate}")
+        if self.total_rate >= 1.0 and self.max_faults is None:
+            raise ValueError(
+                "fault rates sum to >= 1: every attempt would fault and no "
+                "query could ever succeed; lower the rates or set max_faults"
+            )
+        if self.max_faults is not None and self.max_faults < 0:
+            raise ValueError("max_faults must be non-negative")
+
+    @property
+    def total_rate(self) -> float:
+        return self.timeout_rate + self.rate_limit_rate + self.drop_rate
+
+    def draw(self, attempt: int) -> Optional[str]:
+        """The fault kind injected at stream position ``attempt``, or
+        ``None`` for a clean slot.  Pure: same (spec, attempt) → same
+        answer, always."""
+        u = _uniform(self.seed, attempt)
+        edge = self.timeout_rate
+        if u < edge:
+            return "timeout"
+        edge += self.rate_limit_rate
+        if u < edge:
+            return "rate_limit"
+        edge += self.drop_rate
+        if u < edge:
+            return "drop"
+        return None
+
+    def replace(self, **changes) -> "FaultSpec":
+        """A copy with the given fields changed (specs are frozen)."""
+        return replace(self, **changes)
+
+    # ------------------------------------------------------------------
+    def to_dict(self) -> dict:
+        return {
+            "timeout_rate": self.timeout_rate,
+            "rate_limit_rate": self.rate_limit_rate,
+            "drop_rate": self.drop_rate,
+            "seed": self.seed,
+            "max_faults": self.max_faults,
+        }
+
+    @classmethod
+    def from_dict(cls, data: dict) -> "FaultSpec":
+        return cls(
+            timeout_rate=data.get("timeout_rate", 0.0),
+            rate_limit_rate=data.get("rate_limit_rate", 0.0),
+            drop_rate=data.get("drop_rate", 0.0),
+            seed=data.get("seed", 0),
+            max_faults=data.get("max_faults"),
+        )
+
+    def to_json(self) -> str:
+        return json.dumps(self.to_dict(), sort_keys=True)
+
+    @classmethod
+    def from_json(cls, text: str) -> "FaultSpec":
+        return cls.from_dict(json.loads(text))
+
+
+# ----------------------------------------------------------------------
+# The mutable half
+# ----------------------------------------------------------------------
+class FaultState:
+    """Position and tallies of one connection's fault stream.
+
+    Shared across :meth:`~repro.resilience.ResilientInterface.filtered`
+    views exactly like :class:`~repro.lbs.QueryBudget` — a narrowed view
+    of the same service rides the same flaky connection.  Serializes
+    into the engine state so a resumed run replays the stream from the
+    exact attempt it paused at.
+    """
+
+    __slots__ = ("attempts", "injected", "retries", "backoff_seconds")
+
+    def __init__(self) -> None:
+        self.attempts = 0
+        self.injected = {kind: 0 for kind in FAULT_KINDS}
+        self.retries = 0
+        self.backoff_seconds = 0.0
+
+    @property
+    def faults_injected(self) -> int:
+        return sum(self.injected.values())
+
+    def next_fault(self, spec: FaultSpec) -> Optional[str]:
+        """Advance the stream one attempt; the injected kind or ``None``."""
+        i = self.attempts
+        self.attempts += 1
+        kind = spec.draw(i)
+        if kind is None:
+            return None
+        if spec.max_faults is not None and self.faults_injected >= spec.max_faults:
+            return None
+        self.injected[kind] += 1
+        return kind
+
+    # ------------------------------------------------------------------
+    def to_dict(self) -> dict:
+        return {
+            "attempts": self.attempts,
+            "injected": dict(self.injected),
+            "retries": self.retries,
+            "backoff_seconds": self.backoff_seconds,
+        }
+
+    def restore(self, state: dict) -> None:
+        missing = [k for k in ("attempts", "injected") if k not in state]
+        if missing:
+            raise ValueError(
+                "resilience state is missing "
+                + ", ".join(repr(k) for k in missing)
+                + "; this snapshot was written by an incompatible release — "
+                "rerun from the spec instead"
+            )
+        self.attempts = int(state["attempts"])
+        self.injected = {kind: 0 for kind in FAULT_KINDS}
+        for kind, count in state["injected"].items():
+            self.injected[kind] = int(count)
+        self.retries = int(state.get("retries", 0))
+        self.backoff_seconds = float(state.get("backoff_seconds", 0.0))

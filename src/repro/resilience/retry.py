@@ -1,0 +1,141 @@
+"""Retry with capped exponential backoff and deterministic jitter.
+
+A :class:`RetryPolicy` is the client half of the fault story: how many
+times a query is attempted, how long the waits between attempts grow,
+and whether faulted attempts draw query budget.  Like everything else in
+the spec surface it is frozen, JSON-round-tripping, and deterministic —
+the backoff jitter comes from its own counter-based substream, so a
+retried run waits (and accounts) exactly the same seconds every time it
+is replayed.
+
+By default backoff is *simulated*: delays are computed, recorded in the
+``retry_backoff_seconds`` histogram, and accumulated in the engine
+state, but nothing sleeps — estimation work is CPU-bound and the paper's
+rate limits are modeled by the :class:`~repro.lbs.QueryBudget`, not by
+wall-clock.  Set ``sleep=True`` to physically wait (e.g. when pacing a
+live service).
+
+Budget semantics for retried queries
+------------------------------------
+``charge_faults`` decides whether a faulted attempt consumes budget:
+
+* ``False`` (default) — only *answered* queries draw budget, the way
+  the paper counts query cost (§2.1); a run that retries through its
+  faults spends exactly what the fault-free run spends, keeping the
+  two bit-identical in query accounting too.
+* ``True`` — the service's rate limiter counts failed calls as well
+  (many real ones do); every faulted attempt spends 1, and
+  :class:`~repro.lbs.BudgetExhausted` can fire mid-retry.
+"""
+
+from __future__ import annotations
+
+import json
+from dataclasses import dataclass, replace
+
+from .faults import _uniform
+
+__all__ = ["RetryPolicy"]
+
+#: Salt separating the jitter substream from the fault substream when a
+#: caller reuses one seed for both specs.
+_JITTER_SALT = 0xB0FFC0FFEE
+
+
+@dataclass(frozen=True)
+class RetryPolicy:
+    """Capped exponential backoff with deterministic jitter.
+
+    Attributes
+    ----------
+    max_attempts:
+        Total attempts per query (first try included).  When every
+        attempt faults, :class:`~repro.resilience.RetriesExhausted`
+        is raised.
+    base_delay / multiplier / max_delay:
+        Backoff ``min(max_delay, base_delay * multiplier**(n-1))``
+        seconds before retry ``n``.
+    jitter:
+        Fractional spread: each delay is scaled by a deterministic
+        factor in ``[1 - jitter, 1 + jitter]`` drawn from the policy's
+        own counter-based substream (decorrelates retry storms without
+        touching any estimation RNG).
+    seed:
+        Seeds the jitter substream.
+    charge_faults:
+        Budget semantics for retried queries (see module docstring).
+    sleep:
+        Physically ``time.sleep`` each backoff.  Off by default —
+        delays are still computed, recorded, and serialized.
+    """
+
+    max_attempts: int = 4
+    base_delay: float = 0.1
+    multiplier: float = 2.0
+    max_delay: float = 10.0
+    jitter: float = 0.1
+    seed: int = 0
+    charge_faults: bool = False
+    sleep: bool = False
+
+    def __post_init__(self) -> None:
+        if self.max_attempts < 1:
+            raise ValueError("max_attempts must be >= 1")
+        if self.base_delay < 0.0 or self.max_delay < 0.0:
+            raise ValueError("delays must be non-negative")
+        if self.multiplier < 1.0:
+            raise ValueError("multiplier must be >= 1 (backoff cannot shrink)")
+        if not 0.0 <= self.jitter <= 1.0:
+            raise ValueError("jitter must be in [0, 1]")
+
+    def delay(self, retry_number: int, counter: int) -> float:
+        """Seconds to back off before retry ``retry_number`` (1-based).
+
+        ``counter`` indexes the jitter substream — the connection's
+        lifetime retry count, so replaying a run replays its delays.
+        """
+        if retry_number < 1:
+            raise ValueError("retry_number is 1-based")
+        d = self.base_delay * (self.multiplier ** (retry_number - 1))
+        d = min(d, self.max_delay)
+        if self.jitter > 0.0:
+            u = _uniform(self.seed ^ _JITTER_SALT, counter)
+            d *= 1.0 + self.jitter * (2.0 * u - 1.0)
+        return d
+
+    def replace(self, **changes) -> "RetryPolicy":
+        """A copy with the given fields changed (policies are frozen)."""
+        return replace(self, **changes)
+
+    # ------------------------------------------------------------------
+    def to_dict(self) -> dict:
+        return {
+            "max_attempts": self.max_attempts,
+            "base_delay": self.base_delay,
+            "multiplier": self.multiplier,
+            "max_delay": self.max_delay,
+            "jitter": self.jitter,
+            "seed": self.seed,
+            "charge_faults": self.charge_faults,
+            "sleep": self.sleep,
+        }
+
+    @classmethod
+    def from_dict(cls, data: dict) -> "RetryPolicy":
+        return cls(
+            max_attempts=data.get("max_attempts", 4),
+            base_delay=data.get("base_delay", 0.1),
+            multiplier=data.get("multiplier", 2.0),
+            max_delay=data.get("max_delay", 10.0),
+            jitter=data.get("jitter", 0.1),
+            seed=data.get("seed", 0),
+            charge_faults=data.get("charge_faults", False),
+            sleep=data.get("sleep", False),
+        )
+
+    def to_json(self) -> str:
+        return json.dumps(self.to_dict(), sort_keys=True)
+
+    @classmethod
+    def from_json(cls, text: str) -> "RetryPolicy":
+        return cls.from_dict(json.loads(text))

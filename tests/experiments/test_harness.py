@@ -1,9 +1,13 @@
 """Tests for the experiment harness."""
 
+import multiprocessing as mp
+import os
+
 import pytest
 
 from repro.experiments.harness import (
     ExperimentTable,
+    _run_estimations,
     cost_to_reach,
     median_or_none,
     poi_world,
@@ -85,3 +89,29 @@ class TestWorlds:
     def test_census_attached(self):
         w = poi_world(seed=6)
         assert w.census.region == w.region
+
+
+@pytest.mark.skipif("fork" not in mp.get_all_start_methods(),
+                    reason="the fork-wave fan-out needs fork")
+class TestForkWaveRecovery:
+    def test_dead_child_recovered_by_in_parent_rerun(self):
+        """A forked wave child that dies without reporting (EOF on the
+        pipe) is recovered by rerunning its seed in the parent — same
+        deterministic result, no crash surfaced."""
+        parent_pid = os.getpid()
+
+        def make_estimator(s):
+            if s == 2 and os.getpid() != parent_pid:
+                os._exit(5)  # die in the child, before reporting
+            return _FakeEstimator(100.0 + s, 0.01)
+
+        recovered = _run_estimations(
+            make_estimator, seeds=[1, 2, 3], max_queries=500,
+            batch_size=1, workers=3,
+        )
+        sequential = _run_estimations(
+            lambda s: _FakeEstimator(100.0 + s, 0.01), seeds=[1, 2, 3],
+            max_queries=500, batch_size=1, workers=1,
+        )
+        assert [(r.estimate, r.queries, r.trace) for r in recovered] == \
+               [(r.estimate, r.queries, r.trace) for r in sequential]

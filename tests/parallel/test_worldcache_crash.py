@@ -1,0 +1,108 @@
+"""WorldCache crash consistency: torn entries are evicted, never served."""
+
+import json
+
+import pytest
+
+from repro.parallel import WorldCache
+from repro.parallel.worldcache import WorldCacheError
+from repro.worlds import registry
+
+
+@pytest.fixture
+def spec():
+    return registry.get("paper/clustered").with_size(200)
+
+
+@pytest.fixture
+def cache(tmp_path, spec):
+    cache = WorldCache(tmp_path)
+    cache.load_or_build(spec)  # publish one complete entry
+    assert cache.misses == 1
+    return cache
+
+
+def _world_fingerprint(world):
+    db = world.db
+    return (len(db), db.coords.tobytes(), db.tids.tobytes())
+
+
+class TestTornEntries:
+    """Corruption injected into a *published* entry — simulating a torn
+    write or partial disk state — must evict and rebuild, not serve
+    garbage or crash."""
+
+    @pytest.mark.parametrize("victim", ["xy.npy", "tids.npy", "col000.npy"])
+    def test_truncated_array_evicts_and_rebuilds(self, cache, spec, victim):
+        entry = cache.entry_path(spec)
+        path = entry / victim
+        data = path.read_bytes()
+        path.write_bytes(data[: len(data) // 2])  # torn mid-array
+
+        with pytest.raises(WorldCacheError):
+            cache.load(spec)
+        world = cache.load_or_build(spec)  # evicts, rebuilds, republishes
+        assert cache.misses == 2
+        assert _world_fingerprint(world) == _world_fingerprint(spec.build())
+        # The republished entry is whole again and serves as a hit.
+        cache.load_or_build(spec)
+        assert cache.hits == 1
+
+    def test_truncated_meta_json_evicts_and_rebuilds(self, cache, spec):
+        meta = cache.entry_path(spec) / "meta.json"
+        text = meta.read_text()
+        meta.write_text(text[: len(text) // 2])  # torn mid-JSON
+
+        with pytest.raises(WorldCacheError):
+            cache.load(spec)
+        world = cache.load_or_build(spec)
+        assert cache.misses == 2
+        assert _world_fingerprint(world) == _world_fingerprint(spec.build())
+
+    def test_missing_array_file_evicts_and_rebuilds(self, cache, spec):
+        (cache.entry_path(spec) / "xy.npy").unlink()
+
+        with pytest.raises(WorldCacheError):
+            cache.load(spec)
+        assert cache.load_or_build(spec) is not None
+        assert cache.misses == 2
+
+    def test_zero_byte_array_evicts_and_rebuilds(self, cache, spec):
+        # The extreme torn write: the file exists but holds nothing.
+        (cache.entry_path(spec) / "tids.npy").write_bytes(b"")
+
+        with pytest.raises(WorldCacheError):
+            cache.load(spec)
+        assert cache.load_or_build(spec) is not None
+        assert cache.misses == 2
+
+    def test_entry_claiming_wrong_world_evicts(self, cache, spec):
+        # meta.json intact JSON but describing a different world than
+        # the directory hash claims — e.g. a corrupted rename.
+        meta_path = cache.entry_path(spec) / "meta.json"
+        meta = json.loads(meta_path.read_text())
+        other = registry.get("paper/clustered").with_size(150)
+        meta["world"] = other.to_dict()
+        meta_path.write_text(json.dumps(meta))
+
+        with pytest.raises(WorldCacheError, match="different world"):
+            cache.load(spec)
+        world = cache.load_or_build(spec)
+        assert cache.misses == 2
+        assert _world_fingerprint(world) == _world_fingerprint(spec.build())
+
+    def test_rebuilt_world_runs_bit_identically(self, cache, spec):
+        """End to end: estimates over a rebuilt-after-corruption world
+        match estimates over a freshly built one."""
+        from repro.api import MaxSamples, Session
+
+        entry = cache.entry_path(spec)
+        data = (entry / "xy.npy").read_bytes()
+        (entry / "xy.npy").write_bytes(data[:100])
+
+        recovered = cache.load_or_build(spec)
+        want = Session(spec.build()).lr(k=5).count().seed(4).run(MaxSamples(10))
+        got = Session(recovered).lr(k=5).count().seed(4).run(MaxSamples(10))
+        assert got.estimate == want.estimate
+        assert got.queries == want.queries
+        assert got.trace == want.trace

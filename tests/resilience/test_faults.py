@@ -1,0 +1,142 @@
+"""FaultSpec / FaultState: determinism, validation, serde, capping."""
+
+import json
+
+import pytest
+
+from repro.resilience import (
+    FAULT_KINDS,
+    AnswerDropped,
+    FaultSpec,
+    FaultState,
+    ServiceRateLimited,
+    ServiceTimeout,
+    TransientServiceError,
+    fault_error,
+)
+
+
+class TestFaultSpecValidation:
+    def test_rates_must_be_probabilities(self):
+        with pytest.raises(ValueError, match="timeout_rate"):
+            FaultSpec(timeout_rate=1.5)
+        with pytest.raises(ValueError, match="drop_rate"):
+            FaultSpec(drop_rate=-0.1)
+
+    def test_certain_fault_rejected_without_cap(self):
+        with pytest.raises(ValueError, match="sum to >= 1"):
+            FaultSpec(timeout_rate=0.5, rate_limit_rate=0.5)
+        # With a cap the connection eventually heals, so it's legal.
+        FaultSpec(timeout_rate=0.5, rate_limit_rate=0.5, max_faults=3)
+
+    def test_negative_cap_rejected(self):
+        with pytest.raises(ValueError, match="max_faults"):
+            FaultSpec(timeout_rate=0.1, max_faults=-1)
+
+    def test_default_is_faultless(self):
+        spec = FaultSpec()
+        assert spec.total_rate == 0.0
+        assert all(spec.draw(i) is None for i in range(100))
+
+
+class TestDeterminism:
+    def test_draw_is_pure(self):
+        spec = FaultSpec(timeout_rate=0.1, rate_limit_rate=0.1, drop_rate=0.1, seed=5)
+        first = [spec.draw(i) for i in range(200)]
+        assert [spec.draw(i) for i in range(200)] == first
+        assert set(first) <= set(FAULT_KINDS) | {None}
+        # The rates actually express: a 30% faulty stream faults.
+        assert 20 <= sum(k is not None for k in first) <= 90
+
+    def test_seed_changes_the_stream(self):
+        a = FaultSpec(timeout_rate=0.2, seed=1)
+        b = FaultSpec(timeout_rate=0.2, seed=2)
+        assert [a.draw(i) for i in range(100)] != [b.draw(i) for i in range(100)]
+
+    def test_kind_edges_are_cumulative(self):
+        # With one rate at 1.0 (capped), every fault is that kind.
+        spec = FaultSpec(drop_rate=1.0, seed=3, max_faults=5)
+        st = FaultState()
+        kinds = [st.next_fault(spec) for _ in range(10)]
+        assert kinds[:5] == ["drop"] * 5
+        assert kinds[5:] == [None] * 5  # cap reached, connection heals
+
+
+class TestFaultState:
+    def test_stream_ticks_even_when_capped(self):
+        """Enabling max_faults must not shift later draws."""
+        spec = FaultSpec(timeout_rate=0.3, seed=7)
+        capped = spec.replace(max_faults=2)
+        free, limited = FaultState(), FaultState()
+        free_kinds = [free.next_fault(spec) for _ in range(50)]
+        capped_kinds = [limited.next_fault(capped) for _ in range(50)]
+        assert free.attempts == limited.attempts == 50
+        # The capped stream is the free stream with all faults after the
+        # cap replaced by None — never different faults.
+        seen = 0
+        for f, c in zip(free_kinds, capped_kinds):
+            if f is not None:
+                seen += 1
+                assert c == (f if seen <= 2 else None)
+            else:
+                assert c is None
+        assert limited.faults_injected == 2
+
+    def test_tallies_by_kind(self):
+        spec = FaultSpec(timeout_rate=0.2, rate_limit_rate=0.1, drop_rate=0.1, seed=11)
+        st = FaultState()
+        for _ in range(300):
+            st.next_fault(spec)
+        assert st.faults_injected == sum(st.injected.values())
+        assert st.faults_injected > 0
+        assert set(st.injected) == set(FAULT_KINDS)
+
+    def test_state_round_trips(self):
+        spec = FaultSpec(timeout_rate=0.25, seed=2)
+        st = FaultState()
+        for _ in range(40):
+            st.next_fault(spec)
+        st.retries = 7
+        st.backoff_seconds = 1.25
+        restored = FaultState()
+        restored.restore(json.loads(json.dumps(st.to_dict())))
+        assert restored.to_dict() == st.to_dict()
+        # The restored stream continues exactly where the original does.
+        assert [restored.next_fault(spec) for _ in range(40)] == \
+               [st.next_fault(spec) for _ in range(40)]
+
+    def test_restore_rejects_missing_keys_loudly(self):
+        st = FaultState()
+        with pytest.raises(ValueError, match="'attempts'"):
+            st.restore({"injected": {}})
+        with pytest.raises(ValueError, match="'injected'"):
+            st.restore({"attempts": 3})
+
+
+class TestSerde:
+    def test_json_round_trip(self):
+        spec = FaultSpec(timeout_rate=0.1, rate_limit_rate=0.05, drop_rate=0.02,
+                         seed=42, max_faults=100)
+        assert FaultSpec.from_json(spec.to_json()) == spec
+
+    def test_defaults_round_trip(self):
+        assert FaultSpec.from_dict(FaultSpec().to_dict()) == FaultSpec()
+
+    def test_replace(self):
+        spec = FaultSpec(timeout_rate=0.1, seed=1)
+        assert spec.replace(seed=2) == FaultSpec(timeout_rate=0.1, seed=2)
+        assert spec.seed == 1  # frozen original untouched
+
+
+class TestExceptions:
+    def test_hierarchy_and_kinds(self):
+        assert issubclass(ServiceTimeout, TransientServiceError)
+        assert issubclass(ServiceRateLimited, TransientServiceError)
+        assert issubclass(AnswerDropped, TransientServiceError)
+        for kind, cls in (("timeout", ServiceTimeout),
+                          ("rate_limit", ServiceRateLimited),
+                          ("drop", AnswerDropped)):
+            err = fault_error(kind, attempt=3)
+            assert isinstance(err, cls)
+            assert err.kind == kind
+            assert "attempt 3" in str(err)

@@ -1,0 +1,64 @@
+"""RetryPolicy: backoff shape, deterministic jitter, validation, serde."""
+
+import pytest
+
+from repro.resilience import RetryPolicy
+
+
+class TestValidation:
+    def test_bounds(self):
+        with pytest.raises(ValueError, match="max_attempts"):
+            RetryPolicy(max_attempts=0)
+        with pytest.raises(ValueError, match="non-negative"):
+            RetryPolicy(base_delay=-0.1)
+        with pytest.raises(ValueError, match="multiplier"):
+            RetryPolicy(multiplier=0.5)
+        with pytest.raises(ValueError, match="jitter"):
+            RetryPolicy(jitter=1.5)
+
+    def test_retry_number_is_one_based(self):
+        with pytest.raises(ValueError, match="1-based"):
+            RetryPolicy().delay(0, 0)
+
+
+class TestBackoffShape:
+    def test_exponential_growth_capped(self):
+        p = RetryPolicy(base_delay=1.0, multiplier=2.0, max_delay=5.0, jitter=0.0)
+        assert p.delay(1, 0) == 1.0
+        assert p.delay(2, 0) == 2.0
+        assert p.delay(3, 0) == 4.0
+        assert p.delay(4, 0) == 5.0  # capped
+        assert p.delay(10, 0) == 5.0
+
+    def test_jitter_is_bounded_and_deterministic(self):
+        p = RetryPolicy(base_delay=1.0, multiplier=1.0, jitter=0.25, seed=9)
+        delays = [p.delay(1, c) for c in range(200)]
+        assert delays == [p.delay(1, c) for c in range(200)]  # pure
+        assert all(0.75 <= d <= 1.25 for d in delays)
+        assert len(set(delays)) > 100  # the substream actually varies
+
+    def test_jitter_counter_indexes_the_stream(self):
+        p = RetryPolicy(jitter=0.5, seed=4)
+        assert p.delay(1, 0) != p.delay(1, 1)
+
+    def test_seed_decorrelates_policies(self):
+        a = RetryPolicy(jitter=0.5, seed=1)
+        b = RetryPolicy(jitter=0.5, seed=2)
+        assert [a.delay(1, c) for c in range(20)] != \
+               [b.delay(1, c) for c in range(20)]
+
+
+class TestSerde:
+    def test_json_round_trip(self):
+        p = RetryPolicy(max_attempts=7, base_delay=0.5, multiplier=3.0,
+                        max_delay=20.0, jitter=0.2, seed=13,
+                        charge_faults=True, sleep=True)
+        assert RetryPolicy.from_json(p.to_json()) == p
+
+    def test_defaults_round_trip(self):
+        assert RetryPolicy.from_dict(RetryPolicy().to_dict()) == RetryPolicy()
+
+    def test_replace(self):
+        p = RetryPolicy(max_attempts=3)
+        assert p.replace(charge_faults=True).charge_faults is True
+        assert p.charge_faults is False

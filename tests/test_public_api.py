@@ -21,11 +21,13 @@ class TestPublicSurface:
         import repro.geometry
         import repro.lbs
         import repro.parallel
+        import repro.resilience
         import repro.sampling
         import repro.stats
 
         for mod in (repro.api, repro.core, repro.datasets, repro.geometry,
-                    repro.lbs, repro.parallel, repro.sampling, repro.stats):
+                    repro.lbs, repro.parallel, repro.resilience,
+                    repro.sampling, repro.stats):
             for name in mod.__all__:
                 assert hasattr(mod, name), f"{mod.__name__}.{name}"
 
